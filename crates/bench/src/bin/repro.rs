@@ -1,0 +1,231 @@
+//! `repro` — regenerates every table and figure of the LADM paper.
+//!
+//! ```text
+//! repro [--bench] [--threads N] <experiment>
+//!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 dgx1 summary all
+//! ```
+//!
+//! By default runs at `Scale::Test` (small inputs, seconds); `--bench`
+//! uses the larger benchmark inputs (the numbers recorded in
+//! EXPERIMENTS.md).
+
+use ladm_bench::experiments::{
+    default_threads, dgx1, fig11, fig4, fig9_10, fmt_fig11, fmt_table1, fmt_table4, table1,
+    table4, Fig10,
+};
+use ladm_core::analysis::{classify, GridShape};
+use ladm_core::expr::{Expr, Poly, Var};
+use ladm_sim::SimConfig;
+use ladm_workloads::Scale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Test;
+    let mut threads = default_threads();
+    let mut what: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => scale = Scale::Bench,
+            "--test" => scale = Scale::Test,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            "-h" | "--help" => usage(""),
+            other => what.push(other.to_string()),
+        }
+    }
+    if what.is_empty() {
+        usage("no experiment given");
+    }
+    let list: Vec<&str> = if what.iter().any(|w| w == "all") {
+        vec![
+            "tab2", "tab3", "tab1", "tab4", "fig4", "fig9", "fig10", "fig11", "dgx1",
+            "summary",
+        ]
+    } else {
+        what.iter().map(|s| s.as_str()).collect()
+    };
+
+    // fig9/fig10/summary share runs; compute lazily once.
+    let mut fig9_cache = None;
+    for item in list {
+        let t0 = Instant::now();
+        match item {
+            "fig4" => println!("{}", fig4(scale, threads)),
+            "fig9" => {
+                let f = fig9_cache.get_or_insert_with(|| fig9_10(scale, threads));
+                println!("{f}");
+            }
+            "fig10" => {
+                let f = fig9_cache.get_or_insert_with(|| fig9_10(scale, threads));
+                println!("{}", Fig10(f));
+            }
+            "fig11" => println!("{}", fmt_fig11(&fig11(scale, threads))),
+            "tab1" => {
+                let (policies, rows) = table1(scale, threads);
+                println!("{}", fmt_table1(&policies, &rows));
+            }
+            "tab2" => print_table2(),
+            "tab3" => print_table3(),
+            "tab4" => println!("{}", fmt_table4(&table4(scale, threads))),
+            "dgx1" => println!("{}", dgx1(scale, threads)),
+            "summary" => {
+                let f = fig9_cache.get_or_insert_with(|| fig9_10(scale, threads));
+                println!("{}", f.summary());
+            }
+            other => usage(&format!("unknown experiment '{other}'")),
+        }
+        eprintln!("[{item} done in {:.1?}]\n", t0.elapsed());
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: repro [--bench] [--threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|dgx1|summary|all>"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Table II: the classifier demonstrated on the canonical index
+/// equations (matrix multiply of Fig. 6 plus the other rows).
+fn print_table2() {
+    fn v(x: Var) -> Expr {
+        Expr::var(x)
+    }
+    let width = || v(Var::Bdx) * v(Var::Gdx);
+    let m = || v(Var::Ind(0));
+    let cases: Vec<(&str, Poly, GridShape)> = vec![
+        (
+            "vecadd: bx*bdx + tx",
+            (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx)).to_poly(),
+            GridShape::OneD,
+        ),
+        (
+            "grid-stride: tid + m*bdx*gdx",
+            (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + m() * width()).to_poly(),
+            GridShape::OneD,
+        ),
+        (
+            "gemm A: (by*16+ty)*W + m*16 + tx",
+            ((v(Var::By) * 16 + v(Var::Ty)) * width() + m() * 16 + v(Var::Tx)).to_poly(),
+            GridShape::TwoD,
+        ),
+        (
+            "col-h: bx*bdx + tx + m*16",
+            (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + m() * 16).to_poly(),
+            GridShape::TwoD,
+        ),
+        (
+            "row-v: by*bdy + ty + m*W",
+            (v(Var::By) * v(Var::Bdy) + v(Var::Ty) + m() * width()).to_poly(),
+            GridShape::TwoD,
+        ),
+        (
+            "gemm B: (m*16+ty)*W + bx*16 + tx",
+            ((m() * 16 + v(Var::Ty)) * width() + v(Var::Bx) * 16 + v(Var::Tx)).to_poly(),
+            GridShape::TwoD,
+        ),
+        (
+            "csr walk: row_ptr[tid] + m",
+            (v(Var::Data) + m()).to_poly(),
+            GridShape::OneD,
+        ),
+        ("gather: X[Y[tid]]", v(Var::Data).to_poly(), GridShape::OneD),
+    ];
+    println!("Table II: index classification (locality type, scheduling, placement, cache)");
+    println!(
+        "{:<38} {:>4} {:<18} {:<14} {:<12} {:<8}",
+        "index equation", "row", "class", "scheduling", "placement", "cache"
+    );
+    for (label, poly, shape) in cases {
+        let class = classify(&poly, shape, 0);
+        let row = class.table_row();
+        let (sched, place, cache) = match row {
+            1 => ("align-aware", "stride-aware", "RTWICE"),
+            2 => ("row-binding", "row-based", "RTWICE"),
+            3 => ("col-binding", "row-based", "RTWICE"),
+            4 => ("row-binding", "col-based", "RTWICE"),
+            5 => ("col-binding", "col-based", "RTWICE"),
+            6 => ("kernel-wide", "kernel-wide", "RONCE"),
+            _ => ("kernel-wide", "kernel-wide", "RTWICE"),
+        };
+        println!(
+            "{:<38} {:>4} {:<18} {:<14} {:<12} {:<8}",
+            label,
+            row,
+            class.to_string(),
+            sched,
+            place,
+            cache
+        );
+    }
+    println!();
+}
+
+/// Table III: the simulated machine configuration.
+fn print_table3() {
+    let c = SimConfig::paper_multi_gpu();
+    let m = SimConfig::monolithic();
+    println!("Table III: multi-GPU configuration");
+    println!(
+        "  #GPUs                 {} GPUs, {} chiplets per GPU",
+        c.topology.num_gpus, c.topology.chiplets_per_gpu
+    );
+    println!(
+        "  #SMs                  {} ({} per chiplet), {} warps/SM, warp {}",
+        c.total_sms(),
+        c.sms_per_chiplet,
+        c.warps_per_sm,
+        c.warp_size
+    );
+    println!(
+        "  L1 / SM               {} KiB, {}-way, {} B lines / {} B sectors",
+        c.l1.bytes >> 10,
+        c.l1.assoc,
+        c.l1.line_bytes,
+        c.l1.sector_bytes
+    );
+    println!(
+        "  L2                    {} MiB total ({} MiB per chiplet), {}-way",
+        (c.l2.bytes * u64::from(c.topology.num_nodes())) >> 20,
+        c.l2.bytes >> 20,
+        c.l2.assoc
+    );
+    println!(
+        "  Intra-chiplet xbar    {:.0} GB/s, {} cyc",
+        c.intra_chiplet_bw * 1.4,
+        c.intra_chiplet_latency
+    );
+    println!(
+        "  Inter-chiplet ring    {:.0} GB/s per GPU, {} cyc",
+        c.ring_bw * 1.4,
+        c.ring_latency
+    );
+    println!(
+        "  Inter-GPU switch      {:.0} GB/s per link, {} cyc",
+        c.switch_bw * 1.4,
+        c.switch_latency
+    );
+    println!(
+        "  HBM                   {:.0} GB/s per chiplet ({:.0} GB/s per GPU), {} cyc",
+        c.dram_bw * 1.4,
+        c.dram_bw * 1.4 * f64::from(c.topology.chiplets_per_gpu),
+        c.dram_latency
+    );
+    println!(
+        "  Monolithic reference  {} SMs, {} MiB L2, {:.1} TB/s xbar",
+        m.total_sms(),
+        m.l2.bytes >> 20,
+        m.intra_chiplet_bw * 1.4 / 1000.0
+    );
+    println!("  Page size             {} B", c.page_bytes);
+    println!();
+}

@@ -1,0 +1,746 @@
+//! One function per paper table/figure. Each returns a structured result
+//! whose `Display` prints the same rows/series the paper reports, so the
+//! `repro` binary, the integration tests and the Criterion benches all
+//! share one implementation.
+
+use crate::harness::{geomean, parallel_map, run_workload};
+use ladm_core::policies::{
+    BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Policy,
+};
+use ladm_sim::{KernelStats, SimConfig};
+use ladm_workloads::{by_name, dl_gemms, suite, Scale, WorkloadKind};
+use std::fmt;
+
+/// Number of worker threads for experiment fan-out (single-core safe).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn run_named(cfg: &SimConfig, name: &str, scale: Scale, policy: &dyn Policy) -> KernelStats {
+    let w = by_name(name, scale).unwrap_or_else(|| panic!("unknown workload {name}"));
+    run_workload(cfg, &w, policy)
+}
+
+fn policy_by_index(i: usize) -> Box<dyn Policy> {
+    match i {
+        0 => Box::new(BaselineRr::new()),
+        1 => Box::new(BatchFt::new()),
+        2 => Box::new(KernelWide::new()),
+        3 => Box::new(Coda::flat()),
+        4 => Box::new(Coda::hierarchical()),
+        5 => Box::new(Lasp::new(CacheMode::Rtwice)),
+        6 => Box::new(Lasp::new(CacheMode::Ronce)),
+        7 => Box::new(Lasp::new(CacheMode::Crb)),
+        _ => panic!("no policy with index {i}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------
+
+/// Figure 4: bandwidth sensitivity of the prior techniques, normalized to
+/// a monolithic GPU with the same SM count.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Interconnect configuration labels.
+    pub configs: Vec<&'static str>,
+    /// Policy names (columns).
+    pub policies: Vec<&'static str>,
+    /// `norm_perf[config][policy]`: geomean over the suite of
+    /// `monolithic_cycles / policy_cycles` (1.0 = monolithic).
+    pub norm_perf: Vec<Vec<f64>>,
+}
+
+/// Runs the Figure 4 sweep.
+pub fn fig4(scale: Scale, threads: usize) -> Fig4 {
+    let configs: Vec<(&'static str, SimConfig)> = vec![
+        ("xbar-90GB/s", SimConfig::fig4_xbar(90)),
+        ("xbar-180GB/s", SimConfig::fig4_xbar(180)),
+        ("xbar-360GB/s", SimConfig::fig4_xbar(360)),
+        ("ring-1.4TB/s", SimConfig::fig4_ring(1400)),
+        ("ring-2.8TB/s", SimConfig::fig4_ring(2800)),
+    ];
+    let policy_indices = [0usize, 1, 2, 3]; // RR, Batch+FT, Kernel-wide, CODA
+    let names: Vec<&'static str> = suite(scale).iter().map(|w| w.name).collect();
+
+    // Monolithic baseline per workload.
+    let mono_cfg = SimConfig::monolithic();
+    let mono: Vec<f64> = parallel_map(names.len(), threads, |i| {
+        run_named(&mono_cfg, names[i], scale, &Lasp::ladm()).cycles
+    });
+
+    let jobs = configs.len() * policy_indices.len() * names.len();
+    let cycles: Vec<f64> = parallel_map(jobs, threads, |j| {
+        let c = j / (policy_indices.len() * names.len());
+        let rest = j % (policy_indices.len() * names.len());
+        let p = rest / names.len();
+        let w = rest % names.len();
+        let policy = policy_by_index(policy_indices[p]);
+        run_named(&configs[c].1, names[w], scale, &*policy).cycles
+    });
+
+    let mut norm_perf = Vec::new();
+    for c in 0..configs.len() {
+        let mut per_policy = Vec::new();
+        for p in 0..policy_indices.len() {
+            let ratios: Vec<f64> = (0..names.len())
+                .map(|w| {
+                    let idx = c * policy_indices.len() * names.len() + p * names.len() + w;
+                    (mono[w] / cycles[idx]).min(4.0)
+                })
+                .collect();
+            per_policy.push(geomean(&ratios));
+        }
+        norm_perf.push(per_policy);
+    }
+    Fig4 {
+        configs: configs.iter().map(|(n, _)| *n).collect(),
+        policies: vec!["Baseline-RR", "Batch+FT-opt", "Kernel-Wide", "CODA"],
+        norm_perf,
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 4: bandwidth sensitivity (perf normalized to monolithic, geomean)"
+        )?;
+        write!(f, "{:<16}", "config")?;
+        for p in &self.policies {
+            write!(f, "{p:>14}")?;
+        }
+        writeln!(f)?;
+        for (c, label) in self.configs.iter().enumerate() {
+            write!(f, "{label:<16}")?;
+            for v in &self.norm_perf[c] {
+                write!(f, "{v:>14.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 9 and 10 (shared runs)
+// ---------------------------------------------------------------------
+
+/// One workload's results across the Figure 9/10 policy lineup.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// Locality group (x-axis cluster).
+    pub kind: WorkloadKind,
+    /// Cycles per policy, in lineup order, then the monolithic reference.
+    pub cycles: Vec<f64>,
+    /// Off-chip traffic fraction per policy (no monolithic entry).
+    pub offchip: Vec<f64>,
+    /// Inter-GPU bytes per policy.
+    pub inter_gpu_bytes: Vec<u64>,
+}
+
+/// Figures 9 + 10: the full-suite comparison of H-CODA, LASP+RTWICE,
+/// LASP+RONCE and LADM on the Table III machine, plus the monolithic
+/// reference.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// Policy names (H-CODA first, "Monolithic" last).
+    pub policies: Vec<&'static str>,
+    /// Per-workload rows in Table IV order.
+    pub rows: Vec<Fig9Row>,
+}
+
+/// Runs the Figure 9/10 experiment.
+pub fn fig9_10(scale: Scale, threads: usize) -> Fig9 {
+    let policy_indices = [4usize, 5, 6, 7]; // H-CODA, RTWICE, RONCE, LADM
+    let names: Vec<(&'static str, WorkloadKind)> =
+        suite(scale).iter().map(|w| (w.name, w.kind)).collect();
+    let cfg = SimConfig::paper_multi_gpu();
+    let mono_cfg = SimConfig::monolithic();
+
+    let jobs = names.len() * (policy_indices.len() + 1);
+    let stats: Vec<KernelStats> = parallel_map(jobs, threads, |j| {
+        let w = j / (policy_indices.len() + 1);
+        let p = j % (policy_indices.len() + 1);
+        if p == policy_indices.len() {
+            run_named(&mono_cfg, names[w].0, scale, &Lasp::ladm())
+        } else {
+            let policy = policy_by_index(policy_indices[p]);
+            run_named(&cfg, names[w].0, scale, &*policy)
+        }
+    });
+
+    let rows = names
+        .iter()
+        .enumerate()
+        .map(|(w, &(name, kind))| {
+            let base = w * (policy_indices.len() + 1);
+            let slice = &stats[base..base + policy_indices.len() + 1];
+            Fig9Row {
+                name,
+                kind,
+                cycles: slice.iter().map(|s| s.cycles).collect(),
+                offchip: slice[..policy_indices.len()]
+                    .iter()
+                    .map(|s| s.offchip_fraction())
+                    .collect(),
+                inter_gpu_bytes: slice[..policy_indices.len()]
+                    .iter()
+                    .map(|s| s.inter_gpu_bytes)
+                    .collect(),
+            }
+        })
+        .collect();
+
+    Fig9 {
+        policies: vec![
+            "H-CODA",
+            "LASP+RTWICE",
+            "LASP+RONCE",
+            "LADM",
+            "Monolithic",
+        ],
+        rows,
+    }
+}
+
+impl Fig9 {
+    /// Speedup of policy `p` over H-CODA for `row`.
+    pub fn speedup_vs_hcoda(&self, row: &Fig9Row, p: usize) -> f64 {
+        row.cycles[0] / row.cycles[p]
+    }
+
+    /// Geomean speedup of policy `p` over H-CODA across all rows.
+    pub fn geomean_speedup(&self, p: usize) -> f64 {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| self.speedup_vs_hcoda(r, p))
+            .collect();
+        geomean(&v)
+    }
+
+    /// The headline summary numbers (§V-A).
+    pub fn summary(&self) -> Summary {
+        let ladm = 3usize;
+        let mono = 4usize;
+        let ladm_vs_hcoda = self.geomean_speedup(ladm);
+        let capture: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| (r.cycles[mono] / r.cycles[ladm]).min(2.0))
+            .collect();
+        let traffic_ratio: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.inter_gpu_bytes[3] > 0 && r.inter_gpu_bytes[0] > 0)
+            .map(|r| r.inter_gpu_bytes[0] as f64 / r.inter_gpu_bytes[3] as f64)
+            .collect();
+        Summary {
+            ladm_vs_hcoda,
+            monolithic_capture: geomean(&capture).min(1.0),
+            inter_gpu_traffic_reduction: if traffic_ratio.is_empty() {
+                1.0
+            } else {
+                geomean(&traffic_ratio)
+            },
+        }
+    }
+}
+
+/// §V-A headline numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// LADM performance vs H-CODA (paper: ≈1.8×).
+    pub ladm_vs_hcoda: f64,
+    /// Fraction of monolithic performance LADM captures (paper: ≈82%).
+    pub monolithic_capture: f64,
+    /// H-CODA inter-GPU traffic / LADM inter-GPU traffic (paper: ≈4×).
+    pub inter_gpu_traffic_reduction: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Headline summary (§V-A):")?;
+        writeln!(
+            f,
+            "  LADM vs H-CODA speedup (geomean):      {:.2}x  (paper: 1.8x)",
+            self.ladm_vs_hcoda
+        )?;
+        writeln!(
+            f,
+            "  Monolithic performance captured:       {:.0}%   (paper: 82%)",
+            self.monolithic_capture * 100.0
+        )?;
+        writeln!(
+            f,
+            "  Inter-GPU traffic reduction vs H-CODA: {:.1}x  (paper: 4x)",
+            self.inter_gpu_traffic_reduction
+        )
+    }
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 9: performance normalized to H-CODA (higher is better)"
+        )?;
+        write!(f, "{:<14} {:<6}", "workload", "group")?;
+        for p in &self.policies {
+            write!(f, "{p:>13}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:<14} {:<6}", row.name, row.kind.to_string())?;
+            for p in 0..self.policies.len() {
+                write!(f, "{:>13.2}", self.speedup_vs_hcoda(row, p))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:<21}", "GEOMEAN")?;
+        for p in 0..self.policies.len() {
+            write!(f, "{:>13.2}", self.geomean_speedup(p))?;
+        }
+        writeln!(f)
+    }
+}
+
+/// Figure 10 view over the same runs: off-chip traffic percentages.
+#[derive(Debug, Clone)]
+pub struct Fig10<'a>(pub &'a Fig9);
+
+impl fmt::Display for Fig10<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 10: % of memory traffic that goes off-node (lower is better)"
+        )?;
+        write!(f, "{:<14} {:<6}", "workload", "group")?;
+        for p in &self.0.policies[..4] {
+            write!(f, "{p:>13}")?;
+        }
+        writeln!(f)?;
+        for row in &self.0.rows {
+            write!(f, "{:<14} {:<6}", row.name, row.kind.to_string())?;
+            for v in &row.offchip {
+                write!(f, "{:>12.1}%", v * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:<21}", "MEAN")?;
+        for p in 0..4 {
+            let m = crate::harness::mean(
+                &self.0.rows.iter().map(|r| r.offchip[p]).collect::<Vec<_>>(),
+            );
+            write!(f, "{:>12.1}%", m * 100.0)?;
+        }
+        writeln!(f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 11
+// ---------------------------------------------------------------------
+
+/// Traffic-class breakdown for one workload under one insertion policy.
+#[derive(Debug, Clone)]
+pub struct Fig11Case {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Insertion policy name (`RTWICE`/`RONCE`).
+    pub policy: &'static str,
+    /// Share of L2 traffic per class `[LL, LR, RL]`, each in [0, 1].
+    pub traffic_share: [f64; 3],
+    /// Hit rate per class `[LL, LR, RL]`.
+    pub hit_rate: [f64; 3],
+    /// Aggregate L2 hit rate.
+    pub total_hit_rate: f64,
+}
+
+/// Figure 11: RONCE vs RTWICE case studies on `Random-loc` (helped) and
+/// `SQ-GEMM` (hurt).
+pub fn fig11(scale: Scale, threads: usize) -> Vec<Fig11Case> {
+    let cfg = SimConfig::paper_multi_gpu();
+    let jobs: Vec<(&'static str, &'static str, CacheMode)> = vec![
+        ("Random-loc", "RTWICE", CacheMode::Rtwice),
+        ("Random-loc", "RONCE", CacheMode::Ronce),
+        ("SQ-GEMM", "RTWICE", CacheMode::Rtwice),
+        ("SQ-GEMM", "RONCE", CacheMode::Ronce),
+    ];
+    parallel_map(jobs.len(), threads, |i| {
+        let (workload, policy, mode) = jobs[i];
+        let stats = run_named(&cfg, workload, scale, &Lasp::new(mode));
+        let classes = [
+            stats.l2_local_local,
+            stats.l2_local_remote,
+            stats.l2_remote_local,
+        ];
+        let total: u64 = classes.iter().map(|c| c.accesses).sum();
+        let share = |c: ladm_sim::ClassStats| {
+            if total == 0 {
+                0.0
+            } else {
+                c.accesses as f64 / total as f64
+            }
+        };
+        Fig11Case {
+            workload,
+            policy,
+            traffic_share: [share(classes[0]), share(classes[1]), share(classes[2])],
+            hit_rate: [
+                classes[0].hit_rate(),
+                classes[1].hit_rate(),
+                classes[2].hit_rate(),
+            ],
+            total_hit_rate: stats.l2_hit_rate(),
+        }
+    })
+}
+
+/// Formats the Figure 11 cases.
+pub fn fmt_fig11(cases: &[Fig11Case]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Figure 11: L2 traffic classes and hit rates, RTWICE vs RONCE"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<12} {:<8} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>8}",
+        "workload", "policy", "LL%", "LR%", "RL%", "LLhit", "LRhit", "RLhit", "L2hit"
+    )
+    .unwrap();
+    for c in cases {
+        writeln!(
+            s,
+            "{:<12} {:<8} {:>7.1}% {:>7.1}% {:>7.1}%   {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            c.workload,
+            c.policy,
+            c.traffic_share[0] * 100.0,
+            c.traffic_share[1] * 100.0,
+            c.traffic_share[2] * 100.0,
+            c.hit_rate[0],
+            c.hit_rate[1],
+            c.hit_rate[2],
+            c.total_hit_rate,
+        )
+        .unwrap();
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------
+
+/// Off-chip traffic of each policy on one microbenchmark pattern.
+#[derive(Debug, Clone)]
+pub struct Tab1Row {
+    /// Pattern name (Table I row).
+    pub pattern: &'static str,
+    /// Representative workload.
+    pub workload: &'static str,
+    /// Off-chip fraction per policy.
+    pub offchip: Vec<f64>,
+}
+
+/// Off-chip fraction below which a pattern counts as captured in the
+/// Table I reproduction.
+pub const TAB1_CAPTURE_THRESHOLD: f64 = 0.25;
+
+/// Table I: which technique captures which locality pattern. A pattern
+/// counts as *captured* when the policy keeps off-chip traffic below
+/// [`TAB1_CAPTURE_THRESHOLD`].
+pub fn table1(scale: Scale, threads: usize) -> (Vec<&'static str>, Vec<Tab1Row>) {
+    let cfg = SimConfig::paper_multi_gpu();
+    let policy_indices = [0usize, 1, 2, 3, 7]; // RR, Batch+FT, KW, CODA, LADM
+    let policy_names = vec!["Baseline-RR", "Batch+FT", "Kernel-Wide", "CODA", "LADM"];
+    let patterns: Vec<(&'static str, &'static str)> = vec![
+        ("Page alignment", "VecAdd"),
+        ("Threadblock-stride", "ScalarProd"),
+        ("Row sharing", "CONV"),
+        ("Col sharing", "FWT-k2"),
+        ("Adjacent (stencil)", "SRAD"),
+        ("Intra-thread loc", "SpMV-jds"),
+    ];
+    let jobs = patterns.len() * policy_indices.len();
+    let offchip: Vec<f64> = parallel_map(jobs, threads, |j| {
+        let pat = j / policy_indices.len();
+        let pol = j % policy_indices.len();
+        let policy = policy_by_index(policy_indices[pol]);
+        run_named(&cfg, patterns[pat].1, scale, &*policy).offchip_fraction()
+    });
+    let rows = patterns
+        .iter()
+        .enumerate()
+        .map(|(i, &(pattern, workload))| Tab1Row {
+            pattern,
+            workload,
+            offchip: offchip[i * policy_indices.len()..(i + 1) * policy_indices.len()].to_vec(),
+        })
+        .collect();
+    (policy_names, rows)
+}
+
+/// Formats the Table I capability matrix.
+pub fn fmt_table1(policies: &[&'static str], rows: &[Tab1Row]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Table I: locality patterns captured (off-chip %; [x] = captured, <{:.0}%)",
+        TAB1_CAPTURE_THRESHOLD * 100.0
+    )
+    .unwrap();
+    write!(s, "{:<20} {:<12}", "pattern", "workload").unwrap();
+    for p in policies {
+        write!(s, "{p:>15}").unwrap();
+    }
+    writeln!(s).unwrap();
+    for row in rows {
+        write!(s, "{:<20} {:<12}", row.pattern, row.workload).unwrap();
+        for &v in &row.offchip {
+            let mark = if v < TAB1_CAPTURE_THRESHOLD { "[x]" } else { "   " };
+            write!(s, "{:>11.1}%{mark}", v * 100.0).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Table IV
+// ---------------------------------------------------------------------
+
+/// One Table IV characterization row.
+#[derive(Debug, Clone)]
+pub struct Tab4Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// Locality group.
+    pub kind: WorkloadKind,
+    /// LASP's scheduler decision for the dominant kernel.
+    pub scheduler: String,
+    /// Threadblock dimensions.
+    pub tb_dim: (u32, u32),
+    /// Input footprint in MiB.
+    pub input_mib: f64,
+    /// Launched threadblocks.
+    pub launched_tbs: u64,
+    /// Measured L2 sector MPKI under LADM.
+    pub l2_mpki: f64,
+}
+
+/// Table IV: workload characterization under LADM.
+pub fn table4(scale: Scale, threads: usize) -> Vec<Tab4Row> {
+    let cfg = SimConfig::paper_multi_gpu();
+    let meta: Vec<(&'static str, WorkloadKind)> =
+        suite(scale).iter().map(|w| (w.name, w.kind)).collect();
+    parallel_map(meta.len(), threads, |i| {
+        let (name, kind) = meta[i];
+        let w = by_name(name, scale).expect("suite workload");
+        let plan = Lasp::ladm().plan(w.kernels[0].launch(), &cfg.topology);
+        let stats = run_workload(&cfg, &w, &Lasp::ladm());
+        Tab4Row {
+            name,
+            kind,
+            scheduler: plan.schedule.to_string(),
+            tb_dim: w.tb_dim(),
+            input_mib: w.input_bytes() as f64 / (1024.0 * 1024.0),
+            launched_tbs: w.launched_tbs(),
+            l2_mpki: stats.l2_mpki(),
+        }
+    })
+}
+
+/// Formats Table IV.
+pub fn fmt_table4(rows: &[Tab4Row]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Table IV: workloads (scaled inputs), LASP decisions, measured MPKI"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<14} {:<6} {:<28} {:<9} {:>9} {:>9} {:>9}",
+        "workload", "group", "LASP scheduler", "TB dim", "input", "TBs", "L2 MPKI"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            s,
+            "{:<14} {:<6} {:<28} {:<9} {:>7.1}MB {:>9} {:>9.1}",
+            r.name,
+            r.kind.to_string(),
+            r.scheduler,
+            format!("({},{})", r.tb_dim.0, r.tb_dim.1),
+            r.input_mib,
+            r.launched_tbs,
+            r.l2_mpki,
+        )
+        .unwrap();
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// §IV-C DGX-1 validation
+// ---------------------------------------------------------------------
+
+/// DGX-1 hand-applied LASP result (§IV-C).
+#[derive(Debug, Clone)]
+pub struct Dgx1 {
+    /// Per-workload `(name, lasp, coda, kernel_wide)` cycles.
+    pub rows: Vec<(&'static str, f64, f64, f64)>,
+}
+
+impl Dgx1 {
+    /// Geomean speedup of LASP over CODA (paper: 1.9×).
+    pub fn speedup_vs_coda(&self) -> f64 {
+        geomean(
+            &self
+                .rows
+                .iter()
+                .map(|&(_, l, c, _)| c / l)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Geomean speedup of LASP over kernel-wide (paper: 1.4×).
+    pub fn speedup_vs_kernel_wide(&self) -> f64 {
+        geomean(
+            &self
+                .rows
+                .iter()
+                .map(|&(_, l, _, k)| k / l)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Runs the DGX-1 validation: the DL GEMMs on a 4-GPU NVLink box.
+pub fn dgx1(scale: Scale, threads: usize) -> Dgx1 {
+    let cfg = SimConfig::dgx1();
+    let names: Vec<&'static str> = dl_gemms(scale).iter().map(|w| w.name).collect();
+    let rows = parallel_map(names.len(), threads, |i| {
+        let lasp = run_named(&cfg, names[i], scale, &Lasp::ladm()).cycles;
+        let coda = run_named(&cfg, names[i], scale, &Coda::flat()).cycles;
+        let kw = run_named(&cfg, names[i], scale, &KernelWide::new()).cycles;
+        (names[i], lasp, coda, kw)
+    });
+    Dgx1 { rows }
+}
+
+impl fmt::Display for Dgx1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DGX-1 validation (§IV-C): DL GEMMs on 4 GPUs, NVLink-class links"
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>12} {:>12} {:>12} {:>10} {:>10}",
+            "workload", "LASP cyc", "CODA cyc", "KW cyc", "vs CODA", "vs KW"
+        )?;
+        for &(name, l, c, k) in &self.rows {
+            writeln!(
+                f,
+                "{name:<14} {l:>12.0} {c:>12.0} {k:>12.0} {:>9.2}x {:>9.2}x",
+                c / l,
+                k / l
+            )?;
+        }
+        writeln!(
+            f,
+            "GEOMEAN speedup: {:.2}x vs CODA (paper 1.9x), {:.2}x vs kernel-wide (paper 1.4x)",
+            self.speedup_vs_coda(),
+            self.speedup_vs_kernel_wide()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_structure_and_ordering() {
+        let f = fig9_10(Scale::Test, default_threads());
+        assert_eq!(f.rows.len(), 27);
+        assert_eq!(f.policies.len(), 5);
+        for row in &f.rows {
+            assert_eq!(row.cycles.len(), 5, "{}", row.name);
+            assert_eq!(row.offchip.len(), 4, "{}", row.name);
+            assert!(row.cycles.iter().all(|&c| c > 0.0), "{}", row.name);
+        }
+        // H-CODA normalizes to itself.
+        for row in &f.rows {
+            assert!((f.speedup_vs_hcoda(row, 0) - 1.0).abs() < 1e-12);
+        }
+        // LADM must beat H-CODA overall and reduce inter-GPU traffic.
+        let s = f.summary();
+        assert!(s.ladm_vs_hcoda > 1.1, "speedup {}", s.ladm_vs_hcoda);
+        assert!(
+            s.inter_gpu_traffic_reduction > 1.5,
+            "traffic {}",
+            s.inter_gpu_traffic_reduction
+        );
+        assert!(s.monolithic_capture > 0.2 && s.monolithic_capture <= 1.0);
+        // The rendered figure carries every workload.
+        let text = f.to_string();
+        for row in &f.rows {
+            assert!(text.contains(row.name), "missing {}", row.name);
+        }
+        assert!(Fig10(&f).to_string().contains("off-node"));
+    }
+
+    #[test]
+    fn fig11_shapes() {
+        let cases = fig11(Scale::Test, default_threads());
+        assert_eq!(cases.len(), 4);
+        for c in &cases {
+            let total: f64 = c.traffic_share.iter().sum();
+            assert!((total - 1.0).abs() < 1e-6 || total == 0.0, "{total}");
+        }
+        let s = fmt_fig11(&cases);
+        assert!(s.contains("Random-loc"));
+        assert!(s.contains("SQ-GEMM"));
+    }
+
+    #[test]
+    fn dgx1_lasp_beats_baselines() {
+        let d = dgx1(Scale::Test, default_threads());
+        assert!(d.speedup_vs_coda() > 1.0, "vs CODA {}", d.speedup_vs_coda());
+        assert!(
+            d.speedup_vs_kernel_wide() > 0.9,
+            "vs KW {}",
+            d.speedup_vs_kernel_wide()
+        );
+        assert!(!d.to_string().is_empty());
+    }
+
+    #[test]
+    fn table1_ladm_captures_all_patterns() {
+        let (policies, rows) = table1(Scale::Test, default_threads());
+        let ladm = policies.iter().position(|&p| p == "LADM").unwrap();
+        for row in &rows {
+            assert!(
+                row.offchip[ladm] < TAB1_CAPTURE_THRESHOLD,
+                "LADM missed pattern {}: {:.1}%",
+                row.pattern,
+                row.offchip[ladm] * 100.0
+            );
+        }
+        assert!(!fmt_table1(&policies, &rows).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Run plumbing: executing a workload under a policy on a machine, simple
+//! parallel fan-out, and aggregation helpers.
+
+use ladm_core::policies::Policy;
+use ladm_sim::{GpuSystem, KernelStats, SimConfig};
+use ladm_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs every kernel of `workload` back to back on a fresh machine built
+/// from `cfg`, under `policy`. Returns the accumulated statistics.
+pub fn run_workload(cfg: &SimConfig, workload: &Workload, policy: &dyn Policy) -> KernelStats {
+    let mut sys = GpuSystem::new(cfg.clone());
+    let mut total = KernelStats::default();
+    for kernel in &workload.kernels {
+        let stats = sys.run(&**kernel, policy);
+        total.accumulate(&stats);
+    }
+    total
+}
+
+/// Maps `f` over `0..n` on `threads` OS threads, preserving order.
+/// `f` must be cheap to call concurrently (each job builds its own
+/// workload and machine).
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    let results: std::sync::Mutex<Vec<Option<T>>> =
+        std::sync::Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                results.lock().expect("results lock is never poisoned")[i] = Some(value);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|r| r.expect("every job index was executed"))
+        .collect()
+}
+
+/// Geometric mean of strictly positive values; 0.0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladm_core::policies::Lasp;
+    use ladm_workloads::{by_name, Scale};
+
+    #[test]
+    fn run_workload_accumulates_kernels() {
+        let w = by_name("VecAdd", Scale::Test).expect("vecadd exists");
+        let cfg = SimConfig::paper_multi_gpu();
+        let stats = run_workload(&cfg, &w, &Lasp::ladm());
+        assert!(stats.cycles > 0.0);
+        assert_eq!(stats.threadblocks, w.launched_tbs());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, 8, |i| i * i);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[7], 49);
+        assert_eq!(out[99], 9801);
+    }
+
+    #[test]
+    fn parallel_map_handles_zero_jobs() {
+        let out: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+}

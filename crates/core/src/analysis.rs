@@ -1,0 +1,586 @@
+//! Threadblock-centric locality classification (paper §III-B/§III-C).
+//!
+//! Implements Algorithm 1: each global-array index polynomial is split into
+//! a *loop-variant* and a *loop-invariant* group with respect to the
+//! kernel's outermost induction variable, and matched against the seven
+//! locality rows of Table II:
+//!
+//! | Row | Locality type | Index equation |
+//! |-----|---------------|----------------|
+//! | 1 | No datablock-locality | `loopInvariant(bx, by, …) + stride × m` |
+//! | 2 | Row-locality, horizontally shared | `loopInvariant(by, …) + loopVariant(m, …)` |
+//! | 3 | Column-locality, horizontally shared | `loopInvariant(bx, …) + loopVariant(m, …)` |
+//! | 4 | Row-locality, vertically shared | `loopInvariant(by, …) + loopVariant(m, gDimx, …)` |
+//! | 5 | Column-locality, vertically shared | `loopInvariant(bx, …) + loopVariant(m, gDimx, …)` |
+//! | 6 | Intra-thread locality | `loopVariant(m) = m` |
+//! | 7 | Unclassified | none of the above |
+//!
+//! The classification result is symbolic (strides are [`Poly`]s); the
+//! launch-time quantities LASP needs — stride in bytes, datablock span,
+//! row pitch — are derived by the `*_elems`/`*_bytes` helpers once grid and
+//! block dimensions are known.
+
+use crate::expr::{Env, Poly, Var};
+use std::fmt;
+
+/// Which threadblocks of the grid share the same datablocks (Fig. 7b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sharing {
+    /// All threadblocks with the same `blockIdx.y` (a grid *row*) share:
+    /// the loop-invariant group depends on `by` only.
+    GridRow,
+    /// All threadblocks with the same `blockIdx.x` (a grid *column*) share:
+    /// the loop-invariant group depends on `bx` only.
+    GridCol,
+}
+
+/// Direction a threadblock moves through the data structure on each
+/// iteration of the outermost loop (*threadblock motion*, Fig. 7a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Motion {
+    /// The loop-variant group does not mention `gridDim.x`: the block walks
+    /// along a row of the structure.
+    Horizontal,
+    /// The loop-variant group mentions `gridDim.x`: whole rows are skipped
+    /// per iteration, the block walks down a column.
+    Vertical,
+}
+
+/// Locality classification of one global-array access (Table II).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Row 6: the loop-variant group is exactly `m`; the thread walks
+    /// consecutive elements (intra-thread spatial locality).
+    IntraThread,
+    /// Row 1: every block accesses exclusive datablocks, moving by
+    /// `stride` elements per loop iteration (zero for loop-free kernels).
+    NoLocality {
+        /// Elements advanced per iteration of the outermost loop
+        /// (symbolic; evaluate with [`stride_elems`]).
+        stride: Poly,
+    },
+    /// Rows 2–5: a grid row or column shares datablocks while moving
+    /// horizontally or vertically.
+    Shared {
+        /// Which blocks share.
+        sharing: Sharing,
+        /// Which way they move.
+        motion: Motion,
+        /// Elements advanced per loop iteration (may be zero for loop-free
+        /// sharing patterns).
+        stride: Poly,
+    },
+    /// Row 7: no pattern matched; the runtime falls back to kernel-wide
+    /// placement and scheduling.
+    Unclassified,
+}
+
+impl AccessClass {
+    /// The Table II row number for this classification (1–7).
+    pub fn table_row(&self) -> u8 {
+        match self {
+            AccessClass::NoLocality { .. } => 1,
+            AccessClass::Shared {
+                sharing: Sharing::GridRow,
+                motion: Motion::Horizontal,
+                ..
+            } => 2,
+            AccessClass::Shared {
+                sharing: Sharing::GridCol,
+                motion: Motion::Horizontal,
+                ..
+            } => 3,
+            AccessClass::Shared {
+                sharing: Sharing::GridRow,
+                motion: Motion::Vertical,
+                ..
+            } => 4,
+            AccessClass::Shared {
+                sharing: Sharing::GridCol,
+                motion: Motion::Vertical,
+                ..
+            } => 5,
+            AccessClass::IntraThread => 6,
+            AccessClass::Unclassified => 7,
+        }
+    }
+
+    /// Returns `true` for rows 2–5 (row/column locality — "RCL").
+    pub fn is_shared(&self) -> bool {
+        matches!(self, AccessClass::Shared { .. })
+    }
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessClass::IntraThread => write!(f, "ITL"),
+            AccessClass::NoLocality { stride } => write!(f, "NL(stride={stride})"),
+            AccessClass::Shared {
+                sharing, motion, ..
+            } => {
+                let s = match sharing {
+                    Sharing::GridRow => "row",
+                    Sharing::GridCol => "col",
+                };
+                let m = match motion {
+                    Motion::Horizontal => "h",
+                    Motion::Vertical => "v",
+                };
+                write!(f, "RCL({s},{m})")
+            }
+            AccessClass::Unclassified => write!(f, "unclassified"),
+        }
+    }
+}
+
+/// Grid dimensionality, part of the kernel signature known statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GridShape {
+    /// `gridDim.y == 1`; only `bx` indexes blocks.
+    OneD,
+    /// Full 2D grid.
+    TwoD,
+}
+
+/// Classifies one index polynomial using Algorithm 1.
+///
+/// `loop_id` selects the outermost induction variable (the paper's `m`,
+/// `Ind(0)` by convention).
+///
+/// # Examples
+///
+/// The `C` access of matrix multiply has no loop-variant part and depends
+/// on both `bx` and `by`: no locality.
+///
+/// ```
+/// use ladm_core::expr::{Expr, Var};
+/// use ladm_core::analysis::{classify, AccessClass, GridShape};
+///
+/// let w = Expr::var(Var::Bdx) * Expr::var(Var::Gdx);
+/// let c = (Expr::var(Var::By) * 16 + Expr::var(Var::Ty)) * w
+///     + Expr::var(Var::Bx) * 16 + Expr::var(Var::Tx);
+/// let class = classify(&c.to_poly(), GridShape::TwoD, 0);
+/// assert!(matches!(class, AccessClass::NoLocality { .. }));
+/// ```
+pub fn classify(index: &Poly, grid: GridShape, loop_id: u8) -> AccessClass {
+    let m = Var::Ind(loop_id);
+    let (variant, invariant) = index.split_by_induction(loop_id);
+
+    // Row 6: loopVariant(m, ...) == m  — intra-thread locality.
+    if variant == Poly::var(m) {
+        return AccessClass::IntraThread;
+    }
+
+    let inv_bx = invariant.contains(Var::Bx);
+    let inv_by = invariant.contains(Var::By);
+
+    // Row 1: invariant depends on bx (1D) or both bx and by (2D).
+    let no_locality = match grid {
+        GridShape::OneD => inv_bx,
+        GridShape::TwoD => inv_bx && inv_by,
+    };
+    if no_locality {
+        return match stride_of(&variant, m) {
+            Some(stride) => AccessClass::NoLocality { stride },
+            None => AccessClass::Unclassified,
+        };
+    }
+
+    // Rows 2–5 require a 2D grid and a sharing direction.
+    if grid == GridShape::TwoD {
+        let sharing = if inv_by && !inv_bx {
+            Some(Sharing::GridRow)
+        } else if inv_bx && !inv_by {
+            Some(Sharing::GridCol)
+        } else {
+            None
+        };
+        if let Some(sharing) = sharing {
+            if variant.is_zero() {
+                // Loop-free sharing: pick the motion whose placement keeps
+                // the shared data local (rows for by-sharing, column
+                // stripes for bx-sharing).
+                let motion = match sharing {
+                    Sharing::GridRow => Motion::Horizontal,
+                    Sharing::GridCol => Motion::Vertical,
+                };
+                return AccessClass::Shared {
+                    sharing,
+                    motion,
+                    stride: Poly::zero(),
+                };
+            }
+            if let Some(stride) = stride_of(&variant, m) {
+                // A loop-variant term scaling with a grid dimension means
+                // whole rows of the structure are skipped per iteration
+                // (Table II tests gDim.x; gDim.y appears symmetrically in
+                // transposed layouts).
+                let motion = if variant.contains(Var::Gdx) || variant.contains(Var::Gdy) {
+                    Motion::Vertical
+                } else {
+                    Motion::Horizontal
+                };
+                return AccessClass::Shared {
+                    sharing,
+                    motion,
+                    stride,
+                };
+            }
+        }
+    }
+
+    AccessClass::Unclassified
+}
+
+/// `stride = loopVariant(m, ...) / m`; `None` when the variant group is not
+/// linear in `m` (access unclassifiable). A zero variant yields stride 0.
+fn stride_of(variant: &Poly, m: Var) -> Option<Poly> {
+    if variant.is_zero() {
+        return Some(Poly::zero());
+    }
+    variant.div_exact(m)
+}
+
+/// Launch-time stride in elements for a classified access; `None` when the
+/// class has no stride or it cannot be evaluated.
+pub fn stride_elems(class: &AccessClass, env: &Env) -> Option<i64> {
+    match class {
+        AccessClass::NoLocality { stride } | AccessClass::Shared { stride, .. } => {
+            stride.try_eval(env)
+        }
+        _ => None,
+    }
+}
+
+/// Contiguous element span touched by one threadblock on one loop iteration
+/// (the *datablock* size, §III-B), assuming the index is linear in `tx`/`ty`.
+///
+/// Computed as `Σ |coeff(threadvar)| · (dim − 1) + 1` over the thread
+/// variables, where `coeff` is the symbolic coefficient evaluated under
+/// `env`. Falls back to 1 element when the access is thread-uniform.
+pub fn datablock_span_elems(index: &Poly, env: &Env) -> u64 {
+    let mut span: i64 = 1;
+    for (tv, dim_var) in [(Var::Tx, Var::Bdx), (Var::Ty, Var::Bdy)] {
+        let coeff = coeff_poly(index, tv);
+        if coeff.is_zero() {
+            continue;
+        }
+        let Some(c) = coeff.try_eval(env) else {
+            continue;
+        };
+        let dim = env.try_get(dim_var).unwrap_or(1);
+        span += c.abs() * (dim - 1).max(0);
+    }
+    span.max(1) as u64
+}
+
+/// The symbolic coefficient of the linear occurrence of `v`: collects all
+/// terms containing `v` exactly once and divides out `v`. Terms containing
+/// `v` more than once are ignored (non-linear accesses are unclassified
+/// anyway).
+pub fn coeff_poly(index: &Poly, v: Var) -> Poly {
+    let mut out = Poly::zero();
+    for (vars, coeff) in index.iter() {
+        let count = vars.iter().filter(|&&x| x == v).count();
+        if count == 1 {
+            let mut reduced = vars.clone();
+            let pos = reduced
+                .iter()
+                .position(|&x| x == v)
+                .expect("counted one occurrence");
+            reduced.remove(pos);
+            let mut single = Poly::zero();
+            single = single + mono(reduced, coeff);
+            out = out + single;
+        }
+    }
+    out
+}
+
+fn mono(vars: Vec<Var>, coeff: i64) -> Poly {
+    let mut p = Poly::constant(coeff);
+    for v in vars {
+        p = p * Poly::var(v);
+    }
+    p
+}
+
+/// Infers the data structure's row pitch in elements from the access
+/// polynomial: the coefficient of `ty` when present, else of `by` divided
+/// by `blockDim.y`, else `blockDim.x · gridDim.x`. Used by column-based
+/// placement (Eq. 1 with "stride size = the data structure's row width").
+pub fn row_pitch_elems(index: &Poly, env: &Env) -> u64 {
+    let c_ty = coeff_poly(index, Var::Ty);
+    if let Some(v) = c_ty.try_eval(env) {
+        if v > 1 {
+            return v as u64;
+        }
+    }
+    let c_by = coeff_poly(index, Var::By);
+    if let (Some(v), Some(bdy)) = (c_by.try_eval(env), env.try_get(Var::Bdy)) {
+        if bdy > 0 && v > 1 {
+            let per_row = v / bdy;
+            if per_row > 1 {
+                return per_row as u64;
+            }
+        }
+    }
+    let bdx = env.try_get(Var::Bdx).unwrap_or(1);
+    let gdx = env.try_get(Var::Gdx).unwrap_or(1);
+    (bdx * gdx).max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    const TILE: i64 = 16;
+
+    fn v(x: Var) -> Expr {
+        Expr::var(x)
+    }
+
+    fn width() -> Expr {
+        v(Var::Bdx) * v(Var::Gdx)
+    }
+
+    /// `A[(by*TILE + ty) * WIDTH + m*TILE + tx]` — Fig. 6 matrix A.
+    fn mm_a() -> Poly {
+        ((v(Var::By) * TILE + v(Var::Ty)) * width() + v(Var::Ind(0)) * TILE + v(Var::Tx))
+            .to_poly()
+    }
+
+    /// `B[m*TILE*WIDTH + ty*WIDTH + bx*TILE + tx]` — Fig. 6 matrix B.
+    fn mm_b() -> Poly {
+        (v(Var::Ind(0)) * TILE * width()
+            + v(Var::Ty) * width()
+            + v(Var::Bx) * TILE
+            + v(Var::Tx))
+        .to_poly()
+    }
+
+    /// `C[(by*TILE + ty) * WIDTH + bx*TILE + tx]` — Fig. 6 matrix C.
+    fn mm_c() -> Poly {
+        ((v(Var::By) * TILE + v(Var::Ty)) * width() + v(Var::Bx) * TILE + v(Var::Tx)).to_poly()
+    }
+
+    fn launch_env() -> Env {
+        Env::new().with_dims(16, 16, 8, 8)
+    }
+
+    #[test]
+    fn matrix_a_is_row_locality_horizontally_shared() {
+        let class = classify(&mm_a(), GridShape::TwoD, 0);
+        assert_eq!(
+            class,
+            AccessClass::Shared {
+                sharing: Sharing::GridRow,
+                motion: Motion::Horizontal,
+                stride: Poly::constant(TILE),
+            }
+        );
+        assert_eq!(class.table_row(), 2);
+    }
+
+    #[test]
+    fn matrix_b_is_column_locality_vertically_shared() {
+        let class = classify(&mm_b(), GridShape::TwoD, 0);
+        match &class {
+            AccessClass::Shared {
+                sharing: Sharing::GridCol,
+                motion: Motion::Vertical,
+                stride,
+            } => {
+                // stride = TILE * WIDTH = 16 * 128 = 2048 elements
+                assert_eq!(stride.try_eval(&launch_env()), Some(TILE * 128));
+            }
+            other => panic!("expected row-5 classification, got {other:?}"),
+        }
+        assert_eq!(class.table_row(), 5);
+    }
+
+    #[test]
+    fn matrix_c_is_no_locality() {
+        let class = classify(&mm_c(), GridShape::TwoD, 0);
+        assert_eq!(
+            class,
+            AccessClass::NoLocality {
+                stride: Poly::zero()
+            }
+        );
+        assert_eq!(class.table_row(), 1);
+    }
+
+    #[test]
+    fn vecadd_is_no_locality_1d() {
+        // A[bx*bDim.x + tx]
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx)).to_poly();
+        let class = classify(&idx, GridShape::OneD, 0);
+        assert_eq!(class.table_row(), 1);
+    }
+
+    #[test]
+    fn grid_stride_loop_is_no_locality_with_stride() {
+        // A[bx*bDim.x + tx + m*bDim.x*gDim.x]  (ScalarProd / BLK pattern)
+        let idx =
+            (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * width()).to_poly();
+        let class = classify(&idx, GridShape::OneD, 0);
+        match &class {
+            AccessClass::NoLocality { stride } => {
+                assert_eq!(stride.try_eval(&launch_env()), Some(128));
+            }
+            other => panic!("expected NL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csr_walk_is_intra_thread() {
+        // A[row_start(data) + m]
+        let idx = (v(Var::Data) + v(Var::Ind(0))).to_poly();
+        assert_eq!(classify(&idx, GridShape::OneD, 0), AccessClass::IntraThread);
+    }
+
+    #[test]
+    fn pure_induction_is_intra_thread() {
+        let idx = v(Var::Ind(0)).to_poly();
+        assert_eq!(classify(&idx, GridShape::OneD, 0), AccessClass::IntraThread);
+    }
+
+    #[test]
+    fn strided_thread_walk_is_not_itl() {
+        // A[tid*K + m*2]: variant = 2m, not exactly m.
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * 2).to_poly();
+        let class = classify(&idx, GridShape::OneD, 0);
+        assert_eq!(class.table_row(), 1);
+    }
+
+    #[test]
+    fn data_dependent_gather_is_unclassified() {
+        // X[Y[tid]] — pure opaque index.
+        let idx = v(Var::Data).to_poly();
+        assert_eq!(
+            classify(&idx, GridShape::OneD, 0),
+            AccessClass::Unclassified
+        );
+    }
+
+    #[test]
+    fn nonlinear_induction_is_unclassified() {
+        // A[bx*bDim.x + tx + m*m]
+        let idx = (v(Var::Bx) * v(Var::Bdx)
+            + v(Var::Tx)
+            + v(Var::Ind(0)) * v(Var::Ind(0)))
+        .to_poly();
+        assert_eq!(
+            classify(&idx, GridShape::OneD, 0),
+            AccessClass::Unclassified
+        );
+    }
+
+    #[test]
+    fn row4_row_locality_vertically_shared() {
+        // inv(by) + m*WIDTH: grid row shares, vertical motion.
+        let idx = (v(Var::By) * v(Var::Bdy) + v(Var::Ty) + v(Var::Ind(0)) * width()).to_poly();
+        let class = classify(&idx, GridShape::TwoD, 0);
+        assert_eq!(class.table_row(), 4);
+    }
+
+    #[test]
+    fn row3_column_locality_horizontally_shared() {
+        // inv(bx) + m (no gDim.x): grid column shares, horizontal motion.
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * TILE).to_poly();
+        let class = classify(&idx, GridShape::TwoD, 0);
+        assert_eq!(class.table_row(), 3);
+    }
+
+    #[test]
+    fn loop_free_by_sharing_maps_to_row2() {
+        // CONV-like: row of blocks reads the same row band, no loop.
+        let idx = (v(Var::By) * width() + v(Var::Tx)).to_poly();
+        let class = classify(&idx, GridShape::TwoD, 0);
+        assert_eq!(class.table_row(), 2);
+    }
+
+    #[test]
+    fn loop_free_bx_sharing_maps_to_row5() {
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Ty) * width()).to_poly();
+        let class = classify(&idx, GridShape::TwoD, 0);
+        assert_eq!(class.table_row(), 5);
+    }
+
+    #[test]
+    fn thread_uniform_2d_access_is_unclassified() {
+        // index = m*2: everyone reads the same walk; no sharing direction.
+        let idx = (v(Var::Ind(0)) * 2).to_poly();
+        assert_eq!(
+            classify(&idx, GridShape::TwoD, 0),
+            AccessClass::Unclassified
+        );
+    }
+
+    #[test]
+    fn datablock_span_matches_bdx_for_contiguous_1d() {
+        // A[bx*bDim.x + tx]: span = bdx elements.
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx)).to_poly();
+        let env = Env::new().with_dims(128, 1, 64, 1);
+        assert_eq!(datablock_span_elems(&idx, &env), 128);
+    }
+
+    #[test]
+    fn datablock_span_square_tile() {
+        // Matrix A datablock: 16x16 tile across a 128-wide row.
+        let env = launch_env();
+        // span = coeff(ty)*(bdy-1) + coeff(tx)*(bdx-1) + 1 = 128*15 + 15 + 1
+        assert_eq!(datablock_span_elems(&mm_a(), &env), 128 * 15 + 15 + 1);
+    }
+
+    #[test]
+    fn datablock_span_thread_uniform_is_one() {
+        let idx = (v(Var::Bx) * 4).to_poly();
+        let env = Env::new().with_dims(128, 1, 64, 1);
+        assert_eq!(datablock_span_elems(&idx, &env), 1);
+    }
+
+    #[test]
+    fn coeff_poly_extracts_symbolic_coefficient() {
+        let c = coeff_poly(&mm_a(), Var::Ty);
+        // coeff(ty) = WIDTH = bdx*gdx
+        assert_eq!(c, (v(Var::Bdx) * v(Var::Gdx)).to_poly());
+    }
+
+    #[test]
+    fn row_pitch_from_ty_coefficient() {
+        let env = launch_env();
+        assert_eq!(row_pitch_elems(&mm_b(), &env), 128);
+    }
+
+    #[test]
+    fn row_pitch_falls_back_to_grid_width() {
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx)).to_poly();
+        let env = Env::new().with_dims(32, 1, 4, 1);
+        assert_eq!(row_pitch_elems(&idx, &env), 128);
+    }
+
+    #[test]
+    fn stride_elems_for_nl() {
+        let idx =
+            (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * width()).to_poly();
+        let class = classify(&idx, GridShape::OneD, 0);
+        assert_eq!(stride_elems(&class, &launch_env()), Some(128));
+    }
+
+    #[test]
+    fn stride_elems_none_for_itl() {
+        assert_eq!(stride_elems(&AccessClass::IntraThread, &launch_env()), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AccessClass::IntraThread.to_string(), "ITL");
+        assert_eq!(AccessClass::Unclassified.to_string(), "unclassified");
+        let c = classify(&mm_a(), GridShape::TwoD, 0);
+        assert_eq!(c.to_string(), "RCL(row,h)");
+    }
+}

@@ -1,0 +1,768 @@
+//! Symbolic index-expression algebra over CUDA "prime variables".
+//!
+//! The LADM compiler pass (paper §III-C) expands every global-array index
+//! into *prime variables* — thread IDs, block IDs, block/grid dimensions,
+//! loop induction variables and constants — using backward substitution, and
+//! then reasons about the resulting polynomial. This module provides:
+//!
+//! * [`Var`] — the prime-variable alphabet,
+//! * [`Expr`] — a small source-level AST with operator overloading, used by
+//!   workload authors to transcribe CUDA index expressions verbatim,
+//! * [`Poly`] — the canonical multivariate-polynomial form every analysis
+//!   in [`crate::analysis`] operates on,
+//! * [`Env`] — a launch-time evaluation environment binding prime variables
+//!   to concrete values.
+//!
+//! # Examples
+//!
+//! Transcribing the `A[Row * WIDTH + m*TILE_WIDTH + tx]` access of the
+//! paper's matrix-multiply example (Fig. 6), after backward substitution of
+//! `Row = by*TILE_WIDTH + ty` and `WIDTH = blockDim.x * gridDim.x`:
+//!
+//! ```
+//! use ladm_core::expr::{Expr, Var};
+//!
+//! let tile = Expr::from(16);
+//! let row = Expr::var(Var::By) * tile.clone() + Expr::var(Var::Ty);
+//! let width = Expr::var(Var::Bdx) * Expr::var(Var::Gdx);
+//! let a_index = row * width + Expr::var(Var::Ind(0)) * tile + Expr::var(Var::Tx);
+//! let poly = a_index.to_poly();
+//! assert!(poly.contains(Var::By));
+//! assert!(poly.contains(Var::Ind(0)));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A *prime variable* of the CUDA programming model (paper §III-C).
+///
+/// Index expressions are canonicalized until they contain only these
+/// variables plus integer constants. `Param` names a kernel argument whose
+/// value is only known at launch time (for example a data-dependent extent
+/// the compiler could not substitute away); expressions still containing a
+/// `Param` after substitution fall into the *unclassified* bucket unless the
+/// parameter is bound via [`Poly::subst`] or [`Env::with_param`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Var {
+    /// `threadIdx.x`
+    Tx,
+    /// `threadIdx.y`
+    Ty,
+    /// `blockIdx.x`
+    Bx,
+    /// `blockIdx.y`
+    By,
+    /// `blockDim.x`
+    Bdx,
+    /// `blockDim.y`
+    Bdy,
+    /// `gridDim.x`
+    Gdx,
+    /// `gridDim.y`
+    Gdy,
+    /// Loop induction variable; `Ind(0)` is the kernel's outermost loop
+    /// counter (the paper's `m`).
+    Ind(u8),
+    /// A named runtime-constant kernel parameter.
+    Param(&'static str),
+    /// A data-dependent, loop-invariant opaque value (for example
+    /// `row_ptr[tid]` in a CSR traversal). Accesses whose index contains
+    /// `Data` can still be classified as intra-thread locality when the
+    /// loop-variant part is exactly the induction variable, mirroring the
+    /// paper's treatment of `X[Y[tid]]`-style indices.
+    Data,
+}
+
+impl Var {
+    /// Returns `true` for the thread-index variables `Tx`/`Ty`.
+    pub fn is_thread(self) -> bool {
+        matches!(self, Var::Tx | Var::Ty)
+    }
+
+    /// Returns `true` for the block-index variables `Bx`/`By`.
+    pub fn is_block(self) -> bool {
+        matches!(self, Var::Bx | Var::By)
+    }
+
+    /// Returns `true` for induction variables.
+    pub fn is_induction(self) -> bool {
+        matches!(self, Var::Ind(_))
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Var::Tx => write!(f, "tx"),
+            Var::Ty => write!(f, "ty"),
+            Var::Bx => write!(f, "bx"),
+            Var::By => write!(f, "by"),
+            Var::Bdx => write!(f, "bDim.x"),
+            Var::Bdy => write!(f, "bDim.y"),
+            Var::Gdx => write!(f, "gDim.x"),
+            Var::Gdy => write!(f, "gDim.y"),
+            Var::Ind(0) => write!(f, "m"),
+            Var::Ind(i) => write!(f, "m{i}"),
+            Var::Param(p) => write!(f, "{p}"),
+            Var::Data => write!(f, "<data>"),
+        }
+    }
+}
+
+/// Source-level index expression AST.
+///
+/// Built with ordinary arithmetic operators and converted to the canonical
+/// [`Poly`] form with [`Expr::to_poly`]. Cloning is cheap relative to
+/// analysis cost; expressions are written once per workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer constant.
+    Const(i64),
+    /// A prime variable.
+    Var(Var),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two expressions.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Wraps a prime variable.
+    pub fn var(v: Var) -> Self {
+        Expr::Var(v)
+    }
+
+    /// Shorthand for a named runtime parameter.
+    pub fn param(name: &'static str) -> Self {
+        Expr::Var(Var::Param(name))
+    }
+
+    /// Lowers the AST to canonical polynomial form, distributing products
+    /// over sums and merging like terms.
+    pub fn to_poly(&self) -> Poly {
+        match self {
+            Expr::Const(c) => Poly::constant(*c),
+            Expr::Var(v) => Poly::var(*v),
+            Expr::Add(a, b) => a.to_poly() + b.to_poly(),
+            Expr::Sub(a, b) => a.to_poly() - b.to_poly(),
+            Expr::Mul(a, b) => a.to_poly() * b.to_poly(),
+        }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(c: i64) -> Self {
+        Expr::Const(c)
+    }
+}
+
+impl From<Var> for Expr {
+    fn from(v: Var) -> Self {
+        Expr::Var(v)
+    }
+}
+
+macro_rules! impl_expr_binop {
+    ($trait:ident, $method:ident, $ctor:ident) => {
+        impl $trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$ctor(Box::new(self), Box::new(rhs))
+            }
+        }
+        impl $trait<i64> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: i64) -> Expr {
+                Expr::$ctor(Box::new(self), Box::new(Expr::Const(rhs)))
+            }
+        }
+        impl $trait<Expr> for i64 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$ctor(Box::new(Expr::Const(self)), Box::new(rhs))
+            }
+        }
+        impl $trait<Var> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Var) -> Expr {
+                Expr::$ctor(Box::new(self), Box::new(Expr::Var(rhs)))
+            }
+        }
+    };
+}
+
+impl_expr_binop!(Add, add, Add);
+impl_expr_binop!(Sub, sub, Sub);
+impl_expr_binop!(Mul, mul, Mul);
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Sub(Box::new(Expr::Const(0)), Box::new(self))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "{a}*{b}"),
+        }
+    }
+}
+
+/// A monomial's variable multiset, sorted, with multiplicity.
+pub type VarPowers = Vec<Var>;
+
+/// Canonical multivariate polynomial: a sum of `coeff * v0*v1*...` terms
+/// keyed by the sorted variable multiset.
+///
+/// The zero polynomial has no terms. All analysis passes
+/// ([`crate::analysis`]) consume this form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    terms: BTreeMap<VarPowers, i64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i64) -> Self {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Vec::new(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(vec![v], 1);
+        Poly { terms }
+    }
+
+    /// Returns `true` when this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the constant value if the polynomial has no variables.
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            Some(0)
+        } else if self.terms.len() == 1 {
+            self.terms.get(&Vec::new()).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(variables, coefficient)` terms in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VarPowers, i64)> {
+        self.terms.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the polynomial has no terms (is zero).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Does any term mention `v`?
+    pub fn contains(&self, v: Var) -> bool {
+        self.terms.keys().any(|vars| vars.contains(&v))
+    }
+
+    /// Does any term mention a variable matching `pred`?
+    pub fn contains_where(&self, mut pred: impl FnMut(Var) -> bool) -> bool {
+        self.terms.keys().any(|vars| vars.iter().any(|&v| pred(v)))
+    }
+
+    /// All distinct variables appearing in the polynomial, sorted.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = Vec::new();
+        for vars in self.terms.keys() {
+            for &v in vars {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Coefficient of the *linear* term in `v` (the term whose variable
+    /// multiset is exactly `[v]`). Returns 0 if absent.
+    pub fn linear_coeff(&self, v: Var) -> i64 {
+        self.terms.get(&vec![v]).copied().unwrap_or(0)
+    }
+
+    /// Splits the polynomial into `(variant, invariant)` groups with respect
+    /// to induction variable `Ind(loop_id)` — the core decomposition of the
+    /// paper's Algorithm 1. Terms mentioning the induction variable go to
+    /// the variant group; everything else to the invariant group.
+    pub fn split_by_induction(&self, loop_id: u8) -> (Poly, Poly) {
+        let m = Var::Ind(loop_id);
+        let mut variant = Poly::zero();
+        let mut invariant = Poly::zero();
+        for (vars, &coeff) in &self.terms {
+            if vars.contains(&m) {
+                variant.terms.insert(vars.clone(), coeff);
+            } else {
+                invariant.terms.insert(vars.clone(), coeff);
+            }
+        }
+        (variant, invariant)
+    }
+
+    /// Divides every term by a single factor of `v`.
+    ///
+    /// Returns `None` if any term does not contain `v` exactly once (the
+    /// access is non-linear in `v` and cannot be expressed as
+    /// `stride * v`).
+    pub fn div_exact(&self, v: Var) -> Option<Poly> {
+        let mut out = Poly::zero();
+        for (vars, &coeff) in &self.terms {
+            let count = vars.iter().filter(|&&x| x == v).count();
+            if count != 1 {
+                return None;
+            }
+            let mut reduced: VarPowers = vars.clone();
+            let pos = reduced.iter().position(|&x| x == v).expect("checked above");
+            reduced.remove(pos);
+            out.add_term(reduced, coeff);
+        }
+        Some(out)
+    }
+
+    /// Substitutes polynomial `value` for variable `v`.
+    pub fn subst(&self, v: Var, value: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (vars, &coeff) in &self.terms {
+            let mut acc = Poly::constant(coeff);
+            for &x in vars {
+                if x == v {
+                    acc = acc * value.clone();
+                } else {
+                    acc = acc * Poly::var(x);
+                }
+            }
+            out = out + acc;
+        }
+        out
+    }
+
+    /// Evaluates the polynomial under an environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is unbound (see [`Env::get`]); workload specs
+    /// bind all parameters before simulation, so an unbound variable is a
+    /// programming error in the spec.
+    pub fn eval(&self, env: &Env) -> i64 {
+        let mut total = 0i64;
+        for (vars, &coeff) in &self.terms {
+            let mut prod = coeff;
+            for &v in vars {
+                prod = prod.wrapping_mul(env.get(v));
+            }
+            total = total.wrapping_add(prod);
+        }
+        total
+    }
+
+    /// Evaluates if every variable is bound in `env`, otherwise `None`.
+    pub fn try_eval(&self, env: &Env) -> Option<i64> {
+        for vars in self.terms.keys() {
+            for &v in vars {
+                env.try_get(v)?;
+            }
+        }
+        Some(self.eval(env))
+    }
+
+    fn add_term(&mut self, vars: VarPowers, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        let entry = self.terms.entry(vars).or_insert(0);
+        *entry += coeff;
+        if *entry == 0 {
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, &c)| c == 0)
+                .map(|(k, _)| k.clone());
+            if let Some(key) = key {
+                self.terms.remove(&key);
+            }
+        }
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        let mut out = self;
+        for (vars, coeff) in rhs.terms {
+            out.add_term(vars, coeff);
+        }
+        out
+    }
+}
+
+impl Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        let mut out = self;
+        for (vars, coeff) in rhs.terms {
+            out.add_term(vars, -coeff);
+        }
+        out
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (avars, &ac) in &self.terms {
+            for (bvars, &bc) in &rhs.terms {
+                let mut vars: VarPowers = avars.iter().chain(bvars.iter()).copied().collect();
+                vars.sort();
+                out.add_term(vars, ac * bc);
+            }
+        }
+        out
+    }
+}
+
+impl Mul<i64> for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: i64) -> Poly {
+        let mut out = Poly::zero();
+        for (vars, &coeff) in &self.terms {
+            out.add_term(vars.clone(), coeff * rhs);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (vars, coeff) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if vars.is_empty() {
+                write!(f, "{coeff}")?;
+            } else {
+                if *coeff != 1 {
+                    write!(f, "{coeff}*")?;
+                }
+                let names: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+                write!(f, "{}", names.join("*"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Launch-time evaluation environment for polynomials.
+///
+/// Binds block/grid dimensions (always), the current thread/block indices
+/// and induction-variable values (during simulation), and named runtime
+/// parameters.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    tx: Option<i64>,
+    ty: Option<i64>,
+    bx: Option<i64>,
+    by: Option<i64>,
+    bdx: Option<i64>,
+    bdy: Option<i64>,
+    gdx: Option<i64>,
+    gdy: Option<i64>,
+    ind: Vec<Option<i64>>,
+    params: Vec<(&'static str, i64)>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Binds the launch dimensions (`blockDim`, `gridDim`).
+    pub fn with_dims(mut self, bdx: u32, bdy: u32, gdx: u32, gdy: u32) -> Self {
+        self.bdx = Some(i64::from(bdx));
+        self.bdy = Some(i64::from(bdy));
+        self.gdx = Some(i64::from(gdx));
+        self.gdy = Some(i64::from(gdy));
+        self
+    }
+
+    /// Binds the block index.
+    pub fn with_block(mut self, bx: u32, by: u32) -> Self {
+        self.bx = Some(i64::from(bx));
+        self.by = Some(i64::from(by));
+        self
+    }
+
+    /// Binds the thread index within the block.
+    pub fn with_thread(mut self, tx: u32, ty: u32) -> Self {
+        self.tx = Some(i64::from(tx));
+        self.ty = Some(i64::from(ty));
+        self
+    }
+
+    /// Binds induction variable `Ind(loop_id)`.
+    pub fn with_ind(mut self, loop_id: u8, value: i64) -> Self {
+        let idx = usize::from(loop_id);
+        if self.ind.len() <= idx {
+            self.ind.resize(idx + 1, None);
+        }
+        self.ind[idx] = Some(value);
+        self
+    }
+
+    /// Binds a named runtime parameter.
+    pub fn with_param(mut self, name: &'static str, value: i64) -> Self {
+        if let Some(slot) = self.params.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.params.push((name, value));
+        }
+        self
+    }
+
+    /// In-place variants for hot simulation loops.
+    pub fn set_thread(&mut self, tx: i64, ty: i64) {
+        self.tx = Some(tx);
+        self.ty = Some(ty);
+    }
+
+    /// Sets the block index in place.
+    pub fn set_block(&mut self, bx: i64, by: i64) {
+        self.bx = Some(bx);
+        self.by = Some(by);
+    }
+
+    /// Sets induction variable `Ind(loop_id)` in place.
+    pub fn set_ind(&mut self, loop_id: u8, value: i64) {
+        let idx = usize::from(loop_id);
+        if self.ind.len() <= idx {
+            self.ind.resize(idx + 1, None);
+        }
+        self.ind[idx] = Some(value);
+    }
+
+    /// Looks up a variable, returning `None` if unbound.
+    pub fn try_get(&self, v: Var) -> Option<i64> {
+        match v {
+            Var::Tx => self.tx,
+            Var::Ty => self.ty,
+            Var::Bx => self.bx,
+            Var::By => self.by,
+            Var::Bdx => self.bdx,
+            Var::Bdy => self.bdy,
+            Var::Gdx => self.gdx,
+            Var::Gdy => self.gdy,
+            Var::Ind(i) => self.ind.get(usize::from(i)).copied().flatten(),
+            Var::Param(name) => self
+                .params
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v),
+            // `Data` stands for a value only the running program knows;
+            // evaluation is meaningless, simulation uses concrete indirect
+            // access generators instead.
+            Var::Data => None,
+        }
+    }
+
+    /// Looks up a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is unbound.
+    pub fn get(&self, v: Var) -> i64 {
+        self.try_get(v)
+            .unwrap_or_else(|| panic!("unbound prime variable {v} in evaluation environment"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: Var) -> Expr {
+        Expr::var(x)
+    }
+
+    #[test]
+    fn poly_addition_merges_like_terms() {
+        let p = (v(Var::Tx) + v(Var::Tx)).to_poly();
+        assert_eq!(p.linear_coeff(Var::Tx), 2);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn poly_subtraction_cancels() {
+        let p = (v(Var::Tx) - v(Var::Tx)).to_poly();
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn poly_distributes_product_over_sum() {
+        // (tx + bx) * (ty + 2) = tx*ty + 2tx + bx*ty + 2bx
+        let p = ((v(Var::Tx) + v(Var::Bx)) * (v(Var::Ty) + 2)).to_poly();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.linear_coeff(Var::Tx), 2);
+        assert_eq!(p.linear_coeff(Var::Bx), 2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let p = (Expr::from(3) * 4 + 5).to_poly();
+        assert_eq!(p.as_constant(), Some(17));
+    }
+
+    #[test]
+    fn zero_constant_has_no_terms() {
+        assert!(Poly::constant(0).is_zero());
+        assert_eq!(Poly::zero().as_constant(), Some(0));
+    }
+
+    #[test]
+    fn split_by_induction_partitions_terms() {
+        // bx*bDim.x + tx + m*bDim.x*gDim.x
+        let e = v(Var::Bx) * v(Var::Bdx)
+            + v(Var::Tx)
+            + v(Var::Ind(0)) * v(Var::Bdx) * v(Var::Gdx);
+        let (variant, invariant) = e.to_poly().split_by_induction(0);
+        assert!(variant.contains(Var::Ind(0)));
+        assert!(!invariant.contains(Var::Ind(0)));
+        assert!(invariant.contains(Var::Bx));
+        assert!(invariant.contains(Var::Tx));
+        assert_eq!(variant.len(), 1);
+        assert_eq!(invariant.len(), 2);
+    }
+
+    #[test]
+    fn div_exact_removes_single_factor() {
+        let e = v(Var::Ind(0)) * v(Var::Bdx) * v(Var::Gdx);
+        let stride = e.to_poly().div_exact(Var::Ind(0)).expect("linear in m");
+        let expected = (v(Var::Bdx) * v(Var::Gdx)).to_poly();
+        assert_eq!(stride, expected);
+    }
+
+    #[test]
+    fn div_exact_rejects_nonlinear() {
+        let e = v(Var::Ind(0)) * v(Var::Ind(0));
+        assert!(e.to_poly().div_exact(Var::Ind(0)).is_none());
+    }
+
+    #[test]
+    fn div_exact_rejects_missing_factor() {
+        let e = v(Var::Ind(0)) * v(Var::Bdx) + v(Var::Tx);
+        assert!(e.to_poly().div_exact(Var::Ind(0)).is_none());
+    }
+
+    #[test]
+    fn subst_replaces_parameter() {
+        // width -> bDim.x * gDim.x inside  by*width + tx
+        let e = v(Var::By) * Expr::param("width") + v(Var::Tx);
+        let width = (v(Var::Bdx) * v(Var::Gdx)).to_poly();
+        let p = e.to_poly().subst(Var::Param("width"), &width);
+        assert!(!p.contains(Var::Param("width")));
+        assert!(p.contains(Var::Gdx));
+        // by*bDim.x*gDim.x term present
+        let expected = (v(Var::By) * v(Var::Bdx) * v(Var::Gdx) + v(Var::Tx)).to_poly();
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn eval_matrix_row_index() {
+        // index = (by*16 + ty) * (bDim.x*gDim.x) + m*16 + tx
+        let idx = (v(Var::By) * 16 + v(Var::Ty)) * (v(Var::Bdx) * v(Var::Gdx))
+            + v(Var::Ind(0)) * 16
+            + v(Var::Tx);
+        let p = idx.to_poly();
+        let env = Env::new()
+            .with_dims(16, 16, 8, 8)
+            .with_block(2, 3)
+            .with_thread(5, 7)
+            .with_ind(0, 4);
+        // (3*16+7) * (16*8) + 4*16 + 5 = 55*128 + 69 = 7109
+        assert_eq!(p.eval(&env), 7109);
+    }
+
+    #[test]
+    fn try_eval_returns_none_for_unbound() {
+        let p = Expr::param("n").to_poly();
+        assert_eq!(p.try_eval(&Env::new()), None);
+        assert_eq!(p.try_eval(&Env::new().with_param("n", 9)), Some(9));
+    }
+
+    #[test]
+    fn env_param_overwrite() {
+        let env = Env::new().with_param("n", 1).with_param("n", 2);
+        assert_eq!(env.try_get(Var::Param("n")), Some(2));
+    }
+
+    #[test]
+    fn display_poly_is_readable() {
+        let p = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + 3).to_poly();
+        let s = p.to_string();
+        assert!(s.contains("bx"));
+        assert!(s.contains("tx"));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn display_zero_poly() {
+        assert_eq!(Poly::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn neg_expr() {
+        let p = (-v(Var::Tx) + v(Var::Tx)).to_poly();
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn vars_lists_distinct_sorted() {
+        let e = v(Var::Gdx) * v(Var::Bx) + v(Var::Tx) * v(Var::Tx);
+        let vars = e.to_poly().vars();
+        assert_eq!(vars, vec![Var::Tx, Var::Bx, Var::Gdx]);
+    }
+
+    #[test]
+    fn contains_where_matches_predicate() {
+        let p = (v(Var::Ind(1)) + v(Var::Tx)).to_poly();
+        assert!(p.contains_where(Var::is_induction));
+        assert!(!p.contains_where(Var::is_block));
+    }
+}

@@ -1,0 +1,209 @@
+//! Kernel descriptions: the static (compiler-visible) side and the
+//! launch-time (runtime-visible) side.
+//!
+//! [`KernelStatic`] is what the LADM compiler pass extracts from CUDA
+//! source: per-argument affine index skeletons over prime variables.
+//! [`LaunchInfo`] adds everything only known at `kernel<<<grid, block>>>`
+//! time: dimensions, parameter values and allocation sizes. Policies
+//! ([`crate::policies`]) consume a `LaunchInfo` and emit a
+//! [`crate::plan::KernelPlan`].
+
+use crate::analysis::GridShape;
+use crate::expr::{Env, Poly};
+
+/// Compiler-visible description of one global-memory kernel argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgStatic {
+    /// Argument name (diagnostics only).
+    pub name: &'static str,
+    /// Size of one element in bytes (4 for `float`, 8 for `double`, …).
+    pub elem_bytes: u32,
+    /// Affine index skeletons of every global access to this argument,
+    /// in elements. Data-dependent components appear as
+    /// [`crate::expr::Var::Data`].
+    pub accesses: Vec<Poly>,
+    /// Whether any access writes (affects traffic accounting only).
+    pub is_written: bool,
+}
+
+impl ArgStatic {
+    /// A read-only argument with a single access site.
+    pub fn read(name: &'static str, elem_bytes: u32, index: Poly) -> Self {
+        ArgStatic {
+            name,
+            elem_bytes,
+            accesses: vec![index],
+            is_written: false,
+        }
+    }
+
+    /// A written argument with a single access site.
+    pub fn write(name: &'static str, elem_bytes: u32, index: Poly) -> Self {
+        ArgStatic {
+            name,
+            elem_bytes,
+            accesses: vec![index],
+            is_written: true,
+        }
+    }
+}
+
+/// Compiler-visible description of a kernel: its grid dimensionality and
+/// global-memory arguments. This is the unit the locality table is built
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelStatic {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Whether the kernel is launched with a 1D or 2D grid (part of the
+    /// kernel's contract in all evaluated workloads).
+    pub grid_shape: GridShape,
+    /// Global-memory arguments in call order.
+    pub args: Vec<ArgStatic>,
+}
+
+/// Everything known at kernel-launch time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchInfo {
+    /// The static kernel description.
+    pub kernel: KernelStatic,
+    /// `gridDim = (x, y)`.
+    pub grid: (u32, u32),
+    /// `blockDim = (x, y)`.
+    pub block: (u32, u32),
+    /// Named runtime parameter bindings referenced by the index skeletons.
+    pub params: Vec<(&'static str, i64)>,
+    /// Allocation length in **elements** for each argument, in argument
+    /// order (filled by the `cudaMallocManaged` interposition).
+    pub arg_lens: Vec<u64>,
+    /// Page size used by the memory system.
+    pub page_bytes: u64,
+}
+
+impl LaunchInfo {
+    /// Builds the launch with the standard 4 KiB page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arg_lens.len()` differs from the kernel's argument count.
+    pub fn new(
+        kernel: KernelStatic,
+        grid: (u32, u32),
+        block: (u32, u32),
+        arg_lens: Vec<u64>,
+    ) -> Self {
+        assert_eq!(
+            kernel.args.len(),
+            arg_lens.len(),
+            "one allocation length per kernel argument"
+        );
+        LaunchInfo {
+            kernel,
+            grid,
+            block,
+            params: Vec::new(),
+            arg_lens,
+            page_bytes: 4096,
+        }
+    }
+
+    /// Adds a runtime parameter binding.
+    pub fn with_param(mut self, name: &'static str, value: i64) -> Self {
+        self.params.push((name, value));
+        self
+    }
+
+    /// Overrides the page size.
+    pub fn with_page_bytes(mut self, page_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        self.page_bytes = page_bytes;
+        self
+    }
+
+    /// The evaluation environment with dimensions and parameters bound.
+    pub fn env(&self) -> Env {
+        let mut env = Env::new().with_dims(self.block.0, self.block.1, self.grid.0, self.grid.1);
+        for &(name, value) in &self.params {
+            env = env.with_param(name, value);
+        }
+        env
+    }
+
+    /// Total threadblocks in the grid.
+    pub fn total_tbs(&self) -> u64 {
+        u64::from(self.grid.0) * u64::from(self.grid.1)
+    }
+
+    /// Threads per block.
+    pub fn threads_per_tb(&self) -> u64 {
+        u64::from(self.block.0) * u64::from(self.block.1)
+    }
+
+    /// Allocation size in bytes for argument `i`.
+    pub fn arg_bytes(&self, i: usize) -> u64 {
+        self.arg_lens[i] * u64::from(self.kernel.args[i].elem_bytes)
+    }
+
+    /// Allocation size in pages (rounded up) for argument `i`.
+    pub fn arg_pages(&self, i: usize) -> u64 {
+        self.arg_bytes(i).div_ceil(self.page_bytes).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, Var};
+
+    fn vecadd() -> KernelStatic {
+        let idx = (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
+        KernelStatic {
+            name: "vecadd",
+            grid_shape: GridShape::OneD,
+            args: vec![
+                ArgStatic::read("a", 4, idx.clone()),
+                ArgStatic::read("b", 4, idx.clone()),
+                ArgStatic::write("c", 4, idx),
+            ],
+        }
+    }
+
+    #[test]
+    fn launch_info_accessors() {
+        let launch = LaunchInfo::new(vecadd(), (1024, 1), (128, 1), vec![1 << 20; 3]);
+        assert_eq!(launch.total_tbs(), 1024);
+        assert_eq!(launch.threads_per_tb(), 128);
+        assert_eq!(launch.arg_bytes(0), 4 << 20);
+        assert_eq!(launch.arg_pages(0), 1024);
+    }
+
+    #[test]
+    fn env_binds_dims_and_params() {
+        let launch = LaunchInfo::new(vecadd(), (64, 2), (32, 4), vec![1, 1, 1])
+            .with_param("n", 777);
+        let env = launch.env();
+        assert_eq!(env.try_get(Var::Gdx), Some(64));
+        assert_eq!(env.try_get(Var::Gdy), Some(2));
+        assert_eq!(env.try_get(Var::Bdx), Some(32));
+        assert_eq!(env.try_get(Var::Bdy), Some(4));
+        assert_eq!(env.try_get(Var::Param("n")), Some(777));
+    }
+
+    #[test]
+    fn tiny_allocation_occupies_one_page() {
+        let launch = LaunchInfo::new(vecadd(), (1, 1), (32, 1), vec![8, 8, 8]);
+        assert_eq!(launch.arg_pages(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one allocation length")]
+    fn mismatched_arg_lens_panics() {
+        LaunchInfo::new(vecadd(), (1, 1), (32, 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_page_panics() {
+        let _ = LaunchInfo::new(vecadd(), (1, 1), (32, 1), vec![8, 8, 8]).with_page_bytes(3000);
+    }
+}

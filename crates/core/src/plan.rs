@@ -1,0 +1,493 @@
+//! Placement, scheduling and cache plans — the contract between a NUMA
+//! management policy ([`crate::policies`]) and the machine (the simulator
+//! or a real driver).
+//!
+//! A policy examines a kernel launch and produces a [`KernelPlan`]:
+//! one [`PageMap`] and one [`RemoteInsert`] per kernel argument
+//! (per `cudaMallocManaged` allocation), plus a single [`TbMap`] assigning
+//! threadblocks to NUMA nodes.
+
+use crate::topology::{NodeId, Topology};
+use std::fmt;
+
+/// Round-robin visiting order across the two hierarchy levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RrOrder {
+    /// Consecutive units fill the chiplets of one GPU before moving to the
+    /// next GPU (hierarchy-aware: adjacent units stay behind one switch
+    /// port).
+    Hierarchical,
+    /// Consecutive units alternate across GPUs first (hierarchy-oblivious,
+    /// as in flat CODA / baseline round-robin).
+    GpuMajor,
+}
+
+impl RrOrder {
+    /// Maps a round-robin unit index to a node under this order.
+    pub fn node_of_unit(self, unit: u64, topo: &Topology) -> NodeId {
+        let n = u64::from(topo.num_nodes());
+        let g = u64::from(topo.num_gpus);
+        let c = u64::from(topo.chiplets_per_gpu);
+        match self {
+            // Nested node numbering is already hierarchical.
+            RrOrder::Hierarchical => NodeId((unit % n) as u32),
+            RrOrder::GpuMajor => {
+                let gpu = unit % g;
+                let chiplet = (unit / g) % c;
+                NodeId((gpu * c + chiplet) as u32)
+            }
+        }
+    }
+}
+
+/// Where each page of one allocation lives (paper §III-D1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PageMap {
+    /// Every page on one node.
+    Fixed(NodeId),
+    /// The page is placed on the node that touches it first (the UVM
+    /// first-touch policy used by Batch+FT). Resolved by the machine.
+    FirstTouch,
+    /// Round-robin interleaving of `gran_pages`-sized groups:
+    /// `node = order(page / gran_pages)`. Equation 1's stride-aware
+    /// interleaving, CODA's page interleaving (`gran_pages = 1`), and
+    /// LASP's column-based placement all instantiate this.
+    Interleave {
+        /// Pages per round-robin unit (≥ 1).
+        gran_pages: u64,
+        /// Hierarchy order of the round-robin.
+        order: RrOrder,
+    },
+    /// `N` contiguous chunks of **fixed size**, one per node, in nested
+    /// node order (tail pages clamp to the last node): LASP's row-based
+    /// banding, where the chunk size is derived from the data geometry.
+    Chunk {
+        /// Pages per node (≥ 1).
+        pages_per_node: u64,
+    },
+    /// `N` contiguous chunks splitting the whole allocation
+    /// **proportionally**: `node = page · N / total_pages`. Kernel-wide
+    /// data partitioning (no rounding drift between the grid split and
+    /// the data split).
+    Spread {
+        /// Total pages in the allocation (≥ 1).
+        total_pages: u64,
+    },
+    /// Round-robin interleaving at **sub-page** granularity — CODA's
+    /// hardware-assisted address mapping (the paper's Table I notes its
+    /// "+Hardware for sub-pages" cost). Lets column stripes narrower than
+    /// a page still map cleanly; requires address-mapping hardware no
+    /// stock GPU has, so only the CODA-sub-page ablation emits it.
+    SubPageInterleave {
+        /// Bytes per round-robin unit (≥ 1, typically 256).
+        gran_bytes: u64,
+        /// Hierarchy order of the round-robin.
+        order: RrOrder,
+    },
+}
+
+impl PageMap {
+    /// Resolves the home node of `page` (index relative to the allocation
+    /// base). Returns `None` for [`PageMap::FirstTouch`] (only the running
+    /// machine can resolve it) and for [`PageMap::SubPageInterleave`]
+    /// (not resolvable at page granularity — use [`PageMap::node_of`]).
+    pub fn node_of_page(&self, page: u64, topo: &Topology) -> Option<NodeId> {
+        let n = u64::from(topo.num_nodes());
+        match self {
+            PageMap::Fixed(node) => Some(*node),
+            PageMap::FirstTouch => None,
+            PageMap::Interleave { gran_pages, order } => {
+                let gran = (*gran_pages).max(1);
+                Some(order.node_of_unit(page / gran, topo))
+            }
+            PageMap::Chunk { pages_per_node } => {
+                let ppn = (*pages_per_node).max(1);
+                let node = (page / ppn).min(n - 1);
+                Some(NodeId(node as u32))
+            }
+            PageMap::Spread { total_pages } => {
+                let total = (*total_pages).max(1);
+                let node = (page * n / total).min(n - 1);
+                Some(NodeId(node as u32))
+            }
+            PageMap::SubPageInterleave { .. } => None,
+        }
+    }
+
+    /// Resolves the home node of the byte at `offset_bytes` from the
+    /// allocation base. Returns `None` only for
+    /// [`PageMap::FirstTouch`].
+    pub fn node_of(
+        &self,
+        offset_bytes: u64,
+        page_bytes: u64,
+        topo: &Topology,
+    ) -> Option<NodeId> {
+        match self {
+            PageMap::SubPageInterleave { gran_bytes, order } => {
+                let gran = (*gran_bytes).max(1);
+                Some(order.node_of_unit(offset_bytes / gran, topo))
+            }
+            _ => self.node_of_page(offset_bytes / page_bytes.max(1), topo),
+        }
+    }
+}
+
+impl fmt::Display for PageMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageMap::Fixed(n) => write!(f, "fixed({n})"),
+            PageMap::FirstTouch => write!(f, "first-touch"),
+            PageMap::Interleave { gran_pages, order } => {
+                write!(f, "interleave(gran={gran_pages}p,{order:?})")
+            }
+            PageMap::Chunk { pages_per_node } => write!(f, "chunk({pages_per_node}p/node)"),
+            PageMap::Spread { total_pages } => write!(f, "kernel-wide({total_pages}p)"),
+            PageMap::SubPageInterleave { gran_bytes, order } => {
+                write!(f, "sub-page({gran_bytes}B,{order:?})")
+            }
+        }
+    }
+}
+
+/// Which NUMA node runs each threadblock (paper §III-D2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TbMap {
+    /// Batches of `batch` consecutive (linearized) threadblocks
+    /// round-robin across nodes. Covers the baseline scheduler
+    /// (`batch = 1`), Batch+FT's static batches, CODA's alignment-aware
+    /// batches, and LASP's Equation-2 dynamic batches.
+    RoundRobinBatch {
+        /// Consecutive threadblocks per node per round.
+        batch: u64,
+        /// Hierarchy order of the round-robin.
+        order: RrOrder,
+    },
+    /// `N` fixed-size contiguous chunks of the linearized grid, one per
+    /// node (tail blocks clamp to the last node).
+    Chunk {
+        /// Threadblocks per node (≥ 1).
+        per_node: u64,
+    },
+    /// Proportional kernel-wide split of the linearized grid:
+    /// `node = lin · N / total`.
+    Spread {
+        /// Total threadblocks in the grid (≥ 1).
+        total: u64,
+    },
+    /// All blocks of the same grid row (`blockIdx.y`) on one node;
+    /// contiguous groups of rows per node (row-binding).
+    RowBinding {
+        /// Grid rows per node (≥ 1).
+        rows_per_node: u64,
+    },
+    /// All blocks of the same grid column (`blockIdx.x`) on one node
+    /// (column-binding).
+    ColBinding {
+        /// Grid columns per node (≥ 1).
+        cols_per_node: u64,
+    },
+}
+
+impl TbMap {
+    /// Resolves the node that runs block `(bx, by)` of a `grid = (gdx, gdy)`
+    /// launch. Linearization is row-major (`lin = by*gdx + bx`), matching
+    /// hardware dispatch order.
+    pub fn node_of_tb(&self, bx: u32, by: u32, grid: (u32, u32), topo: &Topology) -> NodeId {
+        let n = u64::from(topo.num_nodes());
+        let lin = u64::from(by) * u64::from(grid.0) + u64::from(bx);
+        match self {
+            TbMap::RoundRobinBatch { batch, order } => {
+                let b = (*batch).max(1);
+                order.node_of_unit(lin / b, topo)
+            }
+            TbMap::Chunk { per_node } => {
+                let pn = (*per_node).max(1);
+                NodeId(((lin / pn).min(n - 1)) as u32)
+            }
+            TbMap::Spread { total } => {
+                let total = (*total).max(1);
+                NodeId(((lin * n / total).min(n - 1)) as u32)
+            }
+            TbMap::RowBinding { rows_per_node } => {
+                let rpn = (*rows_per_node).max(1);
+                NodeId(((u64::from(by) / rpn).min(n - 1)) as u32)
+            }
+            TbMap::ColBinding { cols_per_node } => {
+                let cpn = (*cols_per_node).max(1);
+                NodeId(((u64::from(bx) / cpn).min(n - 1)) as u32)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TbMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TbMap::RoundRobinBatch { batch, order } => write!(f, "rr(batch={batch},{order:?})"),
+            TbMap::Chunk { per_node } => write!(f, "chunk({per_node}tb/node)"),
+            TbMap::Spread { total } => write!(f, "kernel-wide({total}tb)"),
+            TbMap::RowBinding { rows_per_node } => write!(f, "row-binding({rows_per_node}r/node)"),
+            TbMap::ColBinding { cols_per_node } => write!(f, "col-binding({cols_per_node}c/node)"),
+        }
+    }
+}
+
+/// L2 insertion policy for requests arriving at the *home* node from a
+/// remote node (paper §III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RemoteInsert {
+    /// Cache-remote-twice: insert at both the requester's and the home
+    /// node's L2 (the dynamically-shared-L2 baseline of Milic et al.).
+    #[default]
+    Twice,
+    /// Cache-remote-once: insert only at the requester's L2; bypass the
+    /// home L2 to avoid polluting it with single-use remote data.
+    Once,
+}
+
+impl fmt::Display for RemoteInsert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteInsert::Twice => write!(f, "RTWICE"),
+            RemoteInsert::Once => write!(f, "RONCE"),
+        }
+    }
+}
+
+/// Per-argument plan: where the allocation's pages live and how its remote
+/// requests are cached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgPlan {
+    /// Page-to-node mapping for this allocation.
+    pub pages: PageMap,
+    /// Home-node L2 insertion policy for this allocation.
+    pub remote_insert: RemoteInsert,
+}
+
+impl ArgPlan {
+    /// An `ArgPlan` with the default (RTWICE) cache policy.
+    pub fn new(pages: PageMap) -> Self {
+        ArgPlan {
+            pages,
+            remote_insert: RemoteInsert::Twice,
+        }
+    }
+}
+
+/// Complete NUMA management decision for one kernel launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelPlan {
+    /// One entry per kernel argument, in argument order.
+    pub args: Vec<ArgPlan>,
+    /// Threadblock-to-node assignment.
+    pub schedule: TbMap,
+}
+
+impl fmt::Display for KernelPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sched={}", self.schedule)?;
+        for (i, arg) in self.args.iter().enumerate() {
+            write!(f, "; arg{i}: {} {}", arg.pages, arg.remote_insert)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::paper_multi_gpu()
+    }
+
+    #[test]
+    fn hierarchical_order_fills_gpu_first() {
+        let t = topo();
+        let nodes: Vec<u32> = (0..6)
+            .map(|u| RrOrder::Hierarchical.node_of_unit(u, &t).0)
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn gpu_major_order_alternates_gpus() {
+        let t = topo();
+        let nodes: Vec<u32> = (0..6)
+            .map(|u| RrOrder::GpuMajor.node_of_unit(u, &t).0)
+            .collect();
+        // GPUs 0,1,2,3 chiplet 0, then GPUs 0,1 chiplet 1.
+        assert_eq!(nodes, vec![0, 4, 8, 12, 1, 5]);
+    }
+
+    #[test]
+    fn interleave_page_map() {
+        let t = topo();
+        let map = PageMap::Interleave {
+            gran_pages: 2,
+            order: RrOrder::Hierarchical,
+        };
+        assert_eq!(map.node_of_page(0, &t), Some(NodeId(0)));
+        assert_eq!(map.node_of_page(1, &t), Some(NodeId(0)));
+        assert_eq!(map.node_of_page(2, &t), Some(NodeId(1)));
+        assert_eq!(map.node_of_page(33, &t), Some(NodeId(0))); // wraps at 32
+    }
+
+    #[test]
+    fn chunk_page_map_clamps_tail() {
+        let t = topo();
+        let map = PageMap::Chunk { pages_per_node: 4 };
+        assert_eq!(map.node_of_page(0, &t), Some(NodeId(0)));
+        assert_eq!(map.node_of_page(63, &t), Some(NodeId(15)));
+        assert_eq!(map.node_of_page(1000, &t), Some(NodeId(15)));
+    }
+
+    #[test]
+    fn spread_page_map_is_proportional() {
+        let t = topo();
+        // 100 pages over 16 nodes: node = p*16/100.
+        let map = PageMap::Spread { total_pages: 100 };
+        assert_eq!(map.node_of_page(0, &t), Some(NodeId(0)));
+        assert_eq!(map.node_of_page(50, &t), Some(NodeId(8)));
+        assert_eq!(map.node_of_page(99, &t), Some(NodeId(15)));
+        // Out-of-range pages clamp.
+        assert_eq!(map.node_of_page(500, &t), Some(NodeId(15)));
+    }
+
+    #[test]
+    fn spread_schedule_is_proportional() {
+        let t = topo();
+        let map = TbMap::Spread { total: 100 };
+        assert_eq!(map.node_of_tb(0, 0, (100, 1), &t), NodeId(0));
+        assert_eq!(map.node_of_tb(50, 0, (100, 1), &t), NodeId(8));
+        assert_eq!(map.node_of_tb(99, 0, (100, 1), &t), NodeId(15));
+    }
+
+    #[test]
+    fn spread_aligns_with_spread_pages() {
+        // Kernel-wide drift regression: with 84 pages and 96 blocks the
+        // block owning byte range k must live with its pages even at the
+        // tail.
+        let t = topo();
+        let pages = PageMap::Spread { total_pages: 84 };
+        let tbs = TbMap::Spread { total: 96 };
+        for lin in 0..96u64 {
+            let page = lin * 84 / 96;
+            let tb_node = tbs.node_of_tb(lin as u32, 0, (96, 1), &t);
+            let pg_node = pages.node_of_page(page, &t).unwrap();
+            let diff = (i64::from(tb_node.0) - i64::from(pg_node.0)).abs();
+            assert!(diff <= 1, "tb {lin}: {tb_node} vs {pg_node}");
+        }
+    }
+
+    #[test]
+    fn first_touch_is_unresolved() {
+        assert_eq!(PageMap::FirstTouch.node_of_page(7, &topo()), None);
+        assert_eq!(PageMap::FirstTouch.node_of(7 * 4096, 4096, &topo()), None);
+    }
+
+    #[test]
+    fn sub_page_interleave_splits_within_pages() {
+        let t = topo();
+        let map = PageMap::SubPageInterleave {
+            gran_bytes: 256,
+            order: RrOrder::Hierarchical,
+        };
+        // Not resolvable at page granularity.
+        assert_eq!(map.node_of_page(0, &t), None);
+        // Bytes 0..256 -> node 0, 256..512 -> node 1, wraps at 4 KiB.
+        assert_eq!(map.node_of(0, 4096, &t), Some(NodeId(0)));
+        assert_eq!(map.node_of(300, 4096, &t), Some(NodeId(1)));
+        assert_eq!(map.node_of(16 * 256, 4096, &t), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn node_of_agrees_with_node_of_page_for_page_maps() {
+        let t = topo();
+        let maps = [
+            PageMap::Interleave {
+                gran_pages: 3,
+                order: RrOrder::GpuMajor,
+            },
+            PageMap::Chunk { pages_per_node: 5 },
+            PageMap::Spread { total_pages: 77 },
+            PageMap::Fixed(NodeId(9)),
+        ];
+        for map in maps {
+            for page in [0u64, 1, 13, 76, 200] {
+                assert_eq!(
+                    map.node_of(page * 4096 + 123, 4096, &t),
+                    map.node_of_page(page, &t),
+                    "{map}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rr_batch_schedule() {
+        let t = topo();
+        let map = TbMap::RoundRobinBatch {
+            batch: 8,
+            order: RrOrder::Hierarchical,
+        };
+        assert_eq!(map.node_of_tb(7, 0, (1024, 1), &t), NodeId(0));
+        assert_eq!(map.node_of_tb(8, 0, (1024, 1), &t), NodeId(1));
+    }
+
+    #[test]
+    fn kernel_wide_schedule_chunks() {
+        let t = topo();
+        let map = TbMap::Chunk { per_node: 64 };
+        assert_eq!(map.node_of_tb(63, 0, (1024, 1), &t), NodeId(0));
+        assert_eq!(map.node_of_tb(64, 0, (1024, 1), &t), NodeId(1));
+        assert_eq!(map.node_of_tb(1023, 0, (1024, 1), &t), NodeId(15));
+    }
+
+    #[test]
+    fn row_binding_groups_rows() {
+        let t = topo();
+        let map = TbMap::RowBinding { rows_per_node: 2 };
+        assert_eq!(map.node_of_tb(5, 0, (32, 32), &t), NodeId(0));
+        assert_eq!(map.node_of_tb(5, 1, (32, 32), &t), NodeId(0));
+        assert_eq!(map.node_of_tb(5, 2, (32, 32), &t), NodeId(1));
+        assert_eq!(map.node_of_tb(5, 31, (32, 32), &t), NodeId(15));
+    }
+
+    #[test]
+    fn col_binding_groups_cols() {
+        let t = topo();
+        let map = TbMap::ColBinding { cols_per_node: 2 };
+        assert_eq!(map.node_of_tb(0, 9, (32, 32), &t), NodeId(0));
+        assert_eq!(map.node_of_tb(2, 9, (32, 32), &t), NodeId(1));
+    }
+
+    #[test]
+    fn zero_granularity_is_clamped() {
+        let t = topo();
+        let map = PageMap::Interleave {
+            gran_pages: 0,
+            order: RrOrder::Hierarchical,
+        };
+        // Clamped to 1, does not divide by zero.
+        assert_eq!(map.node_of_page(3, &t), Some(NodeId(3)));
+        let s = TbMap::RoundRobinBatch {
+            batch: 0,
+            order: RrOrder::Hierarchical,
+        };
+        assert_eq!(s.node_of_tb(3, 0, (64, 1), &t), NodeId(3));
+    }
+
+    #[test]
+    fn display_round_trips_key_info() {
+        let plan = KernelPlan {
+            args: vec![ArgPlan::new(PageMap::Spread { total_pages: 7 })],
+            schedule: TbMap::Chunk { per_node: 3 },
+        };
+        let s = plan.to_string();
+        assert!(s.contains("kernel-wide"));
+        assert!(s.contains("chunk(3tb/node)"));
+        assert!(s.contains("RTWICE"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Hierarchy-oblivious round-robin baseline (adopted from Vijayaraghavan
+//! et al. in the paper's Figure 4).
+
+use super::Policy;
+use crate::launch::LaunchInfo;
+use crate::plan::{ArgPlan, KernelPlan, PageMap, RrOrder, TbMap};
+use crate::topology::Topology;
+
+/// Round-robin everything: pages are interleaved at single-page
+/// granularity and threadblocks are dealt out one at a time, both in
+/// GPU-major (hierarchy-oblivious) order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineRr;
+
+impl BaselineRr {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        BaselineRr
+    }
+}
+
+impl Policy for BaselineRr {
+    fn name(&self) -> &'static str {
+        "Baseline-RR"
+    }
+
+    fn plan(&self, launch: &LaunchInfo, _topo: &Topology) -> KernelPlan {
+        let args = launch
+            .kernel
+            .args
+            .iter()
+            .map(|_| {
+                ArgPlan::new(PageMap::Interleave {
+                    gran_pages: 1,
+                    order: RrOrder::GpuMajor,
+                })
+            })
+            .collect();
+        KernelPlan {
+            args,
+            schedule: TbMap::RoundRobinBatch {
+                batch: 1,
+                order: RrOrder::GpuMajor,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GridShape;
+    use crate::expr::{Expr, Var};
+    use crate::launch::{ArgStatic, KernelStatic};
+
+    #[test]
+    fn baseline_plans_pure_round_robin() {
+        let idx = (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
+        let kernel = KernelStatic {
+            name: "k",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        let launch = LaunchInfo::new(kernel, (64, 1), (128, 1), vec![1 << 16]);
+        let topo = Topology::paper_multi_gpu();
+        let plan = BaselineRr::new().plan(&launch, &topo);
+        assert_eq!(
+            plan.schedule,
+            TbMap::RoundRobinBatch {
+                batch: 1,
+                order: RrOrder::GpuMajor
+            }
+        );
+        assert_eq!(
+            plan.args[0].pages,
+            PageMap::Interleave {
+                gran_pages: 1,
+                order: RrOrder::GpuMajor
+            }
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Batch+FT: static threadblock batching with first-touch page placement
+//! (Arunkumar et al., MCM-GPU, paper §II-B).
+
+use super::Policy;
+use crate::launch::LaunchInfo;
+use crate::plan::{ArgPlan, KernelPlan, PageMap, RrOrder, TbMap};
+use crate::topology::Topology;
+
+/// Statically-sized threadblock batches are dealt round-robin across
+/// nodes ("loose round-robin", 4–8 blocks in the original work); every
+/// page is placed by the UVM first-touch fault. The batch size is fixed at
+/// policy-construction time — Batch+FT has no knowledge of datablock
+/// geometry, which is exactly the page-misalignment weakness LASP's
+/// Equation 2 fixes.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchFt {
+    batch: u64,
+}
+
+impl BatchFt {
+    /// Default batch of 4 threadblocks (the paper's quoted 4–8 range).
+    pub fn new() -> Self {
+        BatchFt { batch: 4 }
+    }
+
+    /// A specific static batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(batch: u64) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        BatchFt { batch }
+    }
+
+    /// The configured static batch size.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+}
+
+impl Default for BatchFt {
+    fn default() -> Self {
+        BatchFt::new()
+    }
+}
+
+impl Policy for BatchFt {
+    fn name(&self) -> &'static str {
+        "Batch+FT"
+    }
+
+    fn plan(&self, launch: &LaunchInfo, _topo: &Topology) -> KernelPlan {
+        let args = launch
+            .kernel
+            .args
+            .iter()
+            .map(|_| ArgPlan::new(PageMap::FirstTouch))
+            .collect();
+        KernelPlan {
+            args,
+            schedule: TbMap::RoundRobinBatch {
+                batch: self.batch,
+                order: RrOrder::GpuMajor,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GridShape;
+    use crate::expr::{Expr, Var};
+    use crate::launch::{ArgStatic, KernelStatic};
+
+    fn launch() -> LaunchInfo {
+        let idx = (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
+        let kernel = KernelStatic {
+            name: "k",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        LaunchInfo::new(kernel, (64, 1), (128, 1), vec![1 << 16])
+    }
+
+    #[test]
+    fn batchft_uses_first_touch_everywhere() {
+        let plan = BatchFt::new().plan(&launch(), &Topology::paper_multi_gpu());
+        assert_eq!(plan.args[0].pages, PageMap::FirstTouch);
+        assert_eq!(
+            plan.schedule,
+            TbMap::RoundRobinBatch {
+                batch: 4,
+                order: RrOrder::GpuMajor
+            }
+        );
+    }
+
+    #[test]
+    fn custom_batch_size() {
+        let plan = BatchFt::with_batch(8).plan(&launch(), &Topology::paper_multi_gpu());
+        assert_eq!(
+            plan.schedule,
+            TbMap::RoundRobinBatch {
+                batch: 8,
+                order: RrOrder::GpuMajor
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_panics() {
+        BatchFt::with_batch(0);
+    }
+}

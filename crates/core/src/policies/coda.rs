@@ -1,0 +1,191 @@
+//! CODA: compiler-assisted page-alignment-aware batching (Kim et al.),
+//! plus the paper's hierarchy-aware extension **H-CODA** (§IV-A).
+//!
+//! CODA performs index analysis only to compute the width of data accessed
+//! by one threadblock, then round-robins pages at fine granularity and
+//! launches page-aligned batches of threadblocks. It captures the *page
+//! alignment* pattern of Table I but none of the stride, row/column or
+//! input-size patterns.
+
+use super::{eq2_min_tb_batch, Policy};
+use crate::analysis::datablock_span_elems;
+use crate::launch::LaunchInfo;
+use crate::plan::{ArgPlan, KernelPlan, PageMap, RrOrder, TbMap};
+use crate::topology::Topology;
+
+/// CODA / H-CODA alignment-aware round-robin policy.
+#[derive(Debug, Clone, Copy)]
+pub struct Coda {
+    hierarchical: bool,
+    /// Sub-page interleaving granularity in bytes (0 = page granularity).
+    sub_page_bytes: u64,
+}
+
+impl Coda {
+    /// The original, hierarchy-oblivious CODA.
+    pub fn flat() -> Self {
+        Coda {
+            hierarchical: false,
+            sub_page_bytes: 0,
+        }
+    }
+
+    /// H-CODA: the same analysis applied recursively over the GPU/chiplet
+    /// hierarchy (adjacent page groups and threadblock batches stay within
+    /// one discrete GPU).
+    pub fn hierarchical() -> Self {
+        Coda {
+            hierarchical: true,
+            sub_page_bytes: 0,
+        }
+    }
+
+    /// CODA with its proposed hardware-assisted **sub-page** interleaving
+    /// (256 B units): captures column stripes narrower than a page at the
+    /// cost of address-mapping hardware (Table I's "+Hardware for
+    /// sub-pages" row).
+    pub fn sub_page(hierarchical: bool) -> Self {
+        Coda {
+            hierarchical,
+            sub_page_bytes: 256,
+        }
+    }
+
+    fn order(&self) -> RrOrder {
+        if self.hierarchical {
+            RrOrder::Hierarchical
+        } else {
+            RrOrder::GpuMajor
+        }
+    }
+
+    /// The page-aligned batch size CODA derives from its index analysis:
+    /// Equation 2 applied to the *largest* argument's datablock. When the
+    /// dominant index is data-dependent the analysis fails and CODA falls
+    /// back to a static batch (as Batch+FT does); the batch is always
+    /// clamped so blocks still spread across all nodes.
+    pub fn batch_for(&self, launch: &LaunchInfo, topo: &Topology) -> u64 {
+        let env = launch.env();
+        let largest = (0..launch.kernel.args.len()).max_by_key(|&i| launch.arg_bytes(i));
+        let Some(i) = largest else { return 1 };
+        let arg = &launch.kernel.args[i];
+        let Some(index) = arg.accesses.first() else {
+            return 1;
+        };
+        let batch = if index.contains(crate::expr::Var::Data) {
+            4
+        } else {
+            let db_bytes = datablock_span_elems(index, &env) * u64::from(arg.elem_bytes);
+            eq2_min_tb_batch(launch.page_bytes, db_bytes)
+        };
+        let spread_cap = (launch.total_tbs() / u64::from(topo.num_nodes())).max(1);
+        batch.min(spread_cap)
+    }
+}
+
+impl Policy for Coda {
+    fn name(&self) -> &'static str {
+        match (self.hierarchical, self.sub_page_bytes > 0) {
+            (true, true) => "H-CODA-subpage",
+            (true, false) => "H-CODA",
+            (false, true) => "CODA-subpage",
+            (false, false) => "CODA",
+        }
+    }
+
+    fn plan(&self, launch: &LaunchInfo, topo: &Topology) -> KernelPlan {
+        let order = self.order();
+        let pages = if self.sub_page_bytes > 0 {
+            PageMap::SubPageInterleave {
+                gran_bytes: self.sub_page_bytes,
+                order,
+            }
+        } else {
+            PageMap::Interleave {
+                gran_pages: 1,
+                order,
+            }
+        };
+        let args = launch
+            .kernel
+            .args
+            .iter()
+            .map(|_| ArgPlan::new(pages.clone()))
+            .collect();
+        KernelPlan {
+            args,
+            schedule: TbMap::RoundRobinBatch {
+                batch: self.batch_for(launch, topo),
+                order,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GridShape;
+    use crate::expr::{Expr, Var};
+    use crate::launch::{ArgStatic, KernelStatic};
+
+    fn vecadd_launch(bdx: u32) -> LaunchInfo {
+        let idx = (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
+        let kernel = KernelStatic {
+            name: "vecadd",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        LaunchInfo::new(kernel, (1024, 1), (bdx, 1), vec![1 << 20])
+    }
+
+    #[test]
+    fn batch_is_page_aligned() {
+        // datablock = 128 floats = 512 B; 4 KiB page -> batch of 8.
+        let launch = vecadd_launch(128);
+        assert_eq!(Coda::flat().batch_for(&launch, &Topology::paper_multi_gpu()), 8);
+        // 1024 threads -> 4 KiB datablock -> batch of 1.
+        let launch = vecadd_launch(1024);
+        assert_eq!(Coda::flat().batch_for(&launch, &Topology::paper_multi_gpu()), 1);
+    }
+
+    #[test]
+    fn flat_and_hierarchical_differ_only_in_order() {
+        let launch = vecadd_launch(128);
+        let topo = Topology::paper_multi_gpu();
+        let flat = Coda::flat().plan(&launch, &topo);
+        let hier = Coda::hierarchical().plan(&launch, &topo);
+        assert_eq!(
+            flat.schedule,
+            TbMap::RoundRobinBatch {
+                batch: 8,
+                order: RrOrder::GpuMajor
+            }
+        );
+        assert_eq!(
+            hier.schedule,
+            TbMap::RoundRobinBatch {
+                batch: 8,
+                order: RrOrder::Hierarchical
+            }
+        );
+        assert_eq!(Coda::flat().name(), "CODA");
+        assert_eq!(Coda::hierarchical().name(), "H-CODA");
+    }
+
+    #[test]
+    fn sub_page_variant_emits_sub_page_map() {
+        let launch = vecadd_launch(128);
+        let topo = Topology::paper_multi_gpu();
+        let plan = Coda::sub_page(true).plan(&launch, &topo);
+        assert_eq!(
+            plan.args[0].pages,
+            PageMap::SubPageInterleave {
+                gran_bytes: 256,
+                order: RrOrder::Hierarchical
+            }
+        );
+        assert_eq!(Coda::sub_page(false).name(), "CODA-subpage");
+        assert_eq!(Coda::sub_page(true).name(), "H-CODA-subpage");
+    }
+}

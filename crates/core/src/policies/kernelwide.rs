@@ -1,0 +1,72 @@
+//! Kernel-wide grid and data partitioning (Milic et al., paper §II-B,
+//! Fig. 3): both the grid and every allocation are split into N contiguous
+//! chunks, one per node.
+
+use super::Policy;
+use crate::launch::LaunchInfo;
+use crate::plan::{ArgPlan, KernelPlan, PageMap, TbMap};
+use crate::topology::Topology;
+
+/// Kernel-wide contiguous partitioning of data and threadblocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelWide;
+
+impl KernelWide {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        KernelWide
+    }
+}
+
+impl Policy for KernelWide {
+    fn name(&self) -> &'static str {
+        "Kernel-Wide"
+    }
+
+    fn plan(&self, launch: &LaunchInfo, _topo: &Topology) -> KernelPlan {
+        let args = (0..launch.kernel.args.len())
+            .map(|i| {
+                ArgPlan::new(PageMap::Spread {
+                    total_pages: launch.arg_pages(i),
+                })
+            })
+            .collect();
+        KernelPlan {
+            args,
+            schedule: TbMap::Spread {
+                total: launch.total_tbs(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GridShape;
+    use crate::expr::{Expr, Var};
+    use crate::launch::{ArgStatic, KernelStatic};
+    use crate::topology::NodeId;
+
+    #[test]
+    fn kernel_wide_chunks_grid_and_data() {
+        let idx = (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
+        let kernel = KernelStatic {
+            name: "k",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        // 1 MiB allocation = 256 pages split proportionally over nodes.
+        let launch = LaunchInfo::new(kernel, (1024, 1), (128, 1), vec![256 * 1024]);
+        let topo = Topology::paper_multi_gpu();
+        let plan = KernelWide::new().plan(&launch, &topo);
+        assert_eq!(plan.args[0].pages, PageMap::Spread { total_pages: 256 });
+        assert_eq!(plan.schedule, TbMap::Spread { total: 1024 });
+        // First and last block land on first and last node.
+        assert_eq!(plan.schedule.node_of_tb(0, 0, (1024, 1), &topo), NodeId(0));
+        assert_eq!(
+            plan.schedule.node_of_tb(1023, 0, (1024, 1), &topo),
+            NodeId(15)
+        );
+    }
+}

@@ -1,0 +1,779 @@
+//! LASP — Locality-Aware Scheduling and Placement (paper §III-D) plus the
+//! CRB cache-insertion decision (§III-E). `LASP + CRB = LADM`.
+//!
+//! For every kernel launch LASP:
+//!
+//! 1. classifies each argument with the Table II index analysis,
+//! 2. picks **one** threadblock scheduler: the binding scheduler of the
+//!    *largest* row/column-locality argument (input-size-aware
+//!    tie-breaking), else an alignment-aware batched round-robin for
+//!    no-locality kernels (Equations 1–2), else kernel-wide chunks,
+//! 3. places every argument the way its own locality class prefers:
+//!    stride-aware interleaving, row-based banding, column-based striping
+//!    or kernel-wide chunking,
+//! 4. selects the per-argument remote-insertion policy (RONCE only for
+//!    intra-thread-locality data under [`CacheMode::Crb`]).
+
+use super::{eq1_interleave_gran_pages, Policy};
+use crate::analysis::{
+    classify, coeff_poly, datablock_span_elems, row_pitch_elems, stride_elems, AccessClass,
+    Motion, Sharing,
+};
+use crate::expr::{Env, Poly, Var};
+use crate::launch::LaunchInfo;
+use crate::plan::{ArgPlan, KernelPlan, PageMap, RemoteInsert, RrOrder, TbMap};
+use crate::table::representative;
+use crate::topology::Topology;
+
+/// Remote-request cache-insertion mode (paper §III-E, Figure 9 variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheMode {
+    /// Cache remote reads at both the requester and the home L2 for every
+    /// structure (`LASP+RTWICE`).
+    Rtwice,
+    /// Bypass the home L2 for every structure (`LASP+RONCE`).
+    Ronce,
+    /// Compiler-assisted remote-request bypassing: RONCE only for
+    /// intra-thread-locality structures, RTWICE otherwise. This is the
+    /// full **LADM** configuration.
+    Crb,
+}
+
+/// The LASP runtime policy.
+#[derive(Debug, Clone, Copy)]
+pub struct Lasp {
+    cache: CacheMode,
+}
+
+/// Per-argument classification snapshot used during planning.
+#[derive(Debug)]
+struct ArgView<'a> {
+    class: AccessClass,
+    /// The access whose classification is the representative one.
+    index: Option<&'a Poly>,
+    bytes: u64,
+    elem_bytes: u64,
+    pages: u64,
+}
+
+impl Lasp {
+    /// Creates LASP with the given cache mode ([`CacheMode::Crb`] = LADM).
+    pub fn new(cache: CacheMode) -> Self {
+        Lasp { cache }
+    }
+
+    /// The full LADM configuration (`LASP + CRB`).
+    pub fn ladm() -> Self {
+        Lasp::new(CacheMode::Crb)
+    }
+
+    /// The configured cache mode.
+    pub fn cache_mode(&self) -> CacheMode {
+        self.cache
+    }
+
+    fn remote_insert_for(&self, class: &AccessClass) -> RemoteInsert {
+        match self.cache {
+            CacheMode::Rtwice => RemoteInsert::Twice,
+            CacheMode::Ronce => RemoteInsert::Once,
+            CacheMode::Crb => {
+                if matches!(class, AccessClass::IntraThread) {
+                    RemoteInsert::Once
+                } else {
+                    RemoteInsert::Twice
+                }
+            }
+        }
+    }
+}
+
+impl Policy for Lasp {
+    fn name(&self) -> &'static str {
+        match self.cache {
+            CacheMode::Rtwice => "LASP+RTWICE",
+            CacheMode::Ronce => "LASP+RONCE",
+            CacheMode::Crb => "LADM",
+        }
+    }
+
+    fn plan(&self, launch: &LaunchInfo, topo: &Topology) -> KernelPlan {
+        let env = launch.env();
+        let views = classify_args(launch);
+        let schedule = select_schedule(launch, topo, &views, &env);
+        let args = views
+            .iter()
+            .map(|view| ArgPlan {
+                pages: place_arg(launch, topo, view, &schedule, &env),
+                remote_insert: self.remote_insert_for(&view.class),
+            })
+            .collect();
+        KernelPlan { args, schedule }
+    }
+}
+
+fn classify_args(launch: &LaunchInfo) -> Vec<ArgView<'_>> {
+    let grid_shape = launch.kernel.grid_shape;
+    launch
+        .kernel
+        .args
+        .iter()
+        .enumerate()
+        .map(|(i, arg)| {
+            let classes: Vec<AccessClass> = arg
+                .accesses
+                .iter()
+                .map(|index| classify(index, grid_shape, 0))
+                .collect();
+            let class = representative(&classes);
+            let index = classes
+                .iter()
+                .position(|c| *c == class)
+                .map(|pos| &arg.accesses[pos]);
+            ArgView {
+                class,
+                index,
+                bytes: launch.arg_bytes(i),
+                elem_bytes: u64::from(arg.elem_bytes),
+                pages: launch.arg_pages(i),
+            }
+        })
+        .collect()
+}
+
+/// Datablock footprint in bytes for one threadblock and loop iteration.
+fn datablock_bytes(view: &ArgView<'_>, env: &Env) -> u64 {
+    let span = view
+        .index
+        .map(|index| datablock_span_elems(index, env))
+        .unwrap_or(1);
+    (span * view.elem_bytes).max(view.elem_bytes)
+}
+
+/// Stride advanced per loop iteration in bytes (0 when none).
+fn stride_bytes(view: &ArgView<'_>, env: &Env) -> u64 {
+    stride_elems(&view.class, env)
+        .map(|s| s.unsigned_abs() * view.elem_bytes)
+        .unwrap_or(0)
+}
+
+/// Bytes of data covered by one grid row of threadblocks (the `by`
+/// coefficient), used for row-based banding; 0 when the access does not
+/// depend on `by`.
+fn band_bytes(view: &ArgView<'_>, env: &Env) -> u64 {
+    let coeff = view
+        .index
+        .map(|index| coeff_poly(index, Var::By))
+        .unwrap_or_else(Poly::zero);
+    coeff.try_eval(env).map(|c| c.unsigned_abs()).unwrap_or(0) * view.elem_bytes
+}
+
+/// Row pitch of the underlying 2D structure in bytes.
+fn pitch_bytes(view: &ArgView<'_>, env: &Env) -> u64 {
+    let pitch = view
+        .index
+        .map(|index| row_pitch_elems(index, env))
+        .unwrap_or(1);
+    (pitch * view.elem_bytes).max(view.elem_bytes)
+}
+
+fn select_schedule(
+    launch: &LaunchInfo,
+    topo: &Topology,
+    views: &[ArgView<'_>],
+    env: &Env,
+) -> TbMap {
+    let n = topo.num_nodes();
+    let (gdx, gdy) = launch.grid;
+
+    // Input-size-aware tie break: the largest shared structure wins
+    // (first-listed on equal sizes, so square GEMM favours row-binding).
+    let shared_winner = first_max_by_bytes(views.iter().filter(|v| v.class.is_shared()));
+    if let Some(winner) = shared_winner {
+        if let AccessClass::Shared { sharing, .. } = &winner.class {
+            match sharing {
+                Sharing::GridRow => {
+                    return TbMap::RowBinding {
+                        rows_per_node: u64::from(gdy).div_ceil(u64::from(n)).max(1),
+                    }
+                }
+                Sharing::GridCol => {
+                    // Column binding only pays off when column stripes are
+                    // expressible at page granularity (pitch ≥ nodes ×
+                    // page). Below that, binding a column group to a node
+                    // funnels its per-iteration requests at a single home
+                    // (a convoy); fine round-robin spreads the victims and
+                    // the shared matrix lives in the L2s instead — the
+                    // paper's observation for the DL layers (§V-A).
+                    if pitch_bytes(winner, env)
+                        >= u64::from(n) * launch.page_bytes
+                    {
+                        return TbMap::ColBinding {
+                            cols_per_node: u64::from(gdx).div_ceil(u64::from(n)).max(1),
+                        };
+                    }
+                    return TbMap::RoundRobinBatch {
+                        batch: 1,
+                        order: RrOrder::Hierarchical,
+                    };
+                }
+            }
+        }
+    }
+
+    // No sharing: the kernel's *dominant* (largest) structure decides.
+    // A no-locality dominant gets the alignment-aware batched round-robin
+    // (Equations 1–2); an intra-thread/unclassified dominant falls back to
+    // kernel-wide chunks (Table II rows 6–7), regardless of small NL
+    // helper arrays like CSR row pointers.
+    let dominant = first_max_by_bytes(views.iter());
+    if let Some(winner) = dominant {
+        if matches!(winner.class, AccessClass::NoLocality { .. }) {
+            let batch = nl_batch(launch, topo, winner, env);
+            return TbMap::RoundRobinBatch {
+                batch,
+                order: RrOrder::Hierarchical,
+            };
+        }
+    }
+
+    TbMap::Spread {
+        total: launch.total_tbs(),
+    }
+}
+
+/// Per-threadblock contiguous footprint in bytes for a no-locality
+/// argument: the larger of one datablock and the input-size-aware share
+/// `arg_bytes / total_tbs` (blocks that loop contiguously over per-block
+/// chunks, like ScalarProd's vectors, cover far more than one iteration's
+/// datablock).
+fn nl_chunk_bytes(launch: &LaunchInfo, view: &ArgView<'_>, env: &Env) -> u64 {
+    let db = datablock_bytes(view, env);
+    let per_tb = view.bytes / launch.total_tbs().max(1);
+    db.max(per_tb).max(1)
+}
+
+/// First element with the (strictly) largest byte count — unlike
+/// `Iterator::max_by_key`, ties resolve to the earliest argument.
+fn first_max_by_bytes<'a, 'b, I>(iter: I) -> Option<&'a ArgView<'b>>
+where
+    I: Iterator<Item = &'a ArgView<'b>>,
+{
+    let mut best: Option<&ArgView<'_>> = None;
+    for view in iter {
+        if best.is_none_or(|b| view.bytes > b.bytes) {
+            best = Some(view);
+        }
+    }
+    best
+}
+
+/// The Equation 1 + Equation 2 batch for a no-locality argument.
+fn nl_batch(launch: &LaunchInfo, topo: &Topology, view: &ArgView<'_>, env: &Env) -> u64 {
+    let n = topo.num_nodes();
+    let page = launch.page_bytes;
+    let (gdx, gdy) = launch.grid;
+    let db = datablock_bytes(view, env);
+    let stride = stride_bytes(view, env);
+
+    if gdy > 1 && band_bytes(view, env) > 0 {
+        // 2D-tiled no-locality (stencils, layered 3D walks): contiguous
+        // grid rows per node capture adjacent locality, and layer strides
+        // stay aligned because whole row bands are the interleave unit.
+        let rows_per_chunk = u64::from(gdy).div_ceil(u64::from(n)).max(1);
+        return rows_per_chunk * u64::from(gdx);
+    }
+    if stride > db {
+        // Genuine threadblock motion: batches must cover one Equation-1
+        // interleave unit so every stride jump stays on-node.
+        let gran = eq1_interleave_gran_pages(stride, n, page);
+        return (gran * page / db).max(1);
+    }
+    // Equation 2 with the input-size-aware chunk: the minimum batch that
+    // keeps whole pages on one node.
+    let chunk = nl_chunk_bytes(launch, view, env);
+    (page / chunk).max(1)
+}
+
+fn place_arg(
+    launch: &LaunchInfo,
+    topo: &Topology,
+    view: &ArgView<'_>,
+    schedule: &TbMap,
+    env: &Env,
+) -> PageMap {
+    let n = topo.num_nodes();
+    let page = launch.page_bytes;
+    let (_, gdy) = launch.grid;
+    let kernel_wide = PageMap::Spread {
+        total_pages: view.pages,
+    };
+
+    match &view.class {
+        AccessClass::Shared {
+            sharing: Sharing::GridRow,
+            motion: Motion::Horizontal,
+            ..
+        } => {
+            // Row-based placement: the band of data covered by the grid
+            // rows assigned to one node lives on that node.
+            let band = band_bytes(view, env);
+            let rows_per_node = u64::from(gdy).div_ceil(u64::from(n)).max(1);
+            let pages_per_node = (band * rows_per_node).div_ceil(page).max(1);
+            // If the band estimate does not cover the structure the model
+            // is wrong for this layout — piling the tail onto the last
+            // node would be catastrophic, so fall back to kernel-wide.
+            if band == 0 || pages_per_node * u64::from(n) < view.pages {
+                return kernel_wide;
+            }
+            PageMap::Chunk { pages_per_node }
+        }
+        AccessClass::Shared {
+            motion: Motion::Vertical,
+            ..
+        } => {
+            // Column-based placement: Equation 1 with stride = row pitch
+            // splits each row into per-node stripes.
+            let gran = eq1_interleave_gran_pages(pitch_bytes(view, env), n, page);
+            PageMap::Interleave {
+                gran_pages: gran,
+                order: RrOrder::Hierarchical,
+            }
+        }
+        AccessClass::Shared {
+            sharing: Sharing::GridCol,
+            motion: Motion::Horizontal,
+            ..
+        } => kernel_wide,
+        AccessClass::NoLocality { .. } => place_no_locality(launch, topo, view, schedule, env),
+        AccessClass::IntraThread | AccessClass::Unclassified => kernel_wide,
+    }
+}
+
+/// No-locality placement mirrors whatever scheduler won the tie break so
+/// the threadblocks land where their exclusive datablocks live.
+fn place_no_locality(
+    launch: &LaunchInfo,
+    topo: &Topology,
+    view: &ArgView<'_>,
+    schedule: &TbMap,
+    env: &Env,
+) -> PageMap {
+    let n = topo.num_nodes();
+    let page = launch.page_bytes;
+    let (gdx, _) = launch.grid;
+    let kernel_wide = PageMap::Spread {
+        total_pages: view.pages,
+    };
+
+    match schedule {
+        TbMap::RowBinding { rows_per_node } => {
+            let band = band_bytes(view, env);
+            let pages_per_node = (band * rows_per_node).div_ceil(page).max(1);
+            if band == 0 || pages_per_node * u64::from(n) < view.pages {
+                kernel_wide
+            } else {
+                PageMap::Chunk { pages_per_node }
+            }
+        }
+        TbMap::Chunk { .. } | TbMap::Spread { .. } => kernel_wide,
+        TbMap::ColBinding { .. } => PageMap::Interleave {
+            gran_pages: eq1_interleave_gran_pages(pitch_bytes(view, env), n, page),
+            order: RrOrder::Hierarchical,
+        },
+        TbMap::RoundRobinBatch { batch, .. } => {
+            let db = datablock_bytes(view, env);
+            let stride = stride_bytes(view, env);
+            let band = band_bytes(view, env);
+            let whole_rows =
+                launch.grid.1 > 1 && gdx > 0 && batch % u64::from(gdx) == 0 && band > 0;
+            let gran = if whole_rows {
+                // Whole-grid-row batches: interleave matching row bands.
+                let rows_per_chunk = (batch / u64::from(gdx)).max(1);
+                (rows_per_chunk * band).div_ceil(page).max(1)
+            } else if stride > db {
+                // Equation 1: stride-aware interleaving.
+                eq1_interleave_gran_pages(stride, n, page)
+            } else {
+                // Page-aligned batches: one batch covers
+                // `batch * chunk` bytes of this argument.
+                let chunk = nl_chunk_bytes(launch, view, env);
+                (batch * chunk).div_ceil(page).max(1)
+            };
+            PageMap::Interleave {
+                gran_pages: gran,
+                order: RrOrder::Hierarchical,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GridShape;
+    use crate::expr::Expr;
+    use crate::launch::{ArgStatic, KernelStatic};
+    use crate::topology::NodeId;
+
+    fn v(x: Var) -> Expr {
+        Expr::var(x)
+    }
+
+    fn width() -> Expr {
+        v(Var::Bdx) * v(Var::Gdx)
+    }
+
+    fn topo() -> Topology {
+        Topology::paper_multi_gpu()
+    }
+
+    /// Tiled GEMM kernel with configurable A/B sizes and grid (elements).
+    fn gemm_launch_grid(a_len: u64, b_len: u64, grid: (u32, u32)) -> LaunchInfo {
+        const TILE: i64 = 16;
+        let a = ((v(Var::By) * TILE + v(Var::Ty)) * width()
+            + v(Var::Ind(0)) * TILE
+            + v(Var::Tx))
+        .to_poly();
+        let b = (v(Var::Ind(0)) * TILE * width()
+            + v(Var::Ty) * width()
+            + v(Var::Bx) * TILE
+            + v(Var::Tx))
+        .to_poly();
+        let c = ((v(Var::By) * TILE + v(Var::Ty)) * width() + v(Var::Bx) * TILE + v(Var::Tx))
+            .to_poly();
+        let kernel = KernelStatic {
+            name: "sgemm",
+            grid_shape: GridShape::TwoD,
+            args: vec![
+                ArgStatic::read("a", 4, a),
+                ArgStatic::read("b", 4, b),
+                ArgStatic::write("c", 4, c),
+            ],
+        };
+        LaunchInfo::new(kernel, grid, (16, 16), vec![a_len, b_len, 1 << 20])
+    }
+
+    /// The default 64x64 grid variant.
+    fn gemm_launch(a_len: u64, b_len: u64) -> LaunchInfo {
+        gemm_launch_grid(a_len, b_len, (64, 64))
+    }
+
+    #[test]
+    fn gemm_with_larger_a_uses_row_binding() {
+        let launch = gemm_launch(1 << 24, 1 << 20);
+        let plan = Lasp::ladm().plan(&launch, &topo());
+        assert_eq!(plan.schedule, TbMap::RowBinding { rows_per_node: 4 });
+    }
+
+    #[test]
+    fn gemm_with_larger_b_uses_col_binding() {
+        // Input-size awareness: B larger than A flips the tie break
+        // (§III-D2, "unequal matrix sizes in deep learning"). A wide grid
+        // (N = 4096 elems, pitch 16 KiB) is page-expressible on 4 nodes
+        // (DGX-1), so column binding is chosen there.
+        let launch = gemm_launch_grid(1 << 20, 1 << 24, (256, 16));
+        let plan = Lasp::ladm().plan(&launch, &Topology::dgx1());
+        assert_eq!(plan.schedule, TbMap::ColBinding { cols_per_node: 64 });
+    }
+
+    #[test]
+    fn sub_page_column_stripes_fall_back_to_round_robin() {
+        // Same B-dominant GEMM on 16 nodes: 16 KiB pitch < 16 x 4 KiB, so
+        // column stripes are not page-expressible — LASP round-robins and
+        // relies on the shared L2 instead of creating request convoys.
+        let launch = gemm_launch_grid(1 << 20, 1 << 24, (256, 16));
+        let plan = Lasp::ladm().plan(&launch, &topo());
+        assert_eq!(
+            plan.schedule,
+            TbMap::RoundRobinBatch {
+                batch: 1,
+                order: RrOrder::Hierarchical
+            }
+        );
+    }
+
+    #[test]
+    fn gemm_a_gets_row_banded_placement() {
+        // A sized exactly M x K = 1024 x 1024 so the band model covers it.
+        let launch = gemm_launch(1 << 20, 1 << 18);
+        let plan = Lasp::ladm().plan(&launch, &topo());
+        // A: band = 16 rows x 1024 elems x 4 B = 64 KiB = 16 pages; 4 rows
+        // of blocks per node -> 64 pages per node.
+        assert_eq!(plan.args[0].pages, PageMap::Chunk { pages_per_node: 64 });
+    }
+
+    #[test]
+    fn oversized_row_shared_structure_falls_back_to_spread() {
+        // When the allocation dwarfs what the band model covers, piling
+        // the tail on the last node would be catastrophic — LASP must
+        // fall back to kernel-wide spreading.
+        let launch = gemm_launch(1 << 24, 1 << 20);
+        let plan = Lasp::ladm().plan(&launch, &topo());
+        assert!(matches!(plan.args[0].pages, PageMap::Spread { .. }));
+    }
+
+    #[test]
+    fn gemm_b_gets_column_striped_placement() {
+        let launch = gemm_launch(1 << 24, 1 << 20);
+        let plan = Lasp::ladm().plan(&launch, &topo());
+        // B pitch = 1024 elems * 4 B = 4 KiB; Eq. 1 clamps to 1 page.
+        assert_eq!(
+            plan.args[1].pages,
+            PageMap::Interleave {
+                gran_pages: 1,
+                order: RrOrder::Hierarchical
+            }
+        );
+    }
+
+    fn vecadd_launch() -> LaunchInfo {
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx)).to_poly();
+        let kernel = KernelStatic {
+            name: "vecadd",
+            grid_shape: GridShape::OneD,
+            args: vec![
+                ArgStatic::read("a", 4, idx.clone()),
+                ArgStatic::write("c", 4, idx),
+            ],
+        };
+        LaunchInfo::new(kernel, (10240, 1), (128, 1), vec![10240 * 128, 10240 * 128])
+    }
+
+    #[test]
+    fn vecadd_uses_eq2_aligned_batches() {
+        let plan = Lasp::ladm().plan(&vecadd_launch(), &topo());
+        // db = 128 * 4 = 512 B; page 4096 -> batch 8.
+        assert_eq!(
+            plan.schedule,
+            TbMap::RoundRobinBatch {
+                batch: 8,
+                order: RrOrder::Hierarchical
+            }
+        );
+        // placement gran = batch * db / page = 1 page.
+        assert_eq!(
+            plan.args[0].pages,
+            PageMap::Interleave {
+                gran_pages: 1,
+                order: RrOrder::Hierarchical
+            }
+        );
+    }
+
+    #[test]
+    fn vecadd_tb_and_data_land_on_same_node() {
+        let launch = vecadd_launch();
+        let t = topo();
+        let plan = Lasp::ladm().plan(&launch, &t);
+        // Block 100 covers bytes [100*512, 101*512) -> page 12 ->
+        // interleave unit 12 -> node 12; batch 8 -> unit 100/8 = 12.
+        let tb_node = plan.schedule.node_of_tb(100, 0, (10240, 1), &t);
+        let page_node = plan.args[0].pages.node_of_page(12, &t).unwrap();
+        assert_eq!(tb_node, page_node);
+        assert_eq!(tb_node, NodeId(12));
+    }
+
+    fn scalarprod_launch() -> LaunchInfo {
+        // Grid-stride loop: A[bx*bdx + tx + m*bdx*gdx]
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * width()).to_poly();
+        let kernel = KernelStatic {
+            name: "scalarprod",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        LaunchInfo::new(kernel, (2048, 1), (256, 1), vec![64 << 20])
+    }
+
+    #[test]
+    fn strided_nl_uses_eq1_interleaving() {
+        let plan = Lasp::ladm().plan(&scalarprod_launch(), &topo());
+        // stride = 256*2048*4 B = 2 MiB; Eq.1 gran = 2 MiB/16/4 KiB = 32p.
+        match &plan.args[0].pages {
+            PageMap::Interleave { gran_pages, .. } => assert_eq!(*gran_pages, 32),
+            other => panic!("expected interleave, got {other:?}"),
+        }
+        // batch = gran*page/db = 32*4096/1024 = 128 blocks.
+        assert_eq!(
+            plan.schedule,
+            TbMap::RoundRobinBatch {
+                batch: 128,
+                order: RrOrder::Hierarchical
+            }
+        );
+    }
+
+    #[test]
+    fn strided_nl_keeps_all_iterations_on_node() {
+        let launch = scalarprod_launch();
+        let t = topo();
+        let plan = Lasp::ladm().plan(&launch, &t);
+        let tb_node = plan.schedule.node_of_tb(300, 0, (2048, 1), &t);
+        // Block 300 reads offsets 300*1KiB + k*2MiB for k = 0..; all the
+        // pages it touches must be on its node.
+        for k in 0..4u64 {
+            let byte = 300 * 1024 + k * (2 << 20);
+            let page = byte / 4096;
+            assert_eq!(
+                plan.args[0].pages.node_of_page(page, &t),
+                Some(tb_node),
+                "iteration {k}"
+            );
+        }
+    }
+
+    fn stencil_launch() -> LaunchInfo {
+        // 2D tile: A[(by*bdy+ty)*W + bx*bdx + tx]
+        let idx =
+            ((v(Var::By) * v(Var::Bdy) + v(Var::Ty)) * width() + v(Var::Bx) * v(Var::Bdx)
+                + v(Var::Tx))
+            .to_poly();
+        let kernel = KernelStatic {
+            name: "srad",
+            grid_shape: GridShape::TwoD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        LaunchInfo::new(kernel, (128, 128), (16, 16), vec![(128 * 16) * (128 * 16)])
+    }
+
+    #[test]
+    fn stencil_gets_contiguous_row_chunks() {
+        let plan = Lasp::ladm().plan(&stencil_launch(), &topo());
+        // rows_per_chunk = 128/16 = 8 grid rows; batch = 8*128 blocks.
+        assert_eq!(
+            plan.schedule,
+            TbMap::RoundRobinBatch {
+                batch: 8 * 128,
+                order: RrOrder::Hierarchical
+            }
+        );
+        // Placement: 8 bands of 16*2048 elems * 4 B = 1 MiB -> 256 pages.
+        assert_eq!(
+            plan.args[0].pages,
+            PageMap::Interleave {
+                gran_pages: 8 * 32,
+                order: RrOrder::Hierarchical
+            }
+        );
+    }
+
+    fn itl_launch() -> LaunchInfo {
+        let idx = (v(Var::Data) + v(Var::Ind(0))).to_poly();
+        let kernel = KernelStatic {
+            name: "spmv",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("vals", 4, idx)],
+        };
+        LaunchInfo::new(kernel, (4096, 1), (32, 1), vec![16 << 20])
+    }
+
+    #[test]
+    fn itl_gets_kernel_wide_plan() {
+        let plan = Lasp::ladm().plan(&itl_launch(), &topo());
+        assert_eq!(plan.schedule, TbMap::Spread { total: 4096 });
+        assert!(matches!(plan.args[0].pages, PageMap::Spread { .. }));
+    }
+
+    #[test]
+    fn crb_sets_ronce_only_for_itl() {
+        let plan = Lasp::new(CacheMode::Crb).plan(&itl_launch(), &topo());
+        assert_eq!(plan.args[0].remote_insert, RemoteInsert::Once);
+        let plan = Lasp::new(CacheMode::Crb).plan(&gemm_launch(1 << 24, 1 << 20), &topo());
+        for arg in &plan.args {
+            assert_eq!(arg.remote_insert, RemoteInsert::Twice);
+        }
+    }
+
+    #[test]
+    fn rtwice_and_ronce_modes_are_uniform() {
+        let plan = Lasp::new(CacheMode::Rtwice).plan(&itl_launch(), &topo());
+        assert_eq!(plan.args[0].remote_insert, RemoteInsert::Twice);
+        let plan = Lasp::new(CacheMode::Ronce).plan(&gemm_launch(1, 1), &topo());
+        for arg in &plan.args {
+            assert_eq!(arg.remote_insert, RemoteInsert::Once);
+        }
+    }
+
+    #[test]
+    fn row3_col_sharing_horizontal_motion_gets_col_binding() {
+        // FWT-like: inv(bx) + m (no gDim.x) -> row 3: col-binding
+        // schedule, contiguous (row-based) placement. The 64 KiB pitch is
+        // wide enough for page-expressible column stripes on 16 nodes.
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * 4).to_poly();
+        let kernel = KernelStatic {
+            name: "row3",
+            grid_shape: GridShape::TwoD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        let launch = LaunchInfo::new(kernel, (64, 16), (256, 1), vec![1 << 20]);
+        let plan = Lasp::ladm().plan(&launch, &topo());
+        assert_eq!(plan.schedule, TbMap::ColBinding { cols_per_node: 4 });
+        assert!(matches!(plan.args[0].pages, PageMap::Spread { .. }));
+    }
+
+    #[test]
+    fn row4_row_sharing_vertical_motion_gets_col_placement() {
+        // inv(by) + m*W -> row 4: row-binding schedule, column-striped
+        // placement (Eq. 1 with stride = the row pitch).
+        let idx =
+            (v(Var::By) * v(Var::Bdy) + v(Var::Ty) + v(Var::Ind(0)) * width()).to_poly();
+        let kernel = KernelStatic {
+            name: "row4",
+            grid_shape: GridShape::TwoD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        // Pitch = bdx*gdx = 64*1024 elems? Use 1024x16 blocks of (64,4).
+        let launch = LaunchInfo::new(kernel, (1024, 16), (64, 4), vec![1 << 24]);
+        let plan = Lasp::ladm().plan(&launch, &topo());
+        assert_eq!(plan.schedule, TbMap::RowBinding { rows_per_node: 1 });
+        // pitch = 64*1024*4 B = 256 KiB -> Eq.1 gran = 4 pages.
+        assert_eq!(
+            plan.args[0].pages,
+            PageMap::Interleave {
+                gran_pages: 4,
+                order: RrOrder::Hierarchical
+            }
+        );
+    }
+
+    #[test]
+    fn hotspot3d_layers_stay_on_node() {
+        // 2D grid + layer stride: row-band batching must keep every
+        // z-layer of a block's tile on its own node.
+        let layer = 1_048_576i64; // 1 Mi elements per layer
+        let idx = ((v(Var::By) * v(Var::Bdy) + v(Var::Ty)) * width()
+            + v(Var::Bx) * v(Var::Bdx)
+            + v(Var::Tx)
+            + v(Var::Ind(0)) * layer)
+            .to_poly();
+        let kernel = KernelStatic {
+            name: "hs3d",
+            grid_shape: GridShape::TwoD,
+            args: vec![ArgStatic::read("t", 4, idx)],
+        };
+        let launch = LaunchInfo::new(kernel, (16, 64), (64, 4), vec![8 << 20]);
+        let t = topo();
+        let plan = Lasp::ladm().plan(&launch, &t);
+        // Pick a block, check its tile pages at layers 0 and 1 share the
+        // block's node.
+        let tb = (3u32, 17u32);
+        let node = plan.schedule.node_of_tb(tb.0, tb.1, launch.grid, &t);
+        let w = 64 * 16u64; // elements per row
+        for m in [0u64, 1, 2] {
+            let elem = u64::from(tb.1) * 4 * w + u64::from(tb.0) * 64 + m * 1_048_576;
+            let page = elem * 4 / 4096;
+            assert_eq!(
+                plan.args[0].pages.node_of_page(page, &t),
+                Some(node),
+                "layer {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Lasp::new(CacheMode::Rtwice).name(), "LASP+RTWICE");
+        assert_eq!(Lasp::new(CacheMode::Ronce).name(), "LASP+RONCE");
+        assert_eq!(Lasp::ladm().name(), "LADM");
+        assert_eq!(Lasp::ladm().cache_mode(), CacheMode::Crb);
+    }
+}

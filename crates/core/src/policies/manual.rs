@@ -1,0 +1,137 @@
+//! Hand-tuned placement/scheduling — the Locality Descriptor column of
+//! Table I (Vijaykumar et al., Sun et al.): an explicit, per-structure
+//! API that trades transparency for programmer control.
+//!
+//! LADM's pitch is matching this expressiveness *without* annotations;
+//! [`Manual`] exists so the comparison can be run, and as the escape hatch
+//! a production runtime would offer for the rare kernel the analysis gets
+//! wrong.
+
+use super::Policy;
+use crate::launch::LaunchInfo;
+use crate::plan::{ArgPlan, KernelPlan, PageMap, RemoteInsert, TbMap};
+use crate::topology::Topology;
+
+/// A policy built from explicit per-argument descriptors.
+///
+/// # Examples
+///
+/// ```
+/// use ladm_core::plan::{PageMap, RemoteInsert, TbMap};
+/// use ladm_core::policies::Manual;
+///
+/// // "Place both structures kernel-wide, schedule kernel-wide, bypass the
+/// // home L2 for the second argument."
+/// let policy = Manual::new(TbMap::Spread { total: 1024 })
+///     .with_arg(PageMap::Spread { total_pages: 256 }, RemoteInsert::Twice)
+///     .with_arg(PageMap::Spread { total_pages: 512 }, RemoteInsert::Once);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Manual {
+    schedule: TbMap,
+    args: Vec<ArgPlan>,
+    default_pages: PageMap,
+}
+
+impl Manual {
+    /// Creates a manual policy with the given threadblock schedule.
+    /// Arguments without an explicit descriptor default to first-touch
+    /// (the UVM behaviour an unannotated structure gets).
+    pub fn new(schedule: TbMap) -> Self {
+        Manual {
+            schedule,
+            args: Vec::new(),
+            default_pages: PageMap::FirstTouch,
+        }
+    }
+
+    /// Appends the descriptor for the next argument (in argument order).
+    pub fn with_arg(mut self, pages: PageMap, remote_insert: RemoteInsert) -> Self {
+        self.args.push(ArgPlan {
+            pages,
+            remote_insert,
+        });
+        self
+    }
+
+    /// Changes the placement used for arguments without a descriptor.
+    pub fn with_default_pages(mut self, pages: PageMap) -> Self {
+        self.default_pages = pages;
+        self
+    }
+}
+
+impl Policy for Manual {
+    fn name(&self) -> &'static str {
+        "Manual-LD"
+    }
+
+    fn plan(&self, launch: &LaunchInfo, _topo: &Topology) -> KernelPlan {
+        let args = (0..launch.kernel.args.len())
+            .map(|i| {
+                self.args.get(i).cloned().unwrap_or(ArgPlan {
+                    pages: self.default_pages.clone(),
+                    remote_insert: RemoteInsert::Twice,
+                })
+            })
+            .collect();
+        KernelPlan {
+            args,
+            schedule: self.schedule.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GridShape;
+    use crate::expr::{Expr, Var};
+    use crate::launch::{ArgStatic, KernelStatic};
+    use crate::plan::RrOrder;
+
+    fn launch() -> LaunchInfo {
+        let idx = (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
+        let kernel = KernelStatic {
+            name: "k",
+            grid_shape: GridShape::OneD,
+            args: vec![
+                ArgStatic::read("a", 4, idx.clone()),
+                ArgStatic::write("b", 4, idx),
+            ],
+        };
+        LaunchInfo::new(kernel, (64, 1), (128, 1), vec![1 << 16, 1 << 16])
+    }
+
+    #[test]
+    fn explicit_descriptors_are_used_in_order() {
+        let policy = Manual::new(TbMap::RoundRobinBatch {
+            batch: 4,
+            order: RrOrder::Hierarchical,
+        })
+        .with_arg(PageMap::Spread { total_pages: 64 }, RemoteInsert::Once)
+        .with_arg(
+            PageMap::Interleave {
+                gran_pages: 2,
+                order: RrOrder::GpuMajor,
+            },
+            RemoteInsert::Twice,
+        );
+        let plan = policy.plan(&launch(), &Topology::paper_multi_gpu());
+        assert_eq!(plan.args[0].pages, PageMap::Spread { total_pages: 64 });
+        assert_eq!(plan.args[0].remote_insert, RemoteInsert::Once);
+        assert_eq!(plan.args[1].remote_insert, RemoteInsert::Twice);
+        assert_eq!(policy.name(), "Manual-LD");
+    }
+
+    #[test]
+    fn missing_descriptors_fall_back_to_default() {
+        let policy = Manual::new(TbMap::Spread { total: 64 });
+        let plan = policy.plan(&launch(), &Topology::paper_multi_gpu());
+        assert_eq!(plan.args.len(), 2);
+        assert_eq!(plan.args[0].pages, PageMap::FirstTouch);
+        let policy = policy.with_default_pages(PageMap::Spread { total_pages: 64 });
+        let plan = policy.plan(&launch(), &Topology::paper_multi_gpu());
+        assert_eq!(plan.args[1].pages, PageMap::Spread { total_pages: 64 });
+    }
+}

@@ -1,0 +1,139 @@
+//! NUMA management policies: LASP/LADM and the state-of-the-art baselines
+//! it is evaluated against (paper Table I).
+//!
+//! | Policy | Page placement | TB scheduling | Source |
+//! |---|---|---|---|
+//! | [`BaselineRr`] | page round-robin | TB round-robin | Vijayaraghavan et al. |
+//! | [`BatchFt`] | first-touch | static batched round-robin | Arunkumar et al. (MCM-GPU) |
+//! | [`KernelWide`] | N contiguous chunks | N contiguous chunks | Milic et al. |
+//! | [`Coda`] | page round-robin | alignment-aware batches | Kim et al. (CODA / H-CODA) |
+//! | [`Lasp`] | locality-driven (Table II) | locality-driven (Table II) | this paper |
+//!
+//! All policies implement [`Policy`]: a pure function from a
+//! [`LaunchInfo`] and [`Topology`] to a [`KernelPlan`].
+
+mod baseline;
+mod batchft;
+mod coda;
+mod kernelwide;
+mod lasp;
+mod manual;
+
+pub use baseline::BaselineRr;
+pub use batchft::BatchFt;
+pub use coda::Coda;
+pub use kernelwide::KernelWide;
+pub use lasp::{CacheMode, Lasp};
+pub use manual::Manual;
+
+use crate::launch::LaunchInfo;
+use crate::plan::KernelPlan;
+use crate::topology::Topology;
+use std::fmt;
+
+/// A NUMA page-placement + threadblock-scheduling + cache-insertion policy.
+///
+/// Implementations must be pure: the same launch and topology always yield
+/// the same plan (first-touch placement defers the page→node choice to the
+/// machine, but the *plan* is still deterministic).
+pub trait Policy: fmt::Debug + Send + Sync {
+    /// Short stable name used in experiment output (e.g. `"LADM"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes the placement/scheduling/caching plan for one launch.
+    fn plan(&self, launch: &LaunchInfo, topo: &Topology) -> KernelPlan;
+}
+
+/// Equation 1: round-robin interleaving granularity in pages for a strided
+/// access: `ceil(stride_bytes / num_nodes) / page_bytes`, clamped to at
+/// least one page.
+pub fn eq1_interleave_gran_pages(stride_bytes: u64, num_nodes: u32, page_bytes: u64) -> u64 {
+    let per_node = stride_bytes.div_ceil(u64::from(num_nodes.max(1)));
+    (per_node / page_bytes).max(1)
+}
+
+/// Equation 2: minimum threadblock batch size that keeps batches
+/// page-aligned: `page_bytes / datablock_bytes`, clamped to at least one.
+pub fn eq2_min_tb_batch(page_bytes: u64, datablock_bytes: u64) -> u64 {
+    if datablock_bytes == 0 {
+        return 1;
+    }
+    (page_bytes / datablock_bytes).max(1)
+}
+
+/// Kernel-wide chunk size in pages for an allocation.
+pub fn kernel_wide_pages_per_node(arg_pages: u64, num_nodes: u32) -> u64 {
+    arg_pages.div_ceil(u64::from(num_nodes.max(1))).max(1)
+}
+
+/// Kernel-wide chunk size in threadblocks for a launch.
+pub fn kernel_wide_tbs_per_node(total_tbs: u64, num_nodes: u32) -> u64 {
+    total_tbs.div_ceil(u64::from(num_nodes.max(1))).max(1)
+}
+
+/// The lineup of policies evaluated in Figure 4, in the paper's order.
+pub fn fig4_lineup() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(BaselineRr::new()),
+        Box::new(BatchFt::new()),
+        Box::new(KernelWide::new()),
+        Box::new(Coda::flat()),
+    ]
+}
+
+/// The lineup of policies evaluated in Figures 9 and 10, in the paper's
+/// order (the monolithic reference is a topology, not a policy).
+pub fn fig9_lineup() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(Coda::hierarchical()),
+        Box::new(Lasp::new(CacheMode::Rtwice)),
+        Box::new(Lasp::new(CacheMode::Ronce)),
+        Box::new(Lasp::new(CacheMode::Crb)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_examples() {
+        // stride 512 KiB over 16 nodes with 4 KiB pages -> 8 pages.
+        assert_eq!(eq1_interleave_gran_pages(512 << 10, 16, 4096), 8);
+        // tiny stride clamps to one page.
+        assert_eq!(eq1_interleave_gran_pages(64, 16, 4096), 1);
+        // zero nodes guarded.
+        assert_eq!(eq1_interleave_gran_pages(4096, 0, 4096), 1);
+    }
+
+    #[test]
+    fn eq2_examples() {
+        // 4 KiB page, 512 B datablock (128 floats) -> 8 TBs per batch.
+        assert_eq!(eq2_min_tb_batch(4096, 512), 8);
+        // datablock larger than a page -> batch of one.
+        assert_eq!(eq2_min_tb_batch(4096, 8192), 1);
+        // degenerate datablock guarded.
+        assert_eq!(eq2_min_tb_batch(4096, 0), 1);
+    }
+
+    #[test]
+    fn kernel_wide_helpers_round_up() {
+        assert_eq!(kernel_wide_pages_per_node(100, 16), 7);
+        assert_eq!(kernel_wide_tbs_per_node(1024, 16), 64);
+        assert_eq!(kernel_wide_tbs_per_node(1, 16), 1);
+    }
+
+    #[test]
+    fn lineups_have_expected_names() {
+        let names: Vec<&str> = fig4_lineup().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Baseline-RR", "Batch+FT", "Kernel-Wide", "CODA"]
+        );
+        let names: Vec<&str> = fig9_lineup().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["H-CODA", "LASP+RTWICE", "LASP+RONCE", "LADM"]
+        );
+    }
+}

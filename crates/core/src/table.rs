@@ -1,0 +1,265 @@
+//! The **locality table** (paper Fig. 5): the artifact the compiler embeds
+//! in the executable and the runtime completes at allocation time.
+//!
+//! One row exists per global-pointer argument of every kernel. The
+//! compiler fills the locality classification, element size and the
+//! `MallocPC` linking the argument to its `cudaMallocManaged` call site;
+//! the runtime fills base address and page count when the allocation
+//! happens, and LASP reads the completed rows on each kernel launch.
+
+use crate::analysis::{classify, AccessClass};
+use crate::launch::KernelStatic;
+use std::fmt;
+
+/// Identifier of a `cudaMallocManaged` call site (its program counter in
+/// the paper; any stable ID here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MallocPc(pub u64);
+
+/// One locality-table row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Allocation call site this argument was bound to by pointer-alias
+    /// analysis.
+    pub malloc_pc: MallocPc,
+    /// Kernel the row belongs to.
+    pub kernel: &'static str,
+    /// Argument position within the kernel.
+    pub arg_index: usize,
+    /// Compiler-detected locality class for each access site of the
+    /// argument (in the order they appear in the kernel body).
+    pub classes: Vec<AccessClass>,
+    /// Element size in bytes.
+    pub elem_bytes: u32,
+    /// Base device address — `None` until the runtime observes the
+    /// allocation.
+    pub base_addr: Option<u64>,
+    /// Allocation size in pages — `None` until the runtime observes the
+    /// allocation.
+    pub num_pages: Option<u64>,
+}
+
+impl TableEntry {
+    /// Is the dynamic half of the row filled in?
+    pub fn is_bound(&self) -> bool {
+        self.base_addr.is_some() && self.num_pages.is_some()
+    }
+
+    /// The representative class for the argument when access sites
+    /// disagree: shared (rows 2–5) beats no-locality (row 1) beats
+    /// intra-thread (row 6) beats unclassified (row 7), matching LASP's
+    /// preference for patterns it can act on most profitably.
+    pub fn representative_class(&self) -> AccessClass {
+        representative(&self.classes)
+    }
+}
+
+/// Picks the representative class from a set of per-site classifications.
+pub fn representative(classes: &[AccessClass]) -> AccessClass {
+    let mut best: Option<&AccessClass> = None;
+    for class in classes {
+        let rank = class_rank(class);
+        if best.is_none_or(|b| rank < class_rank(b)) {
+            best = Some(class);
+        }
+    }
+    best.cloned().unwrap_or(AccessClass::Unclassified)
+}
+
+fn class_rank(class: &AccessClass) -> u8 {
+    match class {
+        AccessClass::Shared { .. } => 0,
+        AccessClass::NoLocality { .. } => 1,
+        AccessClass::IntraThread => 2,
+        AccessClass::Unclassified => 3,
+    }
+}
+
+/// The complete locality table for a program (all kernels).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocalityTable {
+    entries: Vec<TableEntry>,
+}
+
+impl LocalityTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        LocalityTable::default()
+    }
+
+    /// The compiler pass: classifies every access of every argument of
+    /// `kernel` and appends one row per argument. `malloc_pcs` gives the
+    /// allocation site bound to each argument (one per argument), as
+    /// determined by pointer-alias analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `malloc_pcs.len()` differs from the kernel's argument
+    /// count.
+    pub fn compile_kernel(&mut self, kernel: &KernelStatic, malloc_pcs: &[MallocPc]) {
+        assert_eq!(
+            kernel.args.len(),
+            malloc_pcs.len(),
+            "one MallocPC per kernel argument"
+        );
+        for (arg_index, (arg, &malloc_pc)) in kernel.args.iter().zip(malloc_pcs).enumerate() {
+            let classes = arg
+                .accesses
+                .iter()
+                .map(|index| classify(index, kernel.grid_shape, 0))
+                .collect();
+            self.entries.push(TableEntry {
+                malloc_pc,
+                kernel: kernel.name,
+                arg_index,
+                classes,
+                elem_bytes: arg.elem_bytes,
+                base_addr: None,
+                num_pages: None,
+            });
+        }
+    }
+
+    /// The runtime half: records the address and size of the allocation
+    /// made at `malloc_pc` into every row bound to that call site.
+    /// Returns the number of rows updated.
+    pub fn bind_allocation(&mut self, malloc_pc: MallocPc, base_addr: u64, num_pages: u64) -> usize {
+        let mut updated = 0;
+        for entry in &mut self.entries {
+            if entry.malloc_pc == malloc_pc {
+                entry.base_addr = Some(base_addr);
+                entry.num_pages = Some(num_pages);
+                updated += 1;
+            }
+        }
+        updated
+    }
+
+    /// Looks up the row for `(kernel, arg_index)`.
+    pub fn lookup(&self, kernel: &str, arg_index: usize) -> Option<&TableEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.kernel == kernel && e.arg_index == arg_index)
+    }
+
+    /// All rows, in insertion order.
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for LocalityTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:<16} {:>3} {:<18} {:>5} {:>12} {:>8}",
+            "MallocPC", "Kernel", "Arg", "Locality", "Elem", "Address", "#Pages"
+        )?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<10} {:<16} {:>3} {:<18} {:>5} {:>12} {:>8}",
+                format!("0x{:x}", e.malloc_pc.0),
+                e.kernel,
+                e.arg_index,
+                e.representative_class().to_string(),
+                e.elem_bytes,
+                e.base_addr
+                    .map(|a| format!("0x{a:x}"))
+                    .unwrap_or_else(|| "-".into()),
+                e.num_pages
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GridShape;
+    use crate::expr::{Expr, Poly, Var};
+    use crate::launch::ArgStatic;
+
+    fn sample_kernel() -> KernelStatic {
+        let nl = (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
+        let itl = (Expr::var(Var::Data) + Expr::var(Var::Ind(0))).to_poly();
+        KernelStatic {
+            name: "k",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, nl), ArgStatic::read("b", 4, itl)],
+        }
+    }
+
+    #[test]
+    fn compile_classifies_each_arg() {
+        let mut table = LocalityTable::new();
+        table.compile_kernel(&sample_kernel(), &[MallocPc(0x400), MallocPc(0x404)]);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.lookup("k", 0).unwrap().representative_class().table_row(), 1);
+        assert_eq!(
+            table.lookup("k", 1).unwrap().representative_class(),
+            AccessClass::IntraThread
+        );
+    }
+
+    #[test]
+    fn bind_allocation_fills_dynamic_half() {
+        let mut table = LocalityTable::new();
+        table.compile_kernel(&sample_kernel(), &[MallocPc(0x400), MallocPc(0x404)]);
+        assert!(!table.lookup("k", 0).unwrap().is_bound());
+        let updated = table.bind_allocation(MallocPc(0x400), 0x3466_0000, 80);
+        assert_eq!(updated, 1);
+        let e = table.lookup("k", 0).unwrap();
+        assert!(e.is_bound());
+        assert_eq!(e.num_pages, Some(80));
+    }
+
+    #[test]
+    fn shared_beats_no_locality_in_representative() {
+        let shared = AccessClass::Shared {
+            sharing: crate::analysis::Sharing::GridRow,
+            motion: crate::analysis::Motion::Horizontal,
+            stride: Poly::constant(16),
+        };
+        let nl = AccessClass::NoLocality {
+            stride: Poly::zero(),
+        };
+        assert_eq!(
+            representative(&[nl.clone(), shared.clone()]),
+            shared
+        );
+        assert_eq!(representative(std::slice::from_ref(&nl)), nl);
+        assert_eq!(representative(&[]), AccessClass::Unclassified);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let mut table = LocalityTable::new();
+        table.compile_kernel(&sample_kernel(), &[MallocPc(0x400), MallocPc(0x404)]);
+        table.bind_allocation(MallocPc(0x404), 0x1000, 12);
+        let s = table.to_string();
+        assert!(s.contains("0x400"));
+        assert!(s.contains("ITL"));
+        assert!(s.contains("12"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one MallocPC")]
+    fn wrong_pc_count_panics() {
+        let mut table = LocalityTable::new();
+        table.compile_kernel(&sample_kernel(), &[MallocPc(0x400)]);
+    }
+}

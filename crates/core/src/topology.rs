@@ -1,0 +1,190 @@
+//! Hierarchical machine description (Fig. 1).
+//!
+//! A *massive logical GPU* is a set of discrete GPUs connected by a switch,
+//! each GPU composed of chiplets connected by an on-package ring. The unit
+//! of NUMA placement is the **chiplet** (called a *node* throughout);
+//! chiplet IDs are numbered nested — all chiplets of GPU 0 first — so that
+//! contiguous node ranges are hierarchy-friendly.
+
+use std::fmt;
+
+/// Global chiplet (NUMA node) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+/// Discrete-GPU identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GpuId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Counts and shape of the locality hierarchy. Link bandwidths and
+/// latencies belong to the simulator configuration; placement and
+/// scheduling only need the shape.
+///
+/// # Examples
+///
+/// ```
+/// use ladm_core::topology::{NodeId, Topology};
+///
+/// let t = Topology::paper_multi_gpu(); // 4 GPUs x 4 chiplets
+/// assert_eq!(t.num_nodes(), 16);
+/// assert!(t.same_gpu(NodeId(0), NodeId(3)));
+/// assert!(!t.same_gpu(NodeId(3), NodeId(4)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Number of discrete GPUs behind the switch.
+    pub num_gpus: u32,
+    /// Chiplets (NUMA nodes) per GPU.
+    pub chiplets_per_gpu: u32,
+}
+
+impl Topology {
+    /// The paper's evaluated system: 4 GPUs × 4 chiplets (Table III).
+    pub fn paper_multi_gpu() -> Self {
+        Topology {
+            num_gpus: 4,
+            chiplets_per_gpu: 4,
+        }
+    }
+
+    /// A hypothetical monolithic GPU: one node, no NUMA penalty.
+    pub fn monolithic() -> Self {
+        Topology {
+            num_gpus: 1,
+            chiplets_per_gpu: 1,
+        }
+    }
+
+    /// A DGX-1-like cluster: 4 discrete single-die GPUs (§IV-C).
+    pub fn dgx1() -> Self {
+        Topology {
+            num_gpus: 4,
+            chiplets_per_gpu: 1,
+        }
+    }
+
+    /// A single MCM-GPU: 1 GPU of 4 chiplets (Arunkumar et al. config).
+    pub fn mcm_gpu() -> Self {
+        Topology {
+            num_gpus: 1,
+            chiplets_per_gpu: 4,
+        }
+    }
+
+    /// Creates a topology with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(num_gpus: u32, chiplets_per_gpu: u32) -> Self {
+        assert!(num_gpus > 0, "topology needs at least one GPU");
+        assert!(chiplets_per_gpu > 0, "topology needs at least one chiplet per GPU");
+        Topology {
+            num_gpus,
+            chiplets_per_gpu,
+        }
+    }
+
+    /// Total NUMA nodes (chiplets) in the system.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_gpus * self.chiplets_per_gpu
+    }
+
+    /// The GPU that owns a node.
+    pub fn gpu_of(&self, node: NodeId) -> GpuId {
+        GpuId(node.0 / self.chiplets_per_gpu)
+    }
+
+    /// The chiplet index of `node` within its GPU.
+    pub fn chiplet_within_gpu(&self, node: NodeId) -> u32 {
+        node.0 % self.chiplets_per_gpu
+    }
+
+    /// The node for `(gpu, chiplet)` coordinates.
+    pub fn node(&self, gpu: GpuId, chiplet: u32) -> NodeId {
+        debug_assert!(gpu.0 < self.num_gpus && chiplet < self.chiplets_per_gpu);
+        NodeId(gpu.0 * self.chiplets_per_gpu + chiplet)
+    }
+
+    /// Do two nodes live on the same discrete GPU?
+    pub fn same_gpu(&self, a: NodeId, b: NodeId) -> bool {
+        self.gpu_of(a) == self.gpu_of(b)
+    }
+
+    /// Is this a single-node machine (no NUMA effects)?
+    pub fn is_monolithic(&self) -> bool {
+        self.num_nodes() == 1
+    }
+
+    /// Iterates over all node IDs.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes()).map(NodeId)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} (gpus x chiplets)", self.num_gpus, self.chiplets_per_gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_has_16_nodes() {
+        let t = Topology::paper_multi_gpu();
+        assert_eq!(t.num_nodes(), 16);
+    }
+
+    #[test]
+    fn node_numbering_is_nested() {
+        let t = Topology::paper_multi_gpu();
+        assert_eq!(t.gpu_of(NodeId(0)), GpuId(0));
+        assert_eq!(t.gpu_of(NodeId(3)), GpuId(0));
+        assert_eq!(t.gpu_of(NodeId(4)), GpuId(1));
+        assert_eq!(t.chiplet_within_gpu(NodeId(5)), 1);
+        assert_eq!(t.node(GpuId(2), 3), NodeId(11));
+    }
+
+    #[test]
+    fn same_gpu_detection() {
+        let t = Topology::paper_multi_gpu();
+        assert!(t.same_gpu(NodeId(0), NodeId(3)));
+        assert!(!t.same_gpu(NodeId(3), NodeId(4)));
+    }
+
+    #[test]
+    fn monolithic_is_single_node() {
+        let t = Topology::monolithic();
+        assert!(t.is_monolithic());
+        assert_eq!(t.num_nodes(), 1);
+    }
+
+    #[test]
+    fn nodes_iterator_covers_all() {
+        let t = Topology::new(2, 3);
+        let all: Vec<NodeId> = t.nodes().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[5], NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_panics() {
+        Topology::new(0, 4);
+    }
+}

@@ -1,0 +1,243 @@
+//! Property-based tests for the symbolic algebra, the classifier and the
+//! placement/scheduling maps.
+
+use ladm_core::analysis::{classify, AccessClass, GridShape};
+use ladm_core::expr::{Env, Expr, Poly, Var};
+use ladm_core::plan::{PageMap, RrOrder, TbMap};
+use ladm_core::topology::Topology;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Expression generators
+// ---------------------------------------------------------------------
+
+fn arb_var() -> impl Strategy<Value = Var> {
+    prop_oneof![
+        Just(Var::Tx),
+        Just(Var::Ty),
+        Just(Var::Bx),
+        Just(Var::By),
+        Just(Var::Bdx),
+        Just(Var::Bdy),
+        Just(Var::Gdx),
+        Just(Var::Gdy),
+        Just(Var::Ind(0)),
+        Just(Var::Ind(1)),
+        Just(Var::Param("p")),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Expr::from),
+        arb_var().prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner).prop_map(|(a, b)| a * b),
+        ]
+    })
+}
+
+fn full_env() -> Env {
+    Env::new()
+        .with_dims(16, 4, 32, 8)
+        .with_block(3, 5)
+        .with_thread(7, 2)
+        .with_ind(0, 11)
+        .with_ind(1, 13)
+        .with_param("p", 29)
+}
+
+/// Direct AST evaluation, the reference semantics for `Poly`.
+fn eval_expr(e: &Expr, env: &Env) -> i64 {
+    match e {
+        Expr::Const(c) => *c,
+        Expr::Var(v) => env.get(*v),
+        Expr::Add(a, b) => eval_expr(a, env).wrapping_add(eval_expr(b, env)),
+        Expr::Sub(a, b) => eval_expr(a, env).wrapping_sub(eval_expr(b, env)),
+        Expr::Mul(a, b) => eval_expr(a, env).wrapping_mul(eval_expr(b, env)),
+    }
+}
+
+proptest! {
+    /// Canonicalization preserves semantics: the polynomial evaluates to
+    /// exactly what the source AST evaluates to.
+    #[test]
+    fn poly_eval_matches_ast_eval(e in arb_expr()) {
+        let env = full_env();
+        prop_assert_eq!(e.to_poly().eval(&env), eval_expr(&e, &env));
+    }
+
+    /// Addition of polynomials is an evaluation homomorphism.
+    #[test]
+    fn poly_add_homomorphism(a in arb_expr(), b in arb_expr()) {
+        let env = full_env();
+        let sum = (a.to_poly() + b.to_poly()).eval(&env);
+        prop_assert_eq!(sum, eval_expr(&a, &env).wrapping_add(eval_expr(&b, &env)));
+    }
+
+    /// Multiplication of polynomials is an evaluation homomorphism.
+    #[test]
+    fn poly_mul_homomorphism(a in arb_expr(), b in arb_expr()) {
+        let env = full_env();
+        let prod = (a.to_poly() * b.to_poly()).eval(&env);
+        prop_assert_eq!(prod, eval_expr(&a, &env).wrapping_mul(eval_expr(&b, &env)));
+    }
+
+    /// Canonical form is truly canonical: `a + b` and `b + a` produce
+    /// structurally equal polynomials, and subtraction of self is zero.
+    #[test]
+    fn poly_canonical_commutativity(a in arb_expr(), b in arb_expr()) {
+        prop_assert_eq!(
+            (a.clone() + b.clone()).to_poly(),
+            (b + a).to_poly()
+        );
+    }
+
+    #[test]
+    fn poly_self_subtraction_is_zero(a in arb_expr()) {
+        prop_assert!((a.clone() - a).to_poly().is_zero());
+    }
+
+    /// The loop-variant/invariant split is a partition: the two halves
+    /// sum back to the original polynomial, the variant half contains the
+    /// induction variable in every term and the invariant half in none.
+    #[test]
+    fn induction_split_partitions(e in arb_expr()) {
+        let p = e.to_poly();
+        let (variant, invariant) = p.split_by_induction(0);
+        prop_assert_eq!(variant.clone() + invariant.clone(), p);
+        prop_assert!(!invariant.contains(Var::Ind(0)));
+        for (vars, _) in variant.iter() {
+            prop_assert!(vars.contains(&Var::Ind(0)));
+        }
+    }
+
+    /// Substituting a variable and evaluating equals evaluating with the
+    /// variable bound to the substituted value.
+    #[test]
+    fn subst_matches_binding(e in arb_expr(), val in -20i64..20) {
+        let env = full_env();
+        let substituted = e.to_poly().subst(Var::Param("p"), &Poly::constant(val));
+        prop_assert!(!substituted.contains(Var::Param("p")));
+        let env2 = full_env().with_param("p", val);
+        prop_assert_eq!(substituted.eval(&env), e.to_poly().eval(&env2));
+    }
+
+    /// The classifier is total and deterministic, and its row is in 1..=7.
+    #[test]
+    fn classify_total_and_stable(e in arb_expr()) {
+        let p = e.to_poly();
+        let a = classify(&p, GridShape::TwoD, 0);
+        let b = classify(&p, GridShape::TwoD, 0);
+        prop_assert_eq!(&a, &b);
+        prop_assert!((1..=7).contains(&a.table_row()));
+        let one_d = classify(&p, GridShape::OneD, 0);
+        prop_assert!((1..=7).contains(&one_d.table_row()));
+        // Rows 2-5 (sharing) can only occur on 2D grids.
+        let is_shared_on_1d = matches!(one_d, AccessClass::Shared { .. });
+        prop_assert!(!is_shared_on_1d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Placement / scheduling maps
+// ---------------------------------------------------------------------
+
+fn arb_topo() -> impl Strategy<Value = Topology> {
+    (1u32..6, 1u32..6).prop_map(|(g, c)| Topology::new(g, c))
+}
+
+fn arb_order() -> impl Strategy<Value = RrOrder> {
+    prop_oneof![Just(RrOrder::Hierarchical), Just(RrOrder::GpuMajor)]
+}
+
+proptest! {
+    /// Every page map resolves to a valid node (or first-touch).
+    #[test]
+    fn page_maps_stay_in_range(
+        topo in arb_topo(),
+        order in arb_order(),
+        gran in 0u64..100,
+        chunk in 0u64..100,
+        total in 0u64..5000,
+        page in 0u64..100_000,
+    ) {
+        let maps = [
+            PageMap::Interleave { gran_pages: gran, order },
+            PageMap::Chunk { pages_per_node: chunk },
+            PageMap::Spread { total_pages: total },
+        ];
+        for map in maps {
+            let node = map.node_of_page(page, &topo).expect("resolvable map");
+            prop_assert!(node.0 < topo.num_nodes(), "{map:?} -> {node}");
+            // Byte-level resolution agrees with page-level resolution.
+            prop_assert_eq!(map.node_of(page * 4096, 4096, &topo), Some(node));
+        }
+        let sub = PageMap::SubPageInterleave {
+            gran_bytes: (gran * 64).max(1),
+            order,
+        };
+        let node = sub
+            .node_of(page * 4096 + 17, 4096, &topo)
+            .expect("sub-page resolves by byte");
+        prop_assert!(node.0 < topo.num_nodes());
+    }
+
+    /// Every schedule resolves to a valid node for every block.
+    #[test]
+    fn tb_maps_stay_in_range(
+        topo in arb_topo(),
+        order in arb_order(),
+        batch in 0u64..64,
+        per_node in 0u64..64,
+        rows in 0u64..16,
+        cols in 0u64..16,
+        gdx in 1u32..64,
+        gdy in 1u32..64,
+    ) {
+        let total = u64::from(gdx) * u64::from(gdy);
+        let maps = [
+            TbMap::RoundRobinBatch { batch, order },
+            TbMap::Chunk { per_node },
+            TbMap::Spread { total },
+            TbMap::RowBinding { rows_per_node: rows },
+            TbMap::ColBinding { cols_per_node: cols },
+        ];
+        for map in maps {
+            for &(bx, by) in &[(0, 0), (gdx - 1, 0), (0, gdy - 1), (gdx - 1, gdy - 1)] {
+                let node = map.node_of_tb(bx, by, (gdx, gdy), &topo);
+                prop_assert!(node.0 < topo.num_nodes(), "{map:?} -> {node}");
+            }
+        }
+    }
+
+    /// Round-robin orders are fair: over one full period every node is
+    /// hit exactly once.
+    #[test]
+    fn rr_orders_are_permutations(topo in arb_topo(), order in arb_order()) {
+        let n = topo.num_nodes() as u64;
+        let mut seen = vec![false; n as usize];
+        for unit in 0..n {
+            let node = order.node_of_unit(unit, &topo);
+            prop_assert!(!seen[node.0 as usize], "duplicate node {node}");
+            seen[node.0 as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Spread maps are monotone: later pages never map to earlier nodes.
+    #[test]
+    fn spread_is_monotone(topo in arb_topo(), total in 1u64..2000) {
+        let map = PageMap::Spread { total_pages: total };
+        let mut prev = 0u32;
+        for p in 0..total {
+            let node = map.node_of_page(p, &topo).expect("spread resolves");
+            prop_assert!(node.0 >= prev);
+            prev = node.0;
+        }
+    }
+}

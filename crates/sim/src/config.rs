@@ -1,0 +1,303 @@
+//! Simulator configuration (paper Table III) and the derived
+//! interconnect presets used by the evaluation figures.
+//!
+//! All bandwidths are stored in **bytes per core cycle** (the paper's GPUs
+//! run at 1.4 GHz, so `GB/s / 1.4` bytes/cycle); all latencies in core
+//! cycles.
+
+use ladm_core::topology::Topology;
+
+/// Converts GB/s to bytes per 1.4 GHz core cycle.
+pub const fn gbps(gb_per_s: u64) -> f64 {
+    gb_per_s as f64 / 1.4
+}
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes (sectored).
+    pub line_bytes: u32,
+    /// Sector size in bytes (transfer granularity).
+    pub sector_bytes: u32,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is not a power of
+    /// two number of sets.
+    pub fn num_sets(&self) -> u64 {
+        let lines = self.bytes / u64::from(self.line_bytes);
+        let sets = lines / u64::from(self.assoc);
+        assert!(sets > 0, "cache too small for its associativity");
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        sets
+    }
+
+    /// Sectors per line.
+    pub fn sectors_per_line(&self) -> u32 {
+        self.line_bytes / self.sector_bytes
+    }
+}
+
+/// Full simulated-machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Hierarchy shape (GPUs × chiplets).
+    pub topology: Topology,
+    /// SMs per chiplet.
+    pub sms_per_chiplet: u32,
+    /// Warp width (threads).
+    pub warp_size: u32,
+    /// Maximum resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Maximum resident threadblocks per SM.
+    pub max_tbs_per_sm: u32,
+    /// Warp instructions issued per cycle per SM.
+    pub issue_per_cycle: f64,
+    /// Per-SM L1 data cache.
+    pub l1: CacheConfig,
+    /// Per-chiplet L2 partition.
+    pub l2: CacheConfig,
+    /// HBM access latency (row hit averaged), cycles.
+    pub dram_latency: u64,
+    /// HBM bandwidth per chiplet, bytes/cycle.
+    pub dram_bw: f64,
+    /// SM↔L2 crossbar bandwidth per chiplet, bytes/cycle.
+    pub intra_chiplet_bw: f64,
+    /// SM↔L2 crossbar latency, cycles.
+    pub intra_chiplet_latency: u64,
+    /// Inter-chiplet ring bandwidth per GPU (shared), bytes/cycle.
+    pub ring_bw: f64,
+    /// Inter-chiplet ring hop latency, cycles.
+    pub ring_latency: u64,
+    /// Inter-GPU switch link bandwidth per GPU per direction, bytes/cycle.
+    pub switch_bw: f64,
+    /// Inter-GPU switch latency, cycles.
+    pub switch_latency: u64,
+    /// Dynamically-shared L2 with remote caching (Milic et al. [51]):
+    /// remote-homed read data is cached in the requester's L2 partition.
+    /// Disable for the §IV-A ablation ("remote caching improves GEMM
+    /// 4.8×").
+    pub remote_caching: bool,
+    /// Reactive page migration (the CPU-NUMA-style mechanism the paper's
+    /// §II-A argues against): after this many consecutive accesses to a
+    /// page from the same remote node, the page migrates there, stalling
+    /// the triggering request for the page transfer. `0` disables
+    /// migration (the default — LADM is proactive).
+    pub migration_threshold: u32,
+    /// Virtual page size in bytes.
+    pub page_bytes: u64,
+    /// Extra latency charged to the request that first-touch faults a page
+    /// (0 = the paper's "Batch+FT-optimal" zero-overhead assumption).
+    pub page_fault_cycles: u64,
+    /// Cycles of compute charged per kernel loop iteration per warp
+    /// (scaled further by each workload's compute intensity).
+    pub base_compute_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's Table III system: 4 GPUs × 4 chiplets × 16 SMs,
+    /// 1 MB L2 and 180 GB/s HBM per chiplet, 720 GB/s rings,
+    /// 180 GB/s inter-GPU links.
+    pub fn paper_multi_gpu() -> Self {
+        SimConfig {
+            topology: Topology::paper_multi_gpu(),
+            sms_per_chiplet: 16,
+            warp_size: 32,
+            warps_per_sm: 64,
+            max_tbs_per_sm: 16,
+            issue_per_cycle: 4.0,
+            l1: CacheConfig {
+                bytes: 64 << 10,
+                assoc: 4,
+                line_bytes: 128,
+                sector_bytes: 32,
+                latency: 30,
+            },
+            l2: CacheConfig {
+                bytes: 1 << 20,
+                assoc: 16,
+                line_bytes: 128,
+                sector_bytes: 32,
+                latency: 120,
+            },
+            dram_latency: 250,
+            dram_bw: gbps(180),
+            intra_chiplet_bw: gbps(720),
+            intra_chiplet_latency: 40,
+            ring_bw: gbps(720),
+            ring_latency: 80,
+            switch_bw: gbps(180),
+            switch_latency: 250,
+            remote_caching: true,
+            migration_threshold: 0,
+            page_bytes: 4096,
+            page_fault_cycles: 0,
+            base_compute_cycles: 20,
+        }
+    }
+
+    /// A hypothetical monolithic GPU with the same 256 SMs: one node,
+    /// 16 MB L2, aggregated HBM, an 11.2 TB/s crossbar and no NUMA
+    /// penalty. The normalization reference of Figures 4 and 9.
+    pub fn monolithic() -> Self {
+        let paper = Self::paper_multi_gpu();
+        SimConfig {
+            topology: Topology::monolithic(),
+            sms_per_chiplet: 256,
+            l2: CacheConfig {
+                bytes: 16 << 20,
+                ..paper.l2
+            },
+            dram_bw: gbps(180) * 16.0,
+            intra_chiplet_bw: gbps(11_200),
+            ring_bw: gbps(11_200),
+            switch_bw: gbps(11_200),
+            ..paper
+        }
+    }
+
+    /// Figure 4 "Xbar Multi-GPU" point: four 64-SM GPU nodes behind a
+    /// switch with `link_gbps` GB/s per link (90/180/360 evaluated).
+    pub fn fig4_xbar(link_gbps: u64) -> Self {
+        let paper = Self::paper_multi_gpu();
+        SimConfig {
+            topology: Topology::new(4, 1),
+            sms_per_chiplet: 64,
+            l2: CacheConfig {
+                bytes: 4 << 20,
+                ..paper.l2
+            },
+            dram_bw: gbps(720),
+            intra_chiplet_bw: gbps(2880),
+            switch_bw: gbps(link_gbps),
+            ring_bw: gbps(2880),
+            ..paper
+        }
+    }
+
+    /// Figure 4 "Ring MCM-GPU" point: one package of four 64-SM chiplets
+    /// on a ring of `ring_gbps` GB/s (1400/2800 evaluated).
+    pub fn fig4_ring(ring_gbps: u64) -> Self {
+        let paper = Self::paper_multi_gpu();
+        SimConfig {
+            topology: Topology::new(1, 4),
+            sms_per_chiplet: 64,
+            l2: CacheConfig {
+                bytes: 4 << 20,
+                ..paper.l2
+            },
+            dram_bw: gbps(720),
+            intra_chiplet_bw: gbps(2880),
+            ring_bw: gbps(ring_gbps),
+            switch_bw: gbps(90),
+            ..paper
+        }
+    }
+
+    /// A DGX-1-like box (§IV-C hardware validation): four discrete GPUs,
+    /// NVLink-class 40 GB/s links, no chiplets.
+    pub fn dgx1() -> Self {
+        let paper = Self::paper_multi_gpu();
+        SimConfig {
+            topology: Topology::dgx1(),
+            sms_per_chiplet: 64,
+            l2: CacheConfig {
+                bytes: 4 << 20,
+                ..paper.l2
+            },
+            dram_bw: gbps(720),
+            intra_chiplet_bw: gbps(2880),
+            ring_bw: gbps(2880),
+            switch_bw: gbps(40),
+            ..paper
+        }
+    }
+
+    /// Total SMs in the machine.
+    pub fn total_sms(&self) -> u32 {
+        self.topology.num_nodes() * self.sms_per_chiplet
+    }
+
+    /// Sanity-checks derived quantities.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (zero SMs, non-power-of-two cache
+    /// sets, zero bandwidths).
+    pub fn validate(&self) {
+        assert!(self.sms_per_chiplet > 0, "need at least one SM per chiplet");
+        assert!(self.warp_size > 0 && self.warps_per_sm > 0);
+        assert!(self.dram_bw > 0.0 && self.intra_chiplet_bw > 0.0);
+        assert!(self.ring_bw > 0.0 && self.switch_bw > 0.0);
+        assert!(self.page_bytes.is_power_of_two());
+        let _ = self.l1.num_sets();
+        let _ = self.l2.num_sets();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table3() {
+        let c = SimConfig::paper_multi_gpu();
+        c.validate();
+        assert_eq!(c.total_sms(), 256);
+        assert_eq!(c.topology.num_nodes(), 16);
+        assert_eq!(c.l2.bytes * u64::from(c.topology.num_nodes()), 16 << 20);
+        // 180 GB/s at 1.4 GHz ≈ 128.6 B/cycle.
+        assert!((c.dram_bw - 128.57).abs() < 0.1);
+    }
+
+    #[test]
+    fn monolithic_has_single_node_and_aggregate_bw() {
+        let c = SimConfig::monolithic();
+        c.validate();
+        assert_eq!(c.total_sms(), 256);
+        assert_eq!(c.topology.num_nodes(), 1);
+        assert!(c.dram_bw > 2000.0);
+        assert_eq!(c.l2.bytes, 16 << 20);
+    }
+
+    #[test]
+    fn fig4_presets_have_four_nodes() {
+        for c in [
+            SimConfig::fig4_xbar(90),
+            SimConfig::fig4_xbar(360),
+            SimConfig::fig4_ring(1400),
+        ] {
+            c.validate();
+            assert_eq!(c.topology.num_nodes(), 4);
+            assert_eq!(c.total_sms(), 256);
+        }
+        assert!(SimConfig::fig4_ring(2800).ring_bw > SimConfig::fig4_ring(1400).ring_bw);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let l1 = SimConfig::paper_multi_gpu().l1;
+        assert_eq!(l1.num_sets(), 128);
+        assert_eq!(l1.sectors_per_line(), 4);
+        let l2 = SimConfig::paper_multi_gpu().l2;
+        assert_eq!(l2.num_sets(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_cache_geometry_panics() {
+        let mut c = SimConfig::paper_multi_gpu();
+        c.l2.bytes = 3 << 19; // 1.5 MB -> 768 sets
+        c.validate();
+    }
+}

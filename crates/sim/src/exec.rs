@@ -1,0 +1,106 @@
+//! The workload↔simulator execution contract.
+//!
+//! A workload implements [`KernelExec`]: it owns the launch geometry and
+//! produces, for every `(threadblock, warp, loop-iteration)` triple, the
+//! global-memory element accesses of the warp's 32 threads. The engine
+//! coalesces those into 32 B sectors and drives them through the memory
+//! hierarchy.
+
+use ladm_core::launch::LaunchInfo;
+
+/// One thread's access to one element of one kernel argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadAccess {
+    /// Kernel-argument (allocation) index.
+    pub arg: u16,
+    /// Element index within the allocation.
+    pub idx: u64,
+    /// Whether this is a store.
+    pub write: bool,
+}
+
+impl ThreadAccess {
+    /// A load of element `idx` of argument `arg`.
+    pub fn load(arg: u16, idx: u64) -> Self {
+        ThreadAccess {
+            arg,
+            idx,
+            write: false,
+        }
+    }
+
+    /// A store to element `idx` of argument `arg`.
+    pub fn store(arg: u16, idx: u64) -> Self {
+        ThreadAccess {
+            arg,
+            idx,
+            write: true,
+        }
+    }
+}
+
+/// An executable kernel: geometry plus a per-warp access generator.
+///
+/// Implementations must be deterministic — the engine may replay a warp's
+/// accesses and the same `(tb, warp, iter)` must always yield the same
+/// list.
+pub trait KernelExec: Send + Sync {
+    /// The launch descriptor (grid/block dims, argument sizes, params)
+    /// that policies plan against.
+    fn launch(&self) -> &LaunchInfo;
+
+    /// Iterations of the kernel's outermost loop (≥ 1; loop-free kernels
+    /// return 1).
+    fn trips(&self) -> u32;
+
+    /// Relative arithmetic work per loop iteration; multiplies the
+    /// engine's base compute delay. Memory-bound kernels use 1.
+    fn compute_intensity(&self) -> u32 {
+        1
+    }
+
+    /// Appends the accesses of every thread of `warp` in block `(bx, by)`
+    /// at loop iteration `iter` to `out` (which arrives cleared).
+    fn warp_accesses(&self, tb: (u32, u32), warp: u32, iter: u32, out: &mut Vec<ThreadAccess>);
+
+    /// Overrides the page size the launch descriptor advertises to
+    /// policies (used by page-size ablation studies). Default: no-op.
+    fn set_page_bytes(&mut self, _page_bytes: u64) {}
+}
+
+/// Linear thread id range `[lo, hi)` covered by `warp` (threads are
+/// linearized as `ty * blockDim.x + tx`).
+pub fn warp_thread_range(warp: u32, warp_size: u32, threads_per_tb: u32) -> (u32, u32) {
+    let lo = warp * warp_size;
+    let hi = (lo + warp_size).min(threads_per_tb);
+    (lo, hi)
+}
+
+/// Decomposes a linear thread id into `(tx, ty)`.
+pub fn thread_xy(linear: u32, bdx: u32) -> (u32, u32) {
+    (linear % bdx, linear / bdx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_range_clamps_to_block() {
+        assert_eq!(warp_thread_range(0, 32, 100), (0, 32));
+        assert_eq!(warp_thread_range(3, 32, 100), (96, 100));
+    }
+
+    #[test]
+    fn thread_xy_roundtrip() {
+        assert_eq!(thread_xy(0, 16), (0, 0));
+        assert_eq!(thread_xy(17, 16), (1, 1));
+        assert_eq!(thread_xy(255, 16), (15, 15));
+    }
+
+    #[test]
+    fn access_constructors() {
+        assert!(!ThreadAccess::load(1, 5).write);
+        assert!(ThreadAccess::store(1, 5).write);
+    }
+}

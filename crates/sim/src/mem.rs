@@ -1,0 +1,400 @@
+//! Device address space: allocations, page table and first-touch
+//! resolution.
+//!
+//! Each `cudaMallocManaged` becomes an [`Allocation`] with its own
+//! [`PageMap`] (set from the active [`KernelPlan`] at launch time, exactly
+//! as LASP re-reads the locality table on every launch). The page table
+//! resolves an address to its home chiplet; [`PageMap::FirstTouch`] pages
+//! are pinned to the first toucher and the fault is reported so the engine
+//! can charge the UVM fault latency.
+
+use ladm_core::plan::{KernelPlan, PageMap, RemoteInsert};
+use ladm_core::topology::{NodeId, Topology};
+use std::collections::HashMap;
+
+/// Per-page reactive-migration bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct MigrationState {
+    /// Last remote node observed accessing the page.
+    node: NodeId,
+    /// Consecutive accesses from that node.
+    streak: u32,
+}
+
+/// One managed allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Base device address (page aligned).
+    pub base: u64,
+    /// Length in bytes.
+    pub len_bytes: u64,
+    /// Element size in bytes.
+    pub elem_bytes: u32,
+    /// Active page→node policy.
+    pub page_map: PageMap,
+    /// Active home-L2 insertion policy.
+    pub remote_insert: RemoteInsert,
+}
+
+impl Allocation {
+    /// Number of pages (for `page_bytes`-sized pages).
+    pub fn pages(&self, page_bytes: u64) -> u64 {
+        self.len_bytes.div_ceil(page_bytes).max(1)
+    }
+}
+
+/// The device address space and page table.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    page_bytes: u64,
+    allocs: Vec<Allocation>,
+    next_base: u64,
+    first_touch: HashMap<u64, NodeId>,
+    page_faults: u64,
+    /// Pages re-pinned by reactive migration (overrides the plan's map).
+    migrated: HashMap<u64, NodeId>,
+    migration_state: HashMap<u64, MigrationState>,
+    migrations: u64,
+}
+
+/// Result of a home-node resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeLookup {
+    /// The chiplet owning the page.
+    pub node: NodeId,
+    /// Whether this access triggered the first-touch fault that placed the
+    /// page.
+    pub faulted: bool,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two.
+    pub fn new(page_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        AddressSpace {
+            page_bytes,
+            allocs: Vec::new(),
+            // Leave page 0 unused so a zero address is visibly bogus.
+            next_base: page_bytes,
+            first_touch: HashMap::new(),
+            page_faults: 0,
+            migrated: HashMap::new(),
+            migration_state: HashMap::new(),
+            migrations: 0,
+        }
+    }
+
+    /// Allocates `len_bytes` and returns the allocation index (argument
+    /// order). The initial placement is first-touch until a plan is
+    /// applied.
+    pub fn alloc(&mut self, len_bytes: u64, elem_bytes: u32) -> usize {
+        let len = len_bytes.max(1);
+        let alloc = Allocation {
+            base: self.next_base,
+            len_bytes: len,
+            elem_bytes,
+            page_map: PageMap::FirstTouch,
+            remote_insert: RemoteInsert::Twice,
+        };
+        self.next_base += len.div_ceil(self.page_bytes).max(1) * self.page_bytes;
+        self.allocs.push(alloc);
+        self.allocs.len() - 1
+    }
+
+    /// Applies a kernel plan: one [`PageMap`] + [`RemoteInsert`] per
+    /// allocation, in allocation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's argument count differs from the number of
+    /// allocations.
+    pub fn apply_plan(&mut self, plan: &KernelPlan) {
+        assert_eq!(
+            plan.args.len(),
+            self.allocs.len(),
+            "plan must cover every allocation"
+        );
+        for (alloc, arg) in self.allocs.iter_mut().zip(&plan.args) {
+            alloc.page_map = arg.pages.clone();
+            alloc.remote_insert = arg.remote_insert;
+        }
+        // A new placement supersedes earlier first-touch pinning and any
+        // reactive migrations.
+        self.first_touch.clear();
+        self.migrated.clear();
+        self.migration_state.clear();
+        self.migrations = 0;
+    }
+
+    /// The device address of element `idx` of allocation `arg`.
+    /// Out-of-range indices wrap within the allocation (workload
+    /// generators use modular extents).
+    pub fn addr_of(&self, arg: usize, idx: u64) -> u64 {
+        let alloc = &self.allocs[arg];
+        let elems = (alloc.len_bytes / u64::from(alloc.elem_bytes)).max(1);
+        alloc.base + (idx % elems) * u64::from(alloc.elem_bytes)
+    }
+
+    /// The allocation containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside every allocation.
+    pub fn alloc_of_addr(&self, addr: u64) -> (usize, &Allocation) {
+        // Allocations are contiguous and sorted by construction.
+        let i = self
+            .allocs
+            .partition_point(|a| a.base + a.pages(self.page_bytes) * self.page_bytes <= addr);
+        let alloc = self
+            .allocs
+            .get(i)
+            .filter(|a| addr >= a.base)
+            .unwrap_or_else(|| panic!("address {addr:#x} is not mapped"));
+        (i, alloc)
+    }
+
+    /// Resolves the home chiplet of `addr`, with `toucher` as the
+    /// first-touch candidate.
+    pub fn home_of(&mut self, addr: u64, toucher: NodeId, topo: &Topology) -> HomeLookup {
+        let page = addr / self.page_bytes;
+        if let Some(&node) = self.migrated.get(&page) {
+            return HomeLookup {
+                node,
+                faulted: false,
+            };
+        }
+        let (_, alloc) = self.alloc_of_addr(addr);
+        let rel_offset = addr - alloc.base;
+        match alloc.page_map.node_of(rel_offset, self.page_bytes, topo) {
+            Some(node) => HomeLookup {
+                node,
+                faulted: false,
+            },
+            None => match self.first_touch.get(&page) {
+                Some(&node) => HomeLookup {
+                    node,
+                    faulted: false,
+                },
+                None => {
+                    self.first_touch.insert(page, toucher);
+                    self.page_faults += 1;
+                    HomeLookup {
+                        node: toucher,
+                        faulted: true,
+                    }
+                }
+            },
+        }
+    }
+
+    /// The home-L2 insertion policy governing `addr`.
+    pub fn remote_insert_of(&self, addr: u64) -> RemoteInsert {
+        self.alloc_of_addr(addr).1.remote_insert
+    }
+
+    /// Records a remote access to `addr`'s page from `requester` for the
+    /// reactive-migration mechanism; when `threshold` consecutive accesses
+    /// arrive from the same node, the page migrates there and `true` is
+    /// returned (the caller charges the transfer). `threshold == 0`
+    /// disables migration.
+    pub fn record_remote_access(
+        &mut self,
+        addr: u64,
+        requester: NodeId,
+        threshold: u32,
+    ) -> bool {
+        if threshold == 0 {
+            return false;
+        }
+        let page = addr / self.page_bytes;
+        let state = self
+            .migration_state
+            .entry(page)
+            .or_insert(MigrationState {
+                node: requester,
+                streak: 0,
+            });
+        if state.node == requester {
+            state.streak += 1;
+        } else {
+            *state = MigrationState {
+                node: requester,
+                streak: 1,
+            };
+        }
+        if state.streak >= threshold {
+            self.migrated.insert(page, requester);
+            self.migration_state.remove(&page);
+            self.migrations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pages moved by reactive migration since construction or the last
+    /// plan application.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Total first-touch page faults since construction or the last
+    /// [`AddressSpace::reset_faults`].
+    pub fn page_faults(&self) -> u64 {
+        self.page_faults
+    }
+
+    /// Clears the fault counter (per-kernel accounting).
+    pub fn reset_faults(&mut self) {
+        self.page_faults = 0;
+    }
+
+    /// The configured page size.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// All allocations in argument order.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladm_core::plan::{ArgPlan, RrOrder, TbMap};
+
+    fn topo() -> Topology {
+        Topology::paper_multi_gpu()
+    }
+
+    #[test]
+    fn allocations_are_page_aligned_and_disjoint() {
+        let mut mem = AddressSpace::new(4096);
+        let a = mem.alloc(5000, 4);
+        let b = mem.alloc(100, 4);
+        let alloc_a = &mem.allocations()[a];
+        let alloc_b = &mem.allocations()[b];
+        assert_eq!(alloc_a.base % 4096, 0);
+        assert_eq!(alloc_b.base, alloc_a.base + 8192);
+    }
+
+    #[test]
+    fn addr_of_wraps_out_of_range() {
+        let mut mem = AddressSpace::new(4096);
+        let a = mem.alloc(16, 4); // 4 elements
+        assert_eq!(mem.addr_of(a, 5), mem.addr_of(a, 1));
+    }
+
+    #[test]
+    fn home_follows_plan() {
+        let mut mem = AddressSpace::new(4096);
+        let a = mem.alloc(64 * 4096, 4);
+        let plan = KernelPlan {
+            args: vec![ArgPlan::new(PageMap::Interleave {
+                gran_pages: 1,
+                order: RrOrder::Hierarchical,
+            })],
+            schedule: TbMap::Chunk { per_node: 1 },
+        };
+        mem.apply_plan(&plan);
+        let base = mem.allocations()[a].base;
+        let h0 = mem.home_of(base, NodeId(9), &topo());
+        let h1 = mem.home_of(base + 4096, NodeId(9), &topo());
+        assert_eq!(h0.node, NodeId(0));
+        assert!(!h0.faulted);
+        assert_eq!(h1.node, NodeId(1));
+    }
+
+    #[test]
+    fn first_touch_pins_to_toucher_once() {
+        let mut mem = AddressSpace::new(4096);
+        let a = mem.alloc(4096 * 4, 4);
+        let base = mem.allocations()[a].base;
+        let h = mem.home_of(base, NodeId(7), &topo());
+        assert!(h.faulted);
+        assert_eq!(h.node, NodeId(7));
+        let h = mem.home_of(base + 8, NodeId(3), &topo());
+        assert!(!h.faulted);
+        assert_eq!(h.node, NodeId(7));
+        assert_eq!(mem.page_faults(), 1);
+    }
+
+    #[test]
+    fn apply_plan_resets_first_touch() {
+        let mut mem = AddressSpace::new(4096);
+        let a = mem.alloc(4096, 4);
+        let base = mem.allocations()[a].base;
+        mem.home_of(base, NodeId(7), &topo());
+        let plan = KernelPlan {
+            args: vec![ArgPlan::new(PageMap::FirstTouch)],
+            schedule: TbMap::Chunk { per_node: 1 },
+        };
+        mem.apply_plan(&plan);
+        let h = mem.home_of(base, NodeId(2), &topo());
+        assert!(h.faulted);
+        assert_eq!(h.node, NodeId(2));
+    }
+
+    #[test]
+    fn migration_triggers_after_streak_and_repins() {
+        let mut mem = AddressSpace::new(4096);
+        let a = mem.alloc(16 * 4096, 4);
+        let plan = KernelPlan {
+            args: vec![ArgPlan::new(PageMap::Fixed(NodeId(0)))],
+            schedule: TbMap::Chunk { per_node: 1 },
+        };
+        mem.apply_plan(&plan);
+        let addr = mem.allocations()[a].base + 4096; // page 1
+        assert_eq!(mem.home_of(addr, NodeId(5), &topo()).node, NodeId(0));
+        // Two accesses from node 5: threshold 3 not reached.
+        assert!(!mem.record_remote_access(addr, NodeId(5), 3));
+        assert!(!mem.record_remote_access(addr, NodeId(5), 3));
+        // A different node resets the streak.
+        assert!(!mem.record_remote_access(addr, NodeId(7), 3));
+        assert!(!mem.record_remote_access(addr, NodeId(7), 3));
+        assert!(mem.record_remote_access(addr, NodeId(7), 3));
+        assert_eq!(mem.migrations(), 1);
+        // The page now lives on node 7; other pages are untouched.
+        assert_eq!(mem.home_of(addr, NodeId(1), &topo()).node, NodeId(7));
+        let other = mem.allocations()[a].base;
+        assert_eq!(mem.home_of(other, NodeId(1), &topo()).node, NodeId(0));
+    }
+
+    #[test]
+    fn migration_disabled_at_zero_threshold() {
+        let mut mem = AddressSpace::new(4096);
+        mem.alloc(4096, 4);
+        let addr = mem.allocations()[0].base;
+        for _ in 0..100 {
+            assert!(!mem.record_remote_access(addr, NodeId(3), 0));
+        }
+        assert_eq!(mem.migrations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not mapped")]
+    fn unmapped_address_panics() {
+        let mut mem = AddressSpace::new(4096);
+        mem.alloc(4096, 4);
+        mem.home_of(0, NodeId(0), &topo()); // page 0 reserved
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every allocation")]
+    fn plan_arg_count_mismatch_panics() {
+        let mut mem = AddressSpace::new(4096);
+        mem.alloc(4096, 4);
+        mem.alloc(4096, 4);
+        let plan = KernelPlan {
+            args: vec![ArgPlan::new(PageMap::FirstTouch)],
+            schedule: TbMap::Chunk { per_node: 1 },
+        };
+        mem.apply_plan(&plan);
+    }
+}

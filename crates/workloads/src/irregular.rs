@@ -1,0 +1,266 @@
+//! The CSR graph workloads of Table IV (PageRank, BFS-relax, SSSP,
+//! SpMV-jds): one thread per node/row walking its adjacency list —
+//! intra-thread locality on the edge arrays, data-dependent gathers on the
+//! neighbor-value array.
+
+use crate::graphs::Csr;
+use crate::spec::dsl::*;
+use crate::spec::Scale;
+use crate::suite::{Workload, WorkloadKind};
+use ladm_core::analysis::GridShape;
+use ladm_core::launch::{ArgStatic, KernelStatic, LaunchInfo};
+use ladm_sim::{warp_thread_range, KernelExec, ThreadAccess};
+
+/// Argument slots of a [`CsrKernel`], in kernel-argument order.
+const ARG_ROW_PTR: u16 = 0;
+const ARG_COL: u16 = 1;
+const ARG_AUX: u16 = 2;
+const ARG_OUT: u16 = 3;
+const ARG_VALS: u16 = 4;
+
+/// One-thread-per-node CSR traversal kernel.
+///
+/// Per loop iteration `m`, every thread whose degree exceeds `m` reads
+/// `col[row_ptr[v] + m]` (intra-thread locality) and gathers
+/// `aux[col[..]]` (data-dependent); threads read their `row_ptr` entry and
+/// write their output once. SpMV additionally streams a `vals` array in
+/// lock-step with `col`.
+#[derive(Debug)]
+pub struct CsrKernel {
+    launch: LaunchInfo,
+    graph: Csr,
+    trips: u32,
+    intensity: u32,
+    has_vals: bool,
+}
+
+impl CsrKernel {
+    /// Builds the kernel over `graph` with `bdx`-wide blocks.
+    /// `degree_cap` bounds the simulated edges per node (hubs are
+    /// truncated, as GPU implementations do via edge-list chunking).
+    pub fn new(
+        name: &'static str,
+        graph: Csr,
+        bdx: u32,
+        degree_cap: u32,
+        intensity: u32,
+        has_vals: bool,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let e = graph.num_edges();
+        let blocks = n.div_ceil(bdx);
+        // Index skeletons as the compiler sees them.
+        let row_ptr_idx = tid().to_poly();
+        let edge_idx = (data() + m()).to_poly(); // row_ptr[v] + m
+        let gather_idx = data().to_poly(); // aux[col[e]]
+        let out_idx = tid().to_poly();
+        let mut args = vec![
+            ArgStatic::read("row_ptr", 4, row_ptr_idx),
+            ArgStatic::read("col_idx", 4, edge_idx.clone()),
+            ArgStatic::read("aux", 4, gather_idx),
+            ArgStatic::write("out", 4, out_idx),
+        ];
+        let mut lens = vec![
+            u64::from(n) + 1,
+            u64::from(e),
+            u64::from(n),
+            u64::from(n),
+        ];
+        if has_vals {
+            args.push(ArgStatic::read("vals", 4, edge_idx));
+            lens.push(u64::from(e));
+        }
+        let kernel = KernelStatic {
+            name,
+            grid_shape: GridShape::OneD,
+            args,
+        };
+        let launch = LaunchInfo::new(kernel, (blocks, 1), (bdx, 1), lens);
+        let trips = graph.max_degree().min(degree_cap).max(1);
+        CsrKernel {
+            launch,
+            graph,
+            trips,
+            intensity,
+            has_vals,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+}
+
+impl KernelExec for CsrKernel {
+    fn launch(&self) -> &LaunchInfo {
+        &self.launch
+    }
+
+    fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    fn compute_intensity(&self) -> u32 {
+        self.intensity
+    }
+
+    fn set_page_bytes(&mut self, page_bytes: u64) {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        self.launch.page_bytes = page_bytes;
+    }
+
+    fn warp_accesses(&self, tb: (u32, u32), warp: u32, iter: u32, out: &mut Vec<ThreadAccess>) {
+        let bdx = self.launch.block.0;
+        let n = self.graph.num_nodes();
+        let (lo, hi) = warp_thread_range(warp, 32, bdx);
+        for t in lo..hi {
+            let v = tb.0 * bdx + t;
+            if v >= n {
+                break;
+            }
+            if iter == 0 {
+                out.push(ThreadAccess::load(ARG_ROW_PTR, u64::from(v)));
+                out.push(ThreadAccess::store(ARG_OUT, u64::from(v)));
+            }
+            let start = self.graph.row_ptr[v as usize];
+            let end = self.graph.row_ptr[v as usize + 1];
+            let e = start + iter;
+            if e < end {
+                out.push(ThreadAccess::load(ARG_COL, u64::from(e)));
+                if self.has_vals {
+                    out.push(ThreadAccess::load(ARG_VALS, u64::from(e)));
+                }
+                let target = self.graph.col[e as usize];
+                out.push(ThreadAccess::load(ARG_AUX, u64::from(target)));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn graph_workload(
+    name: &'static str,
+    kernel_name: &'static str,
+    scale: Scale,
+    full_nodes: u32,
+    avg_degree: u32,
+    bdx: u32,
+    intensity: u32,
+    has_vals: bool,
+    seed: u64,
+) -> Workload {
+    // Keep at least 16 K nodes so the per-node vertex chunk stays wider
+    // than the graph's local-edge window even at test scale.
+    let nodes = (full_nodes / scale.divisor().max(1)).max(16_384);
+    let graph = Csr::synthetic(nodes, avg_degree, 64, seed);
+    let kernel = CsrKernel::new(kernel_name, graph, bdx, 32, intensity, has_vals);
+    Workload::new(name, WorkloadKind::IntraThread, vec![Box::new(kernel)])
+}
+
+/// `PageRank` (Pannotia): rank push over a skewed web-like graph.
+pub fn pagerank(scale: Scale) -> Workload {
+    graph_workload("PageRank", "pagerank", scale, 98_304, 10, 128, 1, false, 11)
+}
+
+/// `BFS-relax` (Lonestar): all-edge relaxation step.
+pub fn bfs(scale: Scale) -> Workload {
+    graph_workload("BFS-relax", "bfs_relax", scale, 131_072, 8, 256, 1, false, 22)
+}
+
+/// `SSSP` (Pannotia): weighted relaxation (edge weights stream with the
+/// adjacency list).
+pub fn sssp(scale: Scale) -> Workload {
+    graph_workload("SSSP", "sssp", scale, 65_536, 12, 64, 1, true, 33)
+}
+
+/// `SpMV-jds` (Parboil): sparse matrix-vector product; values and column
+/// indices stream per row, the `x` vector is gathered.
+pub fn spmv_jds(scale: Scale) -> Workload {
+    graph_workload("SpMV-jds", "spmv_jds", scale, 65_536, 24, 32, 1, true, 44)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladm_core::analysis::{classify, AccessClass};
+    use ladm_core::policies::{Lasp, Policy};
+    use ladm_core::plan::TbMap;
+    use ladm_core::topology::Topology;
+
+    #[test]
+    fn csr_edge_array_classifies_itl() {
+        let w = pagerank(Scale::Test);
+        let launch = w.kernels[0].launch();
+        let col_class = classify(
+            &launch.kernel.args[1].accesses[0],
+            launch.kernel.grid_shape,
+            0,
+        );
+        assert_eq!(col_class, AccessClass::IntraThread);
+        let aux_class = classify(
+            &launch.kernel.args[2].accesses[0],
+            launch.kernel.grid_shape,
+            0,
+        );
+        assert_eq!(aux_class, AccessClass::Unclassified);
+    }
+
+    #[test]
+    fn lasp_gives_graphs_kernel_wide_schedule() {
+        for w in [
+            pagerank(Scale::Test),
+            bfs(Scale::Test),
+            sssp(Scale::Test),
+            spmv_jds(Scale::Test),
+        ] {
+            let launch = w.kernels[0].launch();
+            let plan = Lasp::ladm().plan(launch, &Topology::paper_multi_gpu());
+            assert!(
+                matches!(plan.schedule, TbMap::Spread { .. }),
+                "{} got {:?}",
+                w.name,
+                plan.schedule
+            );
+        }
+    }
+
+    #[test]
+    fn warp_accesses_follow_degrees() {
+        let graph = Csr::synthetic(4096, 8, 64, 5);
+        let deg0 = graph.degree(0);
+        let k = CsrKernel::new("t", graph, 128, 32, 1, false);
+        let mut out = Vec::new();
+        // iter 0: row_ptr + out + (col+aux if degree > 0) for each lane.
+        k.warp_accesses((0, 0), 0, 0, &mut out);
+        assert!(out.len() >= 64); // 32 lanes x (row_ptr + out)
+        // A very deep iteration produces accesses only for hubs.
+        let mut deep = Vec::new();
+        k.warp_accesses((0, 0), 0, 31, &mut deep);
+        assert!(deep.len() < out.len());
+        // lane 0 on iter 0 reads edge row_ptr[0] when degree > 0.
+        if deg0 > 0 {
+            assert!(out
+                .iter()
+                .any(|a| a.arg == ARG_COL && a.idx == 0));
+        }
+    }
+
+    #[test]
+    fn spmv_streams_vals_with_cols() {
+        let w = spmv_jds(Scale::Test);
+        let mut out = Vec::new();
+        w.kernels[0].warp_accesses((0, 0), 0, 0, &mut out);
+        let cols = out.iter().filter(|a| a.arg == ARG_COL).count();
+        let vals = out.iter().filter(|a| a.arg == ARG_VALS).count();
+        assert_eq!(cols, vals);
+        assert!(cols > 0);
+    }
+
+    #[test]
+    fn trips_bounded_by_cap() {
+        let w = pagerank(Scale::Test);
+        assert!(w.kernels[0].trips() <= 32);
+        assert!(w.kernels[0].trips() >= 1);
+    }
+}

@@ -1,0 +1,746 @@
+//! The regular (affine-indexed) workloads of Table IV: the NL group
+//! (vector/stencil/strided kernels), the RCL group (convolution, FWT,
+//! transpose and the GEMM family including the deep-learning FC layers),
+//! and the hash-indexed ITL/unclassified kernels that need no graph
+//! substrate.
+//!
+//! Every kernel is written as the index expressions of its CUDA original
+//! (after backward substitution into prime variables), so the same
+//! definition drives both the compiler analysis and the simulation.
+
+use crate::spec::dsl::*;
+use crate::spec::{AffineKernel, Scale};
+use crate::suite::{Workload, WorkloadKind};
+use ladm_core::analysis::GridShape;
+use ladm_core::expr::Expr;
+use ladm_core::launch::{ArgStatic, KernelStatic, LaunchInfo};
+
+fn single(
+    name: &'static str,
+    kind: WorkloadKind,
+    kernel: AffineKernel,
+) -> Workload {
+    Workload::new(name, kind, vec![Box::new(kernel)])
+}
+
+/// `VecAdd` (CUDA SDK): `c[i] = a[i] + b[i]`, `i = bx*bdx + tx`.
+pub fn vecadd(scale: Scale) -> Workload {
+    let blocks = scale.blocks(10240, 64);
+    let idx = tid().to_poly();
+    let n = u64::from(blocks) * 128;
+    let kernel = KernelStatic {
+        name: "vecadd",
+        grid_shape: GridShape::OneD,
+        args: vec![
+            ArgStatic::read("a", 4, idx.clone()),
+            ArgStatic::read("b", 4, idx.clone()),
+            ArgStatic::write("c", 4, idx),
+        ],
+    };
+    let launch = LaunchInfo::new(kernel, (blocks, 1), (128, 1), vec![n, n, n]);
+    single("VecAdd", WorkloadKind::NoLocality, AffineKernel::new(launch, 1, 1))
+}
+
+/// Five-point 2D stencil used by both SRAD and HotSpot.
+fn stencil_2d(
+    name: &'static str,
+    grid: (u32, u32),
+    extra_read: bool,
+    intensity: u32,
+) -> AffineKernel {
+    let center = ((by() * bdy() + ty()) * width() + bx() * bdx() + tx()).to_poly();
+    let east = (center_expr() + 1).to_poly();
+    let west = (center_expr() - 1).to_poly();
+    let south = (center_expr() + width()).to_poly();
+    let north = (center_expr() - width()).to_poly();
+    let n = u64::from(grid.0) * 16 * u64::from(grid.1) * 16;
+    let mut args = vec![ArgStatic {
+        name: "in",
+        elem_bytes: 4,
+        accesses: vec![center.clone(), east, west, south, north],
+        is_written: false,
+    }];
+    if extra_read {
+        args.push(ArgStatic::read("power", 4, center.clone()));
+    }
+    args.push(ArgStatic::write("out", 4, center));
+    let kernel = KernelStatic {
+        name,
+        grid_shape: GridShape::TwoD,
+        args,
+    };
+    let lens = vec![n; if extra_read { 3 } else { 2 }];
+    AffineKernel::new(LaunchInfo::new(kernel, grid, (16, 16), lens), 1, intensity)
+}
+
+fn center_expr() -> Expr {
+    (by() * bdy() + ty()) * width() + bx() * bdx() + tx()
+}
+
+/// `SRAD` (Rodinia): 2D diffusion stencil.
+pub fn srad(scale: Scale) -> Workload {
+    let g = scale.blocks(64, 8);
+    single(
+        "SRAD",
+        WorkloadKind::NoLocality,
+        stencil_2d("srad", (g, g), false, 4),
+    )
+}
+
+/// `HS` — HotSpot (Rodinia): thermal 2D stencil with a power map.
+pub fn hs(scale: Scale) -> Workload {
+    let g = scale.blocks(48, 8);
+    single(
+        "HS",
+        WorkloadKind::NoLocality,
+        stencil_2d("hotspot", (g, g), true, 4),
+    )
+}
+
+/// Grid-stride-loop kernel skeleton: `a[tid + m*bdx*gdx]`.
+fn grid_stride(
+    name: &'static str,
+    blocks: u32,
+    bdx: u32,
+    trips: u32,
+    reads: &'static [&'static str],
+    block_output: bool,
+    intensity: u32,
+) -> AffineKernel {
+    let idx = (tid() + m() * width()).to_poly();
+    let n = u64::from(blocks) * u64::from(bdx) * u64::from(trips);
+    build_stride_kernel(name, blocks, bdx, trips, reads, block_output, intensity, idx, n)
+}
+
+/// Block-contiguous-vector kernel skeleton: each block loops over its own
+/// contiguous `trips*bdx`-element chunk, `a[bx*VECLEN + m*bdx + tx]`
+/// (ScalarProd-style per-block vectors).
+fn block_vectors(
+    name: &'static str,
+    blocks: u32,
+    block_x: u32,
+    trips: u32,
+    reads: &'static [&'static str],
+    block_output: bool,
+    intensity: u32,
+) -> AffineKernel {
+    let veclen = i64::from(trips) * i64::from(block_x);
+    let idx = (bx() * veclen + m() * bdx() + tx()).to_poly();
+    let n = u64::from(blocks) * veclen as u64;
+    build_stride_kernel(name, blocks, block_x, trips, reads, block_output, intensity, idx, n)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_stride_kernel(
+    name: &'static str,
+    blocks: u32,
+    bdx: u32,
+    trips: u32,
+    reads: &'static [&'static str],
+    block_output: bool,
+    intensity: u32,
+    idx: ladm_core::expr::Poly,
+    n: u64,
+) -> AffineKernel {
+    let mut args: Vec<ArgStatic> = reads
+        .iter()
+        .map(|&r| ArgStatic::read(r, 4, idx.clone()))
+        .collect();
+    let mut lens = vec![n; reads.len()];
+    if block_output {
+        args.push(ArgStatic::write("out", 4, bx().to_poly()));
+        lens.push(u64::from(blocks));
+    } else {
+        args.push(ArgStatic::write("out", 4, idx));
+        lens.push(n);
+    }
+    let kernel = KernelStatic {
+        name,
+        grid_shape: GridShape::OneD,
+        args,
+    };
+    let launch = LaunchInfo::new(kernel, (blocks, 1), (bdx, 1), lens);
+    let site_count = reads.len();
+    let k = AffineKernel::new(launch, trips, intensity);
+    if block_output {
+        // One lane per warp writes the per-block partial, once, after the
+        // accumulation loop.
+        k.with_lane_group(site_count, 32).with_epilogue(site_count)
+    } else {
+        k
+    }
+}
+
+/// `ScalarProd` (CUDA SDK): each block reduces its own pair of
+/// contiguous vectors (the paper's NL-Xstride representative — the
+/// per-block footprint spans many pages, which static batch sizes and
+/// page-granularity round-robin both misalign with).
+pub fn scalarprod(scale: Scale) -> Workload {
+    let blocks = scale.blocks(2048, 32);
+    single(
+        "ScalarProd",
+        WorkloadKind::NoLocality,
+        block_vectors("scalarprod", blocks, 256, 16, &["a", "b"], true, 1),
+    )
+}
+
+/// `BLK` — BlackScholes (CUDA SDK): option pricing over per-block
+/// contiguous option chunks.
+pub fn blk(scale: Scale) -> Workload {
+    let blocks = scale.blocks(1920, 32);
+    let trips = 8u32;
+    let veclen = i64::from(trips) * 128;
+    let idx = (bx() * veclen + m() * bdx() + tx()).to_poly();
+    let n = u64::from(blocks) * veclen as u64;
+    let kernel = KernelStatic {
+        name: "blackscholes",
+        grid_shape: GridShape::OneD,
+        args: vec![
+            ArgStatic::read("price", 4, idx.clone()),
+            ArgStatic::read("strike", 4, idx.clone()),
+            ArgStatic::read("years", 4, idx.clone()),
+            ArgStatic::write("call", 4, idx.clone()),
+            ArgStatic::write("put", 4, idx),
+        ],
+    };
+    let launch = LaunchInfo::new(kernel, (blocks, 1), (128, 1), vec![n; 5]);
+    single(
+        "BLK",
+        WorkloadKind::NoLocality,
+        AffineKernel::new(launch, trips, 8),
+    )
+}
+
+/// `Histo-final` (Parboil): per-block merge of contiguous partial
+/// histograms.
+pub fn histo_final(scale: Scale) -> Workload {
+    let blocks = scale.blocks(1536, 32);
+    single(
+        "Histo-final",
+        WorkloadKind::NoLocality,
+        block_vectors("histo_final", blocks, 512, 8, &["partials"], false, 1),
+    )
+}
+
+/// `Reduction-k6` (CUDA SDK): grid-stride tree reduction.
+pub fn reduction(scale: Scale) -> Workload {
+    let blocks = scale.blocks(2048, 32);
+    single(
+        "Reduction-k6",
+        WorkloadKind::NoLocality,
+        grid_stride("reduction_k6", blocks, 256, 8, &["in"], true, 1),
+    )
+}
+
+/// `Hotspot3D` (Rodinia): 3D stencil walking layers in `z` — the paper's
+/// NL-Ystride representative.
+pub fn hotspot3d(scale: Scale) -> Workload {
+    let gdx = scale.blocks(16, 4);
+    let gdy = scale.blocks(64, 8);
+    let trips = 8u32;
+    // W = bdx*gdx; one z-layer holds W * (bdy*gdy) elements.
+    let layer = Expr::param("layer");
+    let c = (by() * bdy() + ty()) * width() + bx() * bdx() + tx() + m() * layer.clone();
+    let center = c.to_poly();
+    let east = (c.clone() + 1).to_poly();
+    let west = (c.clone() - 1).to_poly();
+    let south = (c.clone() + width()).to_poly();
+    let north = (c.clone() - width()).to_poly();
+    let layer_elems = u64::from(64 * gdx) * u64::from(4 * gdy);
+    let n = layer_elems * u64::from(trips);
+    let kernel = KernelStatic {
+        name: "hotspot3d",
+        grid_shape: GridShape::TwoD,
+        args: vec![
+            ArgStatic {
+                name: "tIn",
+                elem_bytes: 4,
+                accesses: vec![center.clone(), east, west, south, north],
+                is_written: false,
+            },
+            ArgStatic::read("power", 4, center.clone()),
+            ArgStatic::write("tOut", 4, center),
+        ],
+    };
+    let launch = LaunchInfo::new(kernel, (gdx, gdy), (64, 4), vec![n, n, n])
+        .with_param("layer", layer_elems as i64);
+    single(
+        "Hotspot3D",
+        WorkloadKind::NoLocality,
+        AffineKernel::new(launch, trips, 2),
+    )
+}
+
+/// `CONV` (CUDA SDK separable convolution, rows pass): every block of a
+/// grid row walks the same image row — row locality, horizontally shared.
+pub fn conv(scale: Scale) -> Workload {
+    let gdx = scale.blocks(16, 4);
+    let gdy = scale.blocks(96, 16);
+    let trips = 32u32;
+    // Shared source row of length L = trips * bdx, walked by m.
+    let l = Expr::param("rowlen");
+    let src = ((by() * bdy() + ty()) * l + m() * bdx() + tx()).to_poly();
+    // Private output tile.
+    let dst = ((by() * bdy() + ty()) * width() + bx() * bdx() + tx()).to_poly();
+    let src_elems = u64::from(gdy) * 4 * u64::from(trips) * 16;
+    let dst_elems = u64::from(gdy) * 4 * u64::from(gdx) * 16;
+    let kernel = KernelStatic {
+        name: "conv_rows",
+        grid_shape: GridShape::TwoD,
+        args: vec![
+            ArgStatic::read("src", 4, src),
+            ArgStatic::write("dst", 4, dst),
+        ],
+    };
+    let launch = LaunchInfo::new(kernel, (gdx, gdy), (16, 4), vec![src_elems, dst_elems])
+        .with_param("rowlen", i64::from(trips) * 16);
+    single(
+        "CONV",
+        WorkloadKind::RowCol,
+        AffineKernel::new(launch, trips, 2).with_epilogue(1),
+    )
+}
+
+/// `Histo-main` (Parboil): image scan with column sharing plus
+/// data-dependent histogram bucket writes.
+pub fn histo_main(scale: Scale) -> Workload {
+    let gdx = scale.blocks(16, 8);
+    let gdy = scale.blocks(16, 4);
+    let trips = 16u32;
+    let src = ((m() * bdy() + ty()) * width() + bx() * bdx() + tx()).to_poly();
+    let histo = data().to_poly();
+    let src_elems = u64::from(trips) * 16 * u64::from(gdx) * 16;
+    let kernel = KernelStatic {
+        name: "histo_main",
+        grid_shape: GridShape::TwoD,
+        args: vec![
+            ArgStatic::read("img", 4, src),
+            ArgStatic::write("histo", 4, histo),
+        ],
+    };
+    let launch = LaunchInfo::new(kernel, (gdx, gdy), (16, 16), vec![src_elems, 1 << 14]);
+    let k = AffineKernel::new(launch, trips, 1)
+        // Bucket writes are re-randomized each iteration.
+        .with_data_per_iter(1);
+    single("Histo-main", WorkloadKind::RowCol, k)
+}
+
+/// `FWT-k2` (CUDA SDK fast Walsh transform, second kernel): columns of
+/// blocks walk vertical stripes.
+pub fn fwt_k2(scale: Scale) -> Workload {
+    // gdx stays 64 at every scale: the column-stripe pitch must span the
+    // 16-node interleave period (64 KiB) for column placement to exist at
+    // page granularity.
+    let gdx = 64;
+    let gdy = scale.blocks(16, 4);
+    let trips = 16u32;
+    let idx = (bx() * bdx() + tx() + m() * width()).to_poly();
+    let n = u64::from(gdx) * 256 * u64::from(trips);
+    let kernel = KernelStatic {
+        name: "fwt_k2",
+        grid_shape: GridShape::TwoD,
+        args: vec![
+            ArgStatic::read("data", 4, idx.clone()),
+            ArgStatic::write("out", 4, idx),
+        ],
+    };
+    let launch = LaunchInfo::new(kernel, (gdx, gdy), (256, 1), vec![n, n]);
+    single(
+        "FWT-k2",
+        WorkloadKind::RowCol,
+        AffineKernel::new(launch, trips, 1),
+    )
+}
+
+/// Tiled GEMM skeleton: `C[M×N] = A[M×K] × B[K×N]` with `TILE`-sized
+/// square thread tiles (the paper's Fig. 6 code). `N = bdx*gdx` and
+/// `M = bdy*gdy` must hold; `K = trips * TILE`.
+fn gemm_kernel(
+    name: &'static str,
+    grid: (u32, u32),
+    block: (u32, u32),
+    trips: u32,
+    k_dim: u32,
+) -> AffineKernel {
+    let kp = Expr::param("K");
+    // A[(by*bdy + ty) * K + m*bdy + tx] — the walk advances bdy columns
+    // per iteration, matching B's bdy-row walk so both cover K in
+    // `trips = K/bdy` iterations (Fig. 6 with square TILE = bdy).
+    let a = ((by() * bdy() + ty()) * kp + m() * bdy() + tx()).to_poly();
+    // B[(m*bdy + ty) * N + bx*bdx + tx], N = bdx*gdx
+    let b = ((m() * bdy() + ty()) * width() + bx() * bdx() + tx()).to_poly();
+    // C[(by*bdy + ty) * N + bx*bdx + tx]
+    let c = ((by() * bdy() + ty()) * width() + bx() * bdx() + tx()).to_poly();
+    let m_dim = u64::from(grid.1) * u64::from(block.1);
+    let n_dim = u64::from(grid.0) * u64::from(block.0);
+    let kernel = KernelStatic {
+        name,
+        grid_shape: GridShape::TwoD,
+        args: vec![
+            ArgStatic::read("A", 4, a),
+            ArgStatic::read("B", 4, b),
+            ArgStatic::write("C", 4, c),
+        ],
+    };
+    let lens = vec![
+        m_dim * u64::from(k_dim),
+        u64::from(k_dim) * n_dim,
+        m_dim * n_dim,
+    ];
+    let launch =
+        LaunchInfo::new(kernel, grid, block, lens).with_param("K", i64::from(k_dim));
+    // C accumulates in registers; one store on the last iteration.
+    AffineKernel::new(launch, trips, 2).with_epilogue(2)
+}
+
+/// `SQ-GEMM` (CUDA SDK sgemm): square matrices — A wins the tie break,
+/// row-binding schedule.
+pub fn sq_gemm(scale: Scale) -> Workload {
+    let g = scale.blocks(32, 16);
+    // K = trips*16 = 512 when gdx = 32 (square at bench scale).
+    single(
+        "SQ-GEMM",
+        WorkloadKind::RowCol,
+        gemm_kernel("sq_gemm", (g, g), (16, 16), 32, 512),
+    )
+}
+
+/// Deep-learning fully-connected layer: `X[M×K] × W[K×N]`; the weight
+/// matrix dwarfs the activations, so LASP's input-size-aware tie break
+/// picks column-binding (§IV-C).
+fn fc_layer(name: &'static str, m_rows: u32, k_dim: u32, n_cols: u32) -> AffineKernel {
+    let grid = (n_cols / 32, m_rows / 4);
+    gemm_kernel(name, grid, (32, 4), k_dim / 4, k_dim)
+}
+
+/// `Alexnet-FC-2`: the 4096×4096 fully-connected layer (scaled).
+pub fn alexnet_fc2(scale: Scale) -> Workload {
+    let (m, k, n) = match scale {
+        Scale::Test => (16, 32, 4096),
+        Scale::Bench => (64, 128, 4096),
+    };
+    single(
+        "Alexnet-FC-2",
+        WorkloadKind::RowCol,
+        fc_layer("alexnet_fc2", m, k, n),
+    )
+}
+
+/// `VGGnet-FC-2` fully-connected layer (scaled).
+pub fn vggnet_fc2(scale: Scale) -> Workload {
+    let (m, k, n) = match scale {
+        Scale::Test => (16, 64, 4096),
+        Scale::Bench => (32, 256, 4096),
+    };
+    single(
+        "VGGnet-FC-2",
+        WorkloadKind::RowCol,
+        fc_layer("vggnet_fc2", m, k, n),
+    )
+}
+
+/// `Resnet-50-FC` final classifier layer (scaled).
+pub fn resnet_fc(scale: Scale) -> Workload {
+    let (m, k, n) = match scale {
+        Scale::Test => (16, 32, 2048),
+        Scale::Bench => (64, 128, 2048),
+    };
+    single(
+        "Resnet-50-FC",
+        WorkloadKind::RowCol,
+        fc_layer("resnet50_fc", m, k, n),
+    )
+}
+
+/// `LSTM-1` gate GEMM (scaled).
+pub fn lstm1(scale: Scale) -> Workload {
+    let (m, k, n) = match scale {
+        Scale::Test => (16, 32, 4096),
+        Scale::Bench => (32, 128, 4096),
+    };
+    single("LSTM-1", WorkloadKind::RowCol, fc_layer("lstm1", m, k, n))
+}
+
+/// `LSTM-2` gate GEMM (scaled, smaller).
+pub fn lstm2(scale: Scale) -> Workload {
+    let (m, k, n) = match scale {
+        Scale::Test => (16, 32, 1024),
+        Scale::Bench => (32, 64, 1024),
+    };
+    single("LSTM-2", WorkloadKind::RowCol, fc_layer("lstm2", m, k, n))
+}
+
+/// `TRA` (CUDA SDK transpose): rows of blocks walk matching rows of the
+/// source and columns of the destination.
+pub fn tra(scale: Scale) -> Workload {
+    let g = scale.blocks(32, 8);
+    let trips = 32u32;
+    let w = Expr::param("W");
+    let src = ((by() * bdy() + ty()) * w + m() * 16 + tx()).to_poly();
+    // Destination row pitch = bdy * gdy (the transposed height).
+    let dst = ((m() * 16 + ty()) * (bdy() * gdy()) + by() * 16 + tx()).to_poly();
+    let n = u64::from(g) * 16 * u64::from(trips) * 16;
+    let kernel = KernelStatic {
+        name: "transpose",
+        grid_shape: GridShape::TwoD,
+        args: vec![
+            ArgStatic::read("src", 4, src),
+            ArgStatic::write("dst", 4, dst),
+        ],
+    };
+    let launch = LaunchInfo::new(kernel, (g, g), (16, 16), vec![n, n])
+        .with_param("W", i64::from(trips) * 16);
+    single(
+        "TRA",
+        WorkloadKind::RowCol,
+        AffineKernel::new(launch, trips, 1),
+    )
+}
+
+/// `Random-loc` (Young et al.): each thread streams a short run from a
+/// random offset — maximal intra-thread locality, no inter-thread reuse.
+pub fn random_loc(scale: Scale) -> Workload {
+    let blocks = scale.blocks(256, 64);
+    let trips = 16u32;
+    // Each thread streams its own contiguous chunk (reused through the
+    // L2 once the L1 thrashes) while issuing un-reusable random gathers;
+    // the gathers' REMOTE-LOCAL insertions evict the useful stream lines
+    // unless RONCE bypasses them — the Fig. 11a mechanism.
+    let stream = (tid() * i64::from(trips) + m()).to_poly();
+    // Lagged re-read: long reuse distance, so its lines sit deep in LRU
+    // where remote insertions evict them.
+    let lagged = (tid() * i64::from(trips) + m() - 8).to_poly();
+    let gather = (data() + m()).to_poly();
+    let stream_elems = u64::from(blocks) * 256 * u64::from(trips);
+    let kernel = KernelStatic {
+        name: "random_loc",
+        grid_shape: GridShape::OneD,
+        args: vec![
+            ArgStatic {
+                name: "chunks",
+                elem_bytes: 4,
+                accesses: vec![stream, lagged],
+                is_written: false,
+            },
+            ArgStatic::read("table", 4, gather),
+        ],
+    };
+    let launch = LaunchInfo::new(kernel, (blocks, 1), (256, 1), vec![stream_elems, 16 << 20]);
+    let k = AffineKernel::new(launch, trips, 1).with_data_per_iter(1);
+    single("Random-loc", WorkloadKind::IntraThread, k)
+}
+
+/// `Kmeans-noTex` (Rodinia): per-point feature walks plus shared
+/// centroid reads.
+pub fn kmeans(scale: Scale) -> Workload {
+    let blocks = scale.blocks(2048, 32);
+    let features = (data() + m()).to_poly();
+    let centroids = m().to_poly();
+    let member = tid().to_poly();
+    let n_points = u64::from(blocks) * 256;
+    let kernel = KernelStatic {
+        name: "kmeans",
+        grid_shape: GridShape::OneD,
+        args: vec![
+            ArgStatic::read("features", 4, features),
+            ArgStatic::read("centroids", 4, centroids),
+            ArgStatic::write("membership", 4, member),
+        ],
+    };
+    let launch = LaunchInfo::new(
+        kernel,
+        (blocks, 1),
+        (256, 1),
+        vec![n_points * 16, 1 << 10, n_points],
+    );
+    single(
+        "Kmeans-noTex",
+        WorkloadKind::IntraThread,
+        AffineKernel::new(launch, 16, 2).with_epilogue(2),
+    )
+}
+
+/// `B+tree` (Rodinia): random-node pointer chasing, one level per
+/// iteration — unclassifiable by design.
+pub fn btree(scale: Scale) -> Workload {
+    let blocks = scale.blocks(768, 32);
+    let idx = data().to_poly();
+    let kernel = KernelStatic {
+        name: "btree_find",
+        grid_shape: GridShape::OneD,
+        args: vec![ArgStatic::read("knodes", 4, idx)],
+    };
+    let launch = LaunchInfo::new(kernel, (blocks, 1), (256, 1), vec![4 << 20]);
+    let k = AffineKernel::new(launch, 8, 1).with_data_per_iter(0);
+    single("B+tree", WorkloadKind::Unclassified, k)
+}
+
+/// `LBM` (Parboil): lattice-Boltzmann with long, mixed-direction strides
+/// the analysis cannot decompose.
+pub fn lbm(scale: Scale) -> Workload {
+    let blocks = scale.blocks(768, 32);
+    let c = data() + m() * 19;
+    let kernel = KernelStatic {
+        name: "lbm",
+        grid_shape: GridShape::OneD,
+        args: vec![
+            ArgStatic {
+                name: "srcGrid",
+                elem_bytes: 4,
+                accesses: vec![
+                    c.clone().to_poly(),
+                    (c.clone() + 1).to_poly(),
+                    (c.clone() + 19).to_poly(),
+                ],
+                is_written: false,
+            },
+            ArgStatic::write("dstGrid", 4, (c + 2).to_poly()),
+        ],
+    };
+    let launch = LaunchInfo::new(kernel, (blocks, 1), (120, 1), vec![32 << 20, 32 << 20]);
+    single(
+        "LBM",
+        WorkloadKind::Unclassified,
+        AffineKernel::new(launch, 4, 2),
+    )
+}
+
+/// `StreamCluster` (Parboil): per-point feature walks against
+/// random cluster centers.
+pub fn streamcluster(scale: Scale) -> Workload {
+    let blocks = scale.blocks(512, 32);
+    let dim = 16i64;
+    let points = (tid() * dim + m()).to_poly();
+    let centers = data().to_poly();
+    let n_points = u64::from(blocks) * 512;
+    let kernel = KernelStatic {
+        name: "streamcluster",
+        grid_shape: GridShape::OneD,
+        args: vec![
+            ArgStatic::read("points", 4, points),
+            ArgStatic::read("centers", 4, centers),
+        ],
+    };
+    let launch = LaunchInfo::new(
+        kernel,
+        (blocks, 1),
+        (512, 1),
+        vec![n_points * dim as u64, 1 << 16],
+    );
+    let k = AffineKernel::new(launch, dim as u32, 2).with_data_per_iter(1);
+    single("StreamCluster", WorkloadKind::Unclassified, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladm_core::analysis::{classify, AccessClass};
+    use ladm_core::table::representative;
+
+    fn dominant_class(w: &Workload) -> Vec<u8> {
+        let launch = w.kernels[0].launch();
+        launch
+            .kernel
+            .args
+            .iter()
+            .map(|arg| {
+                let classes: Vec<AccessClass> = arg
+                    .accesses
+                    .iter()
+                    .map(|p| classify(p, launch.kernel.grid_shape, 0))
+                    .collect();
+                representative(&classes).table_row()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vecadd_args_are_nl() {
+        assert_eq!(dominant_class(&vecadd(Scale::Test)), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn stencils_are_nl() {
+        assert_eq!(dominant_class(&srad(Scale::Test)), vec![1, 1]);
+        assert_eq!(dominant_class(&hs(Scale::Test)), vec![1, 1, 1]);
+        assert_eq!(dominant_class(&hotspot3d(Scale::Test)), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn strided_kernels_are_nl() {
+        assert_eq!(dominant_class(&scalarprod(Scale::Test)), vec![1, 1, 1]);
+        assert_eq!(dominant_class(&blk(Scale::Test)), vec![1; 5]);
+        assert_eq!(dominant_class(&reduction(Scale::Test)), vec![1, 1]);
+        assert_eq!(dominant_class(&histo_final(Scale::Test)), vec![1, 1]);
+    }
+
+    #[test]
+    fn conv_src_is_row_locality() {
+        // src row-2, dst NL.
+        assert_eq!(dominant_class(&conv(Scale::Test)), vec![2, 1]);
+    }
+
+    #[test]
+    fn gemm_classifies_as_fig6() {
+        // A row-2, B row-5, C row-1.
+        assert_eq!(dominant_class(&sq_gemm(Scale::Test)), vec![2, 5, 1]);
+        assert_eq!(dominant_class(&alexnet_fc2(Scale::Test)), vec![2, 5, 1]);
+    }
+
+    #[test]
+    fn fwt_and_histo_main_are_column_locality() {
+        assert_eq!(dominant_class(&fwt_k2(Scale::Test)), vec![5, 5]);
+        // img row-5, histogram unclassified.
+        assert_eq!(dominant_class(&histo_main(Scale::Test)), vec![5, 7]);
+    }
+
+    #[test]
+    fn tra_is_row_locality() {
+        // src walks its row horizontally (row 2); dst skips whole
+        // transposed rows per iteration (row 4, vertical motion).
+        assert_eq!(dominant_class(&tra(Scale::Test)), vec![2, 4]);
+    }
+
+    #[test]
+    fn itl_kernels_classify_as_row6() {
+        // chunks (stream + lagged re-read) and table (random walk) are
+        // both intra-thread locality.
+        assert_eq!(dominant_class(&random_loc(Scale::Test)), vec![6, 6]);
+        // features ITL, centroids ITL (m alone), membership NL.
+        assert_eq!(dominant_class(&kmeans(Scale::Test))[0], 6);
+    }
+
+    #[test]
+    fn unclassified_kernels_are_row7() {
+        assert_eq!(dominant_class(&btree(Scale::Test)), vec![7]);
+        assert_eq!(dominant_class(&lbm(Scale::Test)), vec![7, 7]);
+        let sc = dominant_class(&streamcluster(Scale::Test));
+        assert_eq!(sc[1], 7);
+    }
+
+    #[test]
+    fn workload_kinds_match_table_iv() {
+        assert_eq!(vecadd(Scale::Test).kind, WorkloadKind::NoLocality);
+        assert_eq!(sq_gemm(Scale::Test).kind, WorkloadKind::RowCol);
+        assert_eq!(random_loc(Scale::Test).kind, WorkloadKind::IntraThread);
+        assert_eq!(btree(Scale::Test).kind, WorkloadKind::Unclassified);
+    }
+
+    #[test]
+    fn dl_layers_have_dominant_weights() {
+        for w in [
+            alexnet_fc2(Scale::Bench),
+            vggnet_fc2(Scale::Bench),
+            resnet_fc(Scale::Bench),
+            lstm1(Scale::Bench),
+            lstm2(Scale::Bench),
+        ] {
+            let launch = w.kernels[0].launch();
+            assert!(
+                launch.arg_bytes(1) > launch.arg_bytes(0),
+                "{}: weights must dwarf activations",
+                w.name
+            );
+        }
+    }
+}

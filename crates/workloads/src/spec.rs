@@ -1,0 +1,413 @@
+//! Workload building blocks: input scaling and the [`AffineKernel`]
+//! executor that turns a symbolic kernel description into a runnable
+//! [`KernelExec`].
+
+use ladm_core::expr::{Env, Expr, Poly, Var};
+use ladm_core::launch::LaunchInfo;
+use ladm_sim::{thread_xy, warp_thread_range, KernelExec, ThreadAccess};
+
+/// Input-size scaling for the suite. The paper runs 16–400 MB inputs on a
+/// cycle simulator farm; we keep the same shapes and ratios at sizes that
+/// finish quickly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Minutes-long CI budget: kilobyte-scale inputs, hundreds of blocks.
+    Test,
+    /// Benchmark runs: megabyte-scale inputs, thousands of blocks.
+    Bench,
+}
+
+impl Scale {
+    /// Grid-size divisor relative to the paper's launch (≥ 1).
+    pub fn divisor(self) -> u32 {
+        match self {
+            Scale::Test => 8,
+            Scale::Bench => 1,
+        }
+    }
+
+    /// Scales a block count, keeping at least `min`.
+    pub fn blocks(self, full: u32, min: u32) -> u32 {
+        (full / self.divisor()).max(min)
+    }
+}
+
+/// One compiled global-array access site of an affine kernel.
+#[derive(Debug, Clone)]
+struct CompiledAccess {
+    arg: u16,
+    write: bool,
+    /// The index with the thread-variable and `Data` terms removed
+    /// (evaluated per block/iteration).
+    base: Poly,
+    /// Linear coefficient of `threadIdx.x`.
+    c_tx: i64,
+    /// Linear coefficient of `threadIdx.y`.
+    c_ty: i64,
+    /// Linear coefficient of the opaque `Data` variable (0 when absent).
+    c_data: i64,
+    /// `Data` is re-randomized every loop iteration (pointer chasing)
+    /// instead of being fixed per thread (CSR-style row starts).
+    data_per_iter: bool,
+    /// The site executes only on the final loop iteration (register-
+    /// accumulated results written once, like GEMM's `C`).
+    epilogue: bool,
+    /// Only one thread per `group` lanes issues the access (models
+    /// per-block or strided-lane accesses like reduction outputs).
+    lane_group: u32,
+}
+
+/// SplitMix64: cheap, deterministic stand-in for data-dependent index
+/// values (`row_ptr[tid]`, hash-bucket targets, pointer-chase links).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A runnable kernel whose every access is an affine function of the
+/// prime variables — the executable twin of the [`KernelStatic`] the
+/// compiler analyses. One definition drives both the static analysis and
+/// the simulation, so classification and behaviour can never diverge.
+///
+/// # Examples
+///
+/// ```
+/// use ladm_core::analysis::GridShape;
+/// use ladm_core::launch::{ArgStatic, KernelStatic, LaunchInfo};
+/// use ladm_sim::KernelExec;
+/// use ladm_workloads::spec::dsl::*;
+/// use ladm_workloads::AffineKernel;
+///
+/// let idx = tid().to_poly();
+/// let kernel = KernelStatic {
+///     name: "copy",
+///     grid_shape: GridShape::OneD,
+///     args: vec![ArgStatic::read("src", 4, idx.clone()), ArgStatic::write("dst", 4, idx)],
+/// };
+/// let launch = LaunchInfo::new(kernel, (64, 1), (128, 1), vec![8192, 8192]);
+/// let exec = AffineKernel::new(launch, 1, 1);
+/// let mut accesses = Vec::new();
+/// exec.warp_accesses((3, 0), 0, 0, &mut accesses);
+/// assert_eq!(accesses[0].idx, 3 * 128); // lane 0 of block 3
+/// ```
+///
+/// [`KernelStatic`]: ladm_core::launch::KernelStatic
+#[derive(Debug, Clone)]
+pub struct AffineKernel {
+    launch: LaunchInfo,
+    trips: u32,
+    intensity: u32,
+    accesses: Vec<CompiledAccess>,
+    base_env: Env,
+}
+
+impl AffineKernel {
+    /// Compiles `launch` into an executor running `trips` outer-loop
+    /// iterations. Every access listed in the launch's [`KernelStatic`]
+    /// becomes one access site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index polynomial references an unbound parameter.
+    pub fn new(launch: LaunchInfo, trips: u32, intensity: u32) -> Self {
+        let env = launch.env();
+        let mut accesses = Vec::new();
+        for (arg_idx, arg) in launch.kernel.args.iter().enumerate() {
+            for index in &arg.accesses {
+                let c_tx = coeff_value(index, Var::Tx, &env);
+                let c_ty = coeff_value(index, Var::Ty, &env);
+                let c_data = ladm_core::analysis::coeff_poly(index, Var::Data)
+                    .try_eval(&env)
+                    .unwrap_or(1);
+                let base = index
+                    .subst(Var::Tx, &Poly::zero())
+                    .subst(Var::Ty, &Poly::zero())
+                    .subst(Var::Data, &Poly::zero());
+                accesses.push(CompiledAccess {
+                    arg: arg_idx as u16,
+                    write: arg.is_written,
+                    base,
+                    c_tx,
+                    c_ty,
+                    c_data: if index.contains(Var::Data) { c_data } else { 0 },
+                    data_per_iter: false,
+                    epilogue: false,
+                    lane_group: 1,
+                });
+            }
+        }
+        AffineKernel {
+            base_env: env,
+            launch,
+            trips: trips.max(1),
+            intensity: intensity.max(1),
+            accesses,
+        }
+    }
+
+    /// Makes access site `site` issue from only one lane in every `group`
+    /// lanes (e.g. `group = 32`: one access per warp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range or `group` is zero.
+    pub fn with_lane_group(mut self, site: usize, group: u32) -> Self {
+        assert!(group > 0, "lane group must be positive");
+        self.accesses[site].lane_group = group;
+        self
+    }
+
+    /// Re-randomizes site `site`'s `Data` value every loop iteration
+    /// (pointer-chase behaviour) instead of once per thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn with_data_per_iter(mut self, site: usize) -> Self {
+        self.accesses[site].data_per_iter = true;
+        self
+    }
+
+    /// Executes site `site` only on the final loop iteration — results
+    /// accumulated in registers and stored once (GEMM's `C`, reduction
+    /// partials).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn with_epilogue(mut self, site: usize) -> Self {
+        self.accesses[site].epilogue = true;
+        self
+    }
+
+    /// Number of compiled access sites.
+    pub fn num_sites(&self) -> usize {
+        self.accesses.len()
+    }
+}
+
+fn coeff_value(index: &Poly, v: Var, env: &Env) -> i64 {
+    ladm_core::analysis::coeff_poly(index, v)
+        .try_eval(env)
+        .unwrap_or_else(|| panic!("unbound parameter in coefficient of {v}"))
+}
+
+impl KernelExec for AffineKernel {
+    fn launch(&self) -> &LaunchInfo {
+        &self.launch
+    }
+
+    fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    fn compute_intensity(&self) -> u32 {
+        self.intensity
+    }
+
+    fn set_page_bytes(&mut self, page_bytes: u64) {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        self.launch.page_bytes = page_bytes;
+    }
+
+    fn warp_accesses(&self, tb: (u32, u32), warp: u32, iter: u32, out: &mut Vec<ThreadAccess>) {
+        let bdx = self.launch.block.0;
+        let threads = self.launch.threads_per_tb() as u32;
+        let (lo, hi) = warp_thread_range(warp, 32, threads);
+        let mut env = self.base_env.clone();
+        env.set_block(i64::from(tb.0), i64::from(tb.1));
+        env.set_ind(0, i64::from(iter));
+        let gdx = u64::from(self.launch.grid.0);
+        let tb_lin = u64::from(tb.1) * gdx + u64::from(tb.0);
+        for (site, access) in self.accesses.iter().enumerate() {
+            if access.epilogue && iter + 1 != self.trips {
+                continue;
+            }
+            let base = access.base.eval(&env);
+            for t in lo..hi {
+                if (t - lo) % access.lane_group != 0 {
+                    continue;
+                }
+                let (tx, ty) = thread_xy(t, bdx);
+                let mut idx =
+                    base + access.c_tx * i64::from(tx) + access.c_ty * i64::from(ty);
+                if access.c_data != 0 {
+                    let gtid = tb_lin * u64::from(threads) + u64::from(t);
+                    let mut seed = gtid ^ (site as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                    if access.data_per_iter {
+                        seed ^= u64::from(iter).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+                    }
+                    // Keep the synthetic data value in a sane index range;
+                    // the address space wraps it to the allocation anyway.
+                    let value = (splitmix64(seed) >> 24) as i64;
+                    idx += access.c_data * value;
+                }
+                let idx = idx.max(0) as u64;
+                out.push(ThreadAccess {
+                    arg: access.arg,
+                    idx,
+                    write: access.write,
+                });
+            }
+        }
+    }
+}
+
+/// Shorthand expression constructors used across the workload
+/// definitions.
+pub mod dsl {
+    use super::*;
+
+    /// `threadIdx.x`.
+    pub fn tx() -> Expr {
+        Expr::var(Var::Tx)
+    }
+    /// `threadIdx.y`.
+    pub fn ty() -> Expr {
+        Expr::var(Var::Ty)
+    }
+    /// `blockIdx.x`.
+    pub fn bx() -> Expr {
+        Expr::var(Var::Bx)
+    }
+    /// `blockIdx.y`.
+    pub fn by() -> Expr {
+        Expr::var(Var::By)
+    }
+    /// `blockDim.x`.
+    pub fn bdx() -> Expr {
+        Expr::var(Var::Bdx)
+    }
+    /// `blockDim.y`.
+    pub fn bdy() -> Expr {
+        Expr::var(Var::Bdy)
+    }
+    /// `gridDim.x`.
+    pub fn gdx() -> Expr {
+        Expr::var(Var::Gdx)
+    }
+    /// `gridDim.y`.
+    pub fn gdy() -> Expr {
+        Expr::var(Var::Gdy)
+    }
+    /// The outermost loop induction variable `m`.
+    pub fn m() -> Expr {
+        Expr::var(Var::Ind(0))
+    }
+    /// A data-dependent opaque component.
+    pub fn data() -> Expr {
+        Expr::var(Var::Data)
+    }
+    /// The global thread id `bx*bDim.x + tx`.
+    pub fn tid() -> Expr {
+        bx() * bdx() + tx()
+    }
+    /// The grid-wide width `bDim.x * gridDim.x`.
+    pub fn width() -> Expr {
+        bdx() * gdx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+    use ladm_core::analysis::GridShape;
+    use ladm_core::launch::{ArgStatic, KernelStatic};
+
+    fn vecadd_kernel(blocks: u32) -> AffineKernel {
+        let idx = tid().to_poly();
+        let n = u64::from(blocks) * 128;
+        let kernel = KernelStatic {
+            name: "vecadd",
+            grid_shape: GridShape::OneD,
+            args: vec![
+                ArgStatic::read("a", 4, idx.clone()),
+                ArgStatic::write("c", 4, idx),
+            ],
+        };
+        AffineKernel::new(
+            LaunchInfo::new(kernel, (blocks, 1), (128, 1), vec![n, n]),
+            1,
+            1,
+        )
+    }
+
+    #[test]
+    fn vecadd_accesses_are_contiguous_per_warp() {
+        let k = vecadd_kernel(4);
+        let mut out = Vec::new();
+        k.warp_accesses((2, 0), 1, 0, &mut out);
+        // 32 lanes x 2 sites.
+        assert_eq!(out.len(), 64);
+        // First site (read a): indices 2*128 + 32 .. +63.
+        let reads: Vec<u64> = out.iter().filter(|a| !a.write).map(|a| a.idx).collect();
+        assert_eq!(reads[0], 2 * 128 + 32);
+        assert_eq!(*reads.last().unwrap(), 2 * 128 + 63);
+        assert!(out.iter().any(|a| a.write));
+    }
+
+    #[test]
+    fn lane_group_thins_accesses() {
+        let k = vecadd_kernel(4).with_lane_group(1, 32);
+        let mut out = Vec::new();
+        k.warp_accesses((0, 0), 0, 0, &mut out);
+        // 32 reads + 1 write.
+        assert_eq!(out.len(), 33);
+        assert_eq!(out.iter().filter(|a| a.write).count(), 1);
+    }
+
+    #[test]
+    fn two_d_kernel_uses_ty_coefficient() {
+        // A[(by*bdy+ty)*W + bx*bdx+tx] with W = 64*4 = 256.
+        let idx = ((by() * bdy() + ty()) * width() + bx() * bdx() + tx()).to_poly();
+        let kernel = KernelStatic {
+            name: "tile",
+            grid_shape: GridShape::TwoD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        let launch = LaunchInfo::new(kernel, (4, 4), (16, 16), vec![256 * 256]);
+        let k = AffineKernel::new(launch, 1, 1);
+        let mut out = Vec::new();
+        // Warp 1 of block (1,2): threads 32..63 -> ty = 2..3.
+        k.warp_accesses((1, 2), 1, 0, &mut out);
+        // W = bdx * gdx = 16 * 4 = 64.
+        let w = 16 * 4u64;
+        // thread (tx=0, ty=2): idx = (2*16+2)*W + 16.
+        assert_eq!(out[0].idx, (2 * 16 + 2) * w + 16);
+        // thread (tx=15, ty=3).
+        assert_eq!(out[31].idx, (2 * 16 + 3) * w + 16 + 15);
+    }
+
+    #[test]
+    fn induction_variable_advances_base() {
+        let idx = (tid() + m() * width()).to_poly();
+        let kernel = KernelStatic {
+            name: "stride",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        let launch = LaunchInfo::new(kernel, (8, 1), (32, 1), vec![1 << 16]);
+        let k = AffineKernel::new(launch, 4, 1);
+        let mut out0 = Vec::new();
+        let mut out1 = Vec::new();
+        k.warp_accesses((0, 0), 0, 0, &mut out0);
+        k.warp_accesses((0, 0), 0, 1, &mut out1);
+        assert_eq!(out1[0].idx - out0[0].idx, 8 * 32);
+    }
+
+    #[test]
+    fn scale_divisors() {
+        assert_eq!(Scale::Test.blocks(1024, 16), 128);
+        assert_eq!(Scale::Bench.blocks(1024, 16), 1024);
+        assert_eq!(Scale::Test.blocks(8, 16), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane group must be positive")]
+    fn zero_lane_group_panics() {
+        let _ = vecadd_kernel(1).with_lane_group(0, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The evaluation suite: the 27 scalable workloads of Table IV with their
+//! locality-group metadata.
+
+use crate::spec::Scale;
+use crate::{irregular, regular};
+use ladm_sim::KernelExec;
+use std::fmt;
+
+/// Table IV's workload grouping (the x-axis clusters of Figures 9/10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// No datablock-locality (stencils, streaming, strided kernels).
+    NoLocality,
+    /// Row/column locality (convolution, transforms, GEMM family).
+    RowCol,
+    /// Intra-thread locality (graphs, sparse, random streams).
+    IntraThread,
+    /// Unclassifiable index patterns.
+    Unclassified,
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadKind::NoLocality => write!(f, "NL"),
+            WorkloadKind::RowCol => write!(f, "RCL"),
+            WorkloadKind::IntraThread => write!(f, "ITL"),
+            WorkloadKind::Unclassified => write!(f, "Unclassified"),
+        }
+    }
+}
+
+/// A named benchmark: one or more kernels executed back to back.
+pub struct Workload {
+    /// Display name (Table IV spelling).
+    pub name: &'static str,
+    /// Locality group.
+    pub kind: WorkloadKind,
+    /// Kernels in execution order.
+    pub kernels: Vec<Box<dyn KernelExec>>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn new(
+        name: &'static str,
+        kind: WorkloadKind,
+        kernels: Vec<Box<dyn KernelExec>>,
+    ) -> Self {
+        assert!(!kernels.is_empty(), "a workload needs at least one kernel");
+        Workload {
+            name,
+            kind,
+            kernels,
+        }
+    }
+
+    /// Total input footprint in bytes (sum of the first kernel's
+    /// allocations — Table IV's "Input Size" column).
+    pub fn input_bytes(&self) -> u64 {
+        let launch = self.kernels[0].launch();
+        (0..launch.kernel.args.len())
+            .map(|i| launch.arg_bytes(i))
+            .sum()
+    }
+
+    /// Threadblock dimensions of the dominant kernel.
+    pub fn tb_dim(&self) -> (u32, u32) {
+        self.kernels[0].launch().block
+    }
+
+    /// Launched threadblocks of the dominant kernel.
+    pub fn launched_tbs(&self) -> u64 {
+        self.kernels[0].launch().total_tbs()
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("kernels", &self.kernels.len())
+            .finish()
+    }
+}
+
+/// Builds the full 27-workload suite in Table IV order.
+pub fn suite(scale: Scale) -> Vec<Workload> {
+    vec![
+        regular::vecadd(scale),
+        regular::srad(scale),
+        regular::hs(scale),
+        regular::scalarprod(scale),
+        regular::blk(scale),
+        regular::histo_final(scale),
+        regular::reduction(scale),
+        regular::hotspot3d(scale),
+        regular::conv(scale),
+        regular::histo_main(scale),
+        regular::fwt_k2(scale),
+        regular::sq_gemm(scale),
+        regular::alexnet_fc2(scale),
+        regular::vggnet_fc2(scale),
+        regular::resnet_fc(scale),
+        regular::lstm1(scale),
+        regular::lstm2(scale),
+        regular::tra(scale),
+        irregular::pagerank(scale),
+        irregular::bfs(scale),
+        irregular::sssp(scale),
+        regular::random_loc(scale),
+        regular::kmeans(scale),
+        irregular::spmv_jds(scale),
+        regular::btree(scale),
+        regular::lbm(scale),
+        regular::streamcluster(scale),
+    ]
+}
+
+/// Looks a workload up by its Table IV name (case-insensitive).
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    suite(scale)
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+/// The machine-learning GEMM subset used by the §IV-C DGX-1 validation.
+pub fn dl_gemms(scale: Scale) -> Vec<Workload> {
+    vec![
+        regular::alexnet_fc2(scale),
+        regular::vggnet_fc2(scale),
+        regular::resnet_fc(scale),
+        regular::lstm1(scale),
+        regular::lstm2(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_27_workloads() {
+        assert_eq!(suite(Scale::Test).len(), 27);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = suite(Scale::Test);
+        let mut names: Vec<&str> = s.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 27);
+    }
+
+    #[test]
+    fn group_counts_match_table_iv() {
+        let s = suite(Scale::Test);
+        let count = |k: WorkloadKind| s.iter().filter(|w| w.kind == k).count();
+        assert_eq!(count(WorkloadKind::NoLocality), 8);
+        assert_eq!(count(WorkloadKind::RowCol), 10);
+        assert_eq!(count(WorkloadKind::IntraThread), 6);
+        assert_eq!(count(WorkloadKind::Unclassified), 3);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("sq-gemm", Scale::Test).is_some());
+        assert!(by_name("VECADD", Scale::Test).is_some());
+        assert!(by_name("nope", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn metadata_accessors_are_sane() {
+        for w in suite(Scale::Test) {
+            assert!(w.input_bytes() > 0, "{}", w.name);
+            assert!(w.launched_tbs() > 0, "{}", w.name);
+            let (x, y) = w.tb_dim();
+            assert!(x * y >= 32, "{} block too small", w.name);
+            assert!(x * y <= 1024, "{} block too large", w.name);
+        }
+    }
+
+    #[test]
+    fn bench_scale_is_larger_than_test() {
+        let t = by_name("VecAdd", Scale::Test).unwrap();
+        let b = by_name("VecAdd", Scale::Bench).unwrap();
+        assert!(b.launched_tbs() > t.launched_tbs());
+        assert!(b.input_bytes() > t.input_bytes());
+    }
+
+    #[test]
+    fn dl_subset_is_all_rcl() {
+        let dl = dl_gemms(Scale::Test);
+        assert_eq!(dl.len(), 5);
+        assert!(dl.iter().all(|w| w.kind == WorkloadKind::RowCol));
+    }
+}

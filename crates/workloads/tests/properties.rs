@@ -1,0 +1,178 @@
+//! Property-based tests over the workload suite: determinism, bounds and
+//! the analysis↔execution consistency guarantee.
+
+use ladm_core::analysis::{classify, datablock_span_elems};
+use ladm_sim::{KernelExec, ThreadAccess};
+use ladm_workloads::{suite, Scale};
+use proptest::prelude::*;
+
+fn collect(
+    kernel: &dyn KernelExec,
+    tb: (u32, u32),
+    warp: u32,
+    iter: u32,
+) -> Vec<ThreadAccess> {
+    let mut out = Vec::new();
+    kernel.warp_accesses(tb, warp, iter, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every kernel of every workload is deterministic: the same
+    /// `(tb, warp, iter)` always generates the same accesses.
+    #[test]
+    fn warp_accesses_deterministic(
+        workload_idx in 0usize..27,
+        tb_frac in 0.0f64..1.0,
+        warp in 0u32..4,
+        iter_frac in 0.0f64..1.0,
+    ) {
+        let all = suite(Scale::Test);
+        let w = &all[workload_idx];
+        for kernel in &w.kernels {
+            let launch = kernel.launch();
+            let (gdx, gdy) = launch.grid;
+            let bx = ((f64::from(gdx) * tb_frac) as u32).min(gdx - 1);
+            let by = ((f64::from(gdy) * tb_frac) as u32).min(gdy - 1);
+            let iter = ((kernel.trips() as f64 * iter_frac) as u32)
+                .min(kernel.trips().saturating_sub(1));
+            let warps = launch.threads_per_tb().div_ceil(32) as u32;
+            let warp = warp.min(warps - 1);
+            let a = collect(&**kernel, (bx, by), warp, iter);
+            let b = collect(&**kernel, (bx, by), warp, iter);
+            prop_assert_eq!(a, b, "{} must be deterministic", w.name);
+        }
+    }
+
+    /// Every generated access targets a declared argument, and writes
+    /// only target arguments declared as written.
+    #[test]
+    fn accesses_respect_signatures(
+        workload_idx in 0usize..27,
+        tb_frac in 0.0f64..1.0,
+    ) {
+        let all = suite(Scale::Test);
+        let w = &all[workload_idx];
+        for kernel in &w.kernels {
+            let launch = kernel.launch();
+            let (gdx, gdy) = launch.grid;
+            let bx = ((f64::from(gdx) * tb_frac) as u32).min(gdx - 1);
+            let by = ((f64::from(gdy) * tb_frac) as u32).min(gdy - 1);
+            for iter in [0, kernel.trips() - 1] {
+                for warp in 0..launch.threads_per_tb().div_ceil(32) as u32 {
+                    for a in collect(&**kernel, (bx, by), warp, iter) {
+                        let arg = usize::from(a.arg);
+                        prop_assert!(arg < launch.kernel.args.len(),
+                            "{}: access to undeclared arg {arg}", w.name);
+                        if a.write {
+                            prop_assert!(launch.kernel.args[arg].is_written,
+                                "{}: write to read-only arg {arg}", w.name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// For affine workloads, the executed addresses of the first warp agree
+/// with evaluating the declared index polynomials — the analysis and the
+/// simulation can never diverge (the core design guarantee).
+#[test]
+fn executed_addresses_match_declared_polynomials() {
+    use ladm_core::expr::Var;
+
+    for w in suite(Scale::Test) {
+        let kernel = &w.kernels[0];
+        let launch = kernel.launch();
+        // Only check fully-affine workloads (no Data components).
+        let affine = launch
+            .kernel
+            .args
+            .iter()
+            .all(|a| a.accesses.iter().all(|p| !p.contains(Var::Data)));
+        if !affine {
+            continue;
+        }
+        let accesses = {
+            let mut out = Vec::new();
+            kernel.warp_accesses((0, 0), 0, 0, &mut out);
+            out
+        };
+        let mut env = launch.env();
+        env.set_block(0, 0);
+        env.set_ind(0, 0);
+        // Every generated index must be reproduced by SOME declared site
+        // evaluated at SOME lane of warp 0.
+        for access in &accesses {
+            let arg = &launch.kernel.args[usize::from(access.arg)];
+            let mut matched = false;
+            'sites: for poly in &arg.accesses {
+                for t in 0..32u32.min(launch.threads_per_tb() as u32) {
+                    let (tx, ty) = ladm_sim::thread_xy(t, launch.block.0);
+                    let mut e = env.clone();
+                    e.set_thread(i64::from(tx), i64::from(ty));
+                    if poly.eval(&e).max(0) as u64 == access.idx {
+                        matched = true;
+                        break 'sites;
+                    }
+                }
+            }
+            assert!(
+                matched,
+                "{}: executed index {} of arg {} not produced by any declared site",
+                w.name, access.idx, access.arg
+            );
+        }
+    }
+}
+
+/// Datablock span is positive and no larger than the allocation for every
+/// affine argument of the suite.
+#[test]
+fn datablock_spans_are_sane() {
+    use ladm_core::expr::Var;
+
+    for w in suite(Scale::Test) {
+        let launch = w.kernels[0].launch();
+        let env = launch.env();
+        for (i, arg) in launch.kernel.args.iter().enumerate() {
+            for poly in &arg.accesses {
+                if poly.contains(Var::Data) {
+                    continue;
+                }
+                let span = datablock_span_elems(poly, &env);
+                assert!(span >= 1, "{} arg {i}", w.name);
+                assert!(
+                    span <= launch.arg_lens[i].max(1) * 2,
+                    "{} arg {i}: span {span} vs len {}",
+                    w.name,
+                    launch.arg_lens[i]
+                );
+            }
+        }
+    }
+}
+
+/// Classification of every declared access is stable across scales (the
+/// locality type is a property of the code, not the input size).
+#[test]
+fn classification_is_scale_invariant() {
+    let test = suite(Scale::Test);
+    let bench = suite(Scale::Bench);
+    for (a, b) in test.iter().zip(&bench) {
+        assert_eq!(a.name, b.name);
+        let la = a.kernels[0].launch();
+        let lb = b.kernels[0].launch();
+        assert_eq!(la.kernel.args.len(), lb.kernel.args.len(), "{}", a.name);
+        for (arg_a, arg_b) in la.kernel.args.iter().zip(&lb.kernel.args) {
+            for (pa, pb) in arg_a.accesses.iter().zip(&arg_b.accesses) {
+                let ca = classify(pa, la.kernel.grid_shape, 0).table_row();
+                let cb = classify(pb, lb.kernel.grid_shape, 0).table_row();
+                assert_eq!(ca, cb, "{} arg {}", a.name, arg_a.name);
+            }
+        }
+    }
+}

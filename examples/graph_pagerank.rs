@@ -1,0 +1,59 @@
+//! PageRank over a synthetic web graph: intra-thread locality on the edge
+//! arrays, data-dependent gathers on the rank vector. Shows LADM's
+//! kernel-wide fallback plus CRB cache bypassing against H-CODA.
+//!
+//! ```text
+//! cargo run --release --example graph_pagerank
+//! ```
+
+use ladm::prelude::*;
+use ladm_core::analysis::classify;
+use ladm_core::policies::Policy;
+use ladm_workloads::irregular::CsrKernel;
+use ladm_workloads::Csr;
+
+fn main() {
+    // Build a custom graph: 32k pages, skewed degrees, mostly-local links.
+    let graph = Csr::synthetic(32_768, 12, 64, 2026);
+    println!(
+        "graph: {} nodes, {} edges, max degree {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+    let kernel = CsrKernel::new("pagerank_push", graph, 128, 32, 1, false);
+    let launch = kernel.launch();
+
+    // What the compiler sees:
+    for arg in &launch.kernel.args {
+        let class = classify(&arg.accesses[0], launch.kernel.grid_shape, 0);
+        println!("  {:<8} -> {class}", arg.name);
+    }
+
+    let topo = Topology::paper_multi_gpu();
+    let plan = Lasp::ladm().plan(launch, &topo);
+    println!("\nLADM plan: {plan}\n");
+
+    let cfg = SimConfig::paper_multi_gpu();
+    println!(
+        "{:<8} {:>12} {:>10} {:>8} {:>8} {:>8}",
+        "policy", "cycles", "off-chip", "LLhit", "LRhit", "RLhit"
+    );
+    for p in [&Coda::hierarchical() as &dyn Policy, &Lasp::ladm()] {
+        let mut sys = GpuSystem::new(cfg.clone());
+        let s = sys.run(&kernel, p);
+        println!(
+            "{:<8} {:>12.0} {:>9.1}% {:>8.2} {:>8.2} {:>8.2}",
+            p.name(),
+            s.cycles,
+            s.offchip_fraction() * 100.0,
+            s.l2_local_local.hit_rate(),
+            s.l2_local_remote.hit_rate(),
+            s.l2_remote_local.hit_rate()
+        );
+    }
+    println!(
+        "\nKernel-wide chunking keeps each thread's adjacency walk on its own\n\
+         node; only the genuinely random rank gathers still cross the fabric."
+    );
+}

@@ -1,0 +1,59 @@
+//! Heat-diffusion stencil (HotSpot-style) across NUMA policies: adjacent
+//! locality means contiguous row chunks beat every round-robin scheme,
+//! and LADM finds that automatically from the index analysis.
+//!
+//! ```text
+//! cargo run --release --example stencil_heat
+//! ```
+
+use ladm::prelude::*;
+use ladm_core::policies::Policy;
+use ladm_workloads::{by_name, Scale};
+
+fn main() {
+    let w = by_name("HS", Scale::Test).expect("suite workload");
+    let launch = w.kernels[0].launch();
+    println!(
+        "HotSpot: {}x{} blocks of {}x{} threads, {:.1} MiB of plates\n",
+        launch.grid.0,
+        launch.grid.1,
+        launch.block.0,
+        launch.block.1,
+        w.input_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    let cfg = SimConfig::paper_multi_gpu();
+    let mono = {
+        let mut sys = GpuSystem::new(SimConfig::monolithic());
+        sys.run(&*w.kernels[0], &Lasp::ladm()).cycles
+    };
+
+    let policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(BaselineRr::new()),
+        Box::new(BatchFt::new()),
+        Box::new(KernelWide::new()),
+        Box::new(Coda::hierarchical()),
+        Box::new(Lasp::ladm()),
+    ];
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>14}",
+        "policy", "cycles", "vs mono", "off-chip", "inter-GPU B"
+    );
+    for p in &policies {
+        let mut sys = GpuSystem::new(cfg.clone());
+        let s = sys.run(&*w.kernels[0], &**p);
+        println!(
+            "{:<14} {:>12.0} {:>9.2}x {:>11.1}% {:>14}",
+            p.name(),
+            s.cycles,
+            mono / s.cycles,
+            s.offchip_fraction() * 100.0,
+            s.inter_gpu_bytes
+        );
+    }
+    println!(
+        "\nThe stencil's halo exchange only crosses node boundaries at chunk\n\
+         edges, so LADM's whole-grid-row batches capture adjacent locality\n\
+         that every round-robin scheduler destroys (paper §V-A: 4x vs H-CODA)."
+    );
+}

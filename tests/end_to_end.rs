@@ -1,0 +1,343 @@
+//! End-to-end integration: full workload simulations across policies and
+//! machines, checking the statistical invariants and the qualitative
+//! orderings the paper's evaluation depends on.
+
+use ladm::prelude::*;
+use ladm_core::policies::Policy;
+use ladm_workloads::{by_name, suite, Scale};
+
+fn run(cfg: &SimConfig, w: &Workload, policy: &dyn Policy) -> KernelStats {
+    let mut sys = GpuSystem::new(cfg.clone());
+    let mut total = KernelStats::default();
+    for k in &w.kernels {
+        total.accumulate(&sys.run(&**k, policy));
+    }
+    total
+}
+
+fn assert_invariants(name: &str, policy: &str, s: &KernelStats) {
+    assert!(s.cycles > 0.0, "{name}/{policy}: no time elapsed");
+    assert!(s.warp_instructions > 0, "{name}/{policy}");
+    assert!(
+        s.sectors_offnode <= s.l1_misses,
+        "{name}/{policy}: off-node {} > L2-level {}",
+        s.sectors_offnode,
+        s.l1_misses
+    );
+    assert!(s.sectors_offgpu <= s.sectors_offnode, "{name}/{policy}");
+    for c in [s.l2_local_local, s.l2_local_remote, s.l2_remote_local] {
+        assert!(c.hits <= c.accesses, "{name}/{policy}");
+    }
+    assert!(
+        s.offnode_by_arg.iter().sum::<u64>() == s.sectors_offnode,
+        "{name}/{policy}: per-arg attribution must sum to the total"
+    );
+    let (low, high) = (0.0, 1.0 + 1e-9);
+    for v in [s.offchip_fraction(), s.l2_hit_rate()] {
+        assert!((low..high).contains(&v), "{name}/{policy}: metric {v}");
+    }
+}
+
+#[test]
+fn full_suite_runs_under_ladm_with_invariants() {
+    let cfg = SimConfig::paper_multi_gpu();
+    for w in suite(Scale::Test) {
+        let stats = run(&cfg, &w, &Lasp::ladm());
+        assert_eq!(
+            stats.threadblocks,
+            w.kernels.iter().map(|k| k.launch().total_tbs()).sum::<u64>(),
+            "{}: every threadblock must execute",
+            w.name
+        );
+        assert_invariants(w.name, "LADM", &stats);
+    }
+}
+
+#[test]
+fn representative_workloads_run_under_every_policy() {
+    let cfg = SimConfig::paper_multi_gpu();
+    let policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(BaselineRr::new()),
+        Box::new(BatchFt::new()),
+        Box::new(KernelWide::new()),
+        Box::new(Coda::flat()),
+        Box::new(Coda::hierarchical()),
+        Box::new(Lasp::new(CacheMode::Rtwice)),
+        Box::new(Lasp::new(CacheMode::Ronce)),
+        Box::new(Lasp::ladm()),
+    ];
+    for name in ["VecAdd", "SQ-GEMM", "PageRank", "SRAD", "B+tree"] {
+        let w = by_name(name, Scale::Test).expect("suite workload");
+        for p in &policies {
+            let stats = run(&cfg, &w, &**p);
+            assert_invariants(name, p.name(), &stats);
+        }
+    }
+}
+
+#[test]
+fn monolithic_never_generates_numa_traffic() {
+    let cfg = SimConfig::monolithic();
+    for name in ["VecAdd", "SQ-GEMM", "Random-loc", "PageRank", "LBM"] {
+        let w = by_name(name, Scale::Test).expect("suite workload");
+        let stats = run(&cfg, &w, &Lasp::ladm());
+        assert_eq!(stats.sectors_offnode, 0, "{name}");
+        assert_eq!(stats.inter_gpu_bytes, 0, "{name}");
+        assert_eq!(stats.inter_chiplet_bytes, 0, "{name}");
+    }
+}
+
+#[test]
+fn ladm_beats_baseline_rr_on_regular_workloads() {
+    let cfg = SimConfig::paper_multi_gpu();
+    for name in ["VecAdd", "SRAD", "CONV", "ScalarProd"] {
+        let w = by_name(name, Scale::Test).expect("suite workload");
+        let rr = run(&cfg, &w, &BaselineRr::new());
+        let ladm = run(&cfg, &w, &Lasp::ladm());
+        assert!(
+            ladm.cycles < rr.cycles,
+            "{name}: LADM {} vs RR {}",
+            ladm.cycles,
+            rr.cycles
+        );
+        assert!(
+            ladm.offchip_fraction() < rr.offchip_fraction(),
+            "{name}: traffic"
+        );
+    }
+}
+
+#[test]
+fn ladm_reduces_offchip_traffic_vs_hcoda_on_average() {
+    let cfg = SimConfig::paper_multi_gpu();
+    let mut hcoda_total = 0.0;
+    let mut ladm_total = 0.0;
+    for w in suite(Scale::Test) {
+        hcoda_total += run(&cfg, &w, &Coda::hierarchical()).offchip_fraction();
+        ladm_total += run(&cfg, &w, &Lasp::ladm()).offchip_fraction();
+    }
+    assert!(
+        ladm_total < hcoda_total * 0.75,
+        "LADM mean off-chip {ladm_total} vs H-CODA {hcoda_total}"
+    );
+}
+
+#[test]
+fn crb_takes_the_best_of_both_insertion_policies() {
+    // RONCE helps the low-reuse ITL case and hurts the high-reuse RCL
+    // case; CRB must match the better choice on both (§III-E).
+    let cfg = SimConfig::paper_multi_gpu();
+
+    let itl = by_name("Random-loc", Scale::Test).expect("suite workload");
+    let rt = run(&cfg, &itl, &Lasp::new(CacheMode::Rtwice));
+    let ro = run(&cfg, &itl, &Lasp::new(CacheMode::Ronce));
+    let crb = run(&cfg, &itl, &Lasp::ladm());
+    assert!(
+        (crb.l2_hit_rate() - ro.l2_hit_rate()).abs() < 0.05,
+        "CRB must behave like RONCE on ITL: crb {} ronce {} rtwice {}",
+        crb.l2_hit_rate(),
+        ro.l2_hit_rate(),
+        rt.l2_hit_rate()
+    );
+
+    let rcl = by_name("SQ-GEMM", Scale::Test).expect("suite workload");
+    let rt = run(&cfg, &rcl, &Lasp::new(CacheMode::Rtwice));
+    let crb = run(&cfg, &rcl, &Lasp::ladm());
+    assert!(
+        (crb.l2_hit_rate() - rt.l2_hit_rate()).abs() < 0.05,
+        "CRB must behave like RTWICE on RCL: crb {} rtwice {}",
+        crb.l2_hit_rate(),
+        rt.l2_hit_rate()
+    );
+}
+
+#[test]
+fn first_touch_places_pages_where_batches_run() {
+    // Batch+FT on a stride workload: first touch pins each block's chunk
+    // locally, so traffic stays low even though placement was reactive.
+    let cfg = SimConfig::paper_multi_gpu();
+    let w = by_name("ScalarProd", Scale::Test).expect("suite workload");
+    let stats = run(&cfg, &w, &BatchFt::new());
+    assert!(stats.page_faults > 0);
+    assert!(
+        stats.offchip_fraction() < 0.1,
+        "first touch should localize per-block chunks: {:.1}%",
+        stats.offchip_fraction() * 100.0
+    );
+}
+
+#[test]
+fn fault_latency_slows_first_touch_down() {
+    let w = by_name("SRAD", Scale::Test).expect("suite workload");
+    let mut fast = SimConfig::paper_multi_gpu();
+    fast.page_fault_cycles = 0;
+    let mut slow = SimConfig::paper_multi_gpu();
+    slow.page_fault_cycles = 35_000;
+    let optimal = run(&fast, &w, &BatchFt::new());
+    let faulting = run(&slow, &w, &BatchFt::new());
+    assert!(
+        faulting.cycles > optimal.cycles,
+        "fault overhead must cost time: {} vs {}",
+        faulting.cycles,
+        optimal.cycles
+    );
+}
+
+#[test]
+fn bandwidth_scaling_monotonically_improves_numa_performance() {
+    // Fig. 4's premise: more interconnect bandwidth → closer to
+    // monolithic, for a traffic-heavy policy.
+    let w = by_name("SRAD", Scale::Test).expect("suite workload");
+    let c90 = run(&SimConfig::fig4_xbar(90), &w, &Coda::flat());
+    let c360 = run(&SimConfig::fig4_xbar(360), &w, &Coda::flat());
+    assert!(
+        c360.cycles <= c90.cycles,
+        "4x the link bandwidth cannot be slower: {} vs {}",
+        c360.cycles,
+        c90.cycles
+    );
+}
+
+#[test]
+fn multi_kernel_workloads_accumulate_and_flush() {
+    use ladm_core::expr::{Expr, Var};
+    use ladm_workloads::AffineKernel;
+
+    // Two back-to-back stencil sweeps over the same logical data: the L2
+    // flush at the kernel boundary means the second kernel re-misses.
+    let idx = (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
+    let make = |name: &'static str| {
+        let kernel = KernelStatic {
+            name,
+            grid_shape: GridShape::OneD,
+            args: vec![
+                ArgStatic::read("in", 4, idx.clone()),
+                ArgStatic::write("out", 4, idx.clone()),
+            ],
+        };
+        let n = 512 * 128u64;
+        AffineKernel::new(LaunchInfo::new(kernel, (512, 1), (128, 1), vec![n, n]), 1, 1)
+    };
+    let w = Workload::new(
+        "two-pass",
+        WorkloadKind::NoLocality,
+        vec![Box::new(make("pass1")), Box::new(make("pass2"))],
+    );
+    let cfg = SimConfig::paper_multi_gpu();
+    let two = run(&cfg, &w, &Lasp::ladm());
+    let single = {
+        let w1 = Workload::new("one-pass", WorkloadKind::NoLocality, vec![Box::new(make("p"))]);
+        run(&cfg, &w1, &Lasp::ladm())
+    };
+    assert_eq!(two.threadblocks, 2 * single.threadblocks);
+    // The flush forces the second pass to pay DRAM again: accumulated
+    // misses are (roughly) double, not amortized.
+    assert!(two.dram_sectors >= 2 * single.dram_sectors - 16);
+    assert!(two.cycles > single.cycles);
+}
+
+#[test]
+fn reactive_migration_helps_bad_placement_but_proactive_wins() {
+    // §II-A: reactive CPU-style migration can recover locality that a bad
+    // initial placement lost, but it pays page-transfer overhead that
+    // proactive LADM never incurs.
+    let w = by_name("ScalarProd", Scale::Test).expect("suite workload");
+    let no_migration = SimConfig::paper_multi_gpu();
+    let mut with_migration = SimConfig::paper_multi_gpu();
+    with_migration.migration_threshold = 4;
+
+    let rr_static = run(&no_migration, &w, &BaselineRr::new());
+    let rr_migrating = run(&with_migration, &w, &BaselineRr::new());
+    let ladm = run(&no_migration, &w, &Lasp::ladm());
+
+    assert!(rr_migrating.page_migrations > 0, "migration must trigger");
+    assert_eq!(rr_static.page_migrations, 0);
+    // Migration localizes each block's vector chunk over time.
+    assert!(
+        rr_migrating.offchip_fraction() < rr_static.offchip_fraction(),
+        "migrating {:.1}% vs static {:.1}%",
+        rr_migrating.offchip_fraction() * 100.0,
+        rr_static.offchip_fraction() * 100.0
+    );
+    // But the proactive plan needs no recovery at all.
+    assert!(
+        ladm.cycles < rr_migrating.cycles,
+        "LADM {} vs reactive {}",
+        ladm.cycles,
+        rr_migrating.cycles
+    );
+    assert_eq!(ladm.page_migrations, 0);
+}
+
+#[test]
+fn sub_page_interleaving_rescues_narrow_column_stripes() {
+    // A column-walking kernel with a 4 KiB row pitch: each block column's
+    // stripe is 256 B — invisible to page-granularity placement, exactly
+    // what CODA's hardware-assisted sub-page interleaving fixes.
+    use ladm_core::expr::{Expr, Var};
+    use ladm_core::plan::{PageMap, RrOrder, TbMap};
+    use ladm_core::policies::Manual;
+    use ladm_workloads::AffineKernel;
+
+    let w = Expr::var(Var::Bdx) * Expr::var(Var::Gdx); // 64*16 = 1024 elems = 4 KiB
+    let idx = (Expr::var(Var::Bx) * Expr::var(Var::Bdx)
+        + Expr::var(Var::Tx)
+        + Expr::var(Var::Ind(0)) * w)
+        .to_poly();
+    let kernel = KernelStatic {
+        name: "narrow_cols",
+        grid_shape: GridShape::TwoD,
+        args: vec![ArgStatic::read("data", 4, idx)],
+    };
+    let n = 1024u64 * 64; // 64 rows
+    let launch = LaunchInfo::new(kernel, (16, 4), (64, 1), vec![n]);
+    let exec = AffineKernel::new(launch, 64, 1);
+
+    let col_binding = TbMap::ColBinding { cols_per_node: 1 };
+    let page_gran = Manual::new(col_binding.clone()).with_arg(
+        PageMap::Interleave {
+            gran_pages: 1,
+            order: RrOrder::Hierarchical,
+        },
+        ladm_core::plan::RemoteInsert::Twice,
+    );
+    let sub_page = Manual::new(col_binding).with_arg(
+        PageMap::SubPageInterleave {
+            gran_bytes: 256,
+            order: RrOrder::Hierarchical,
+        },
+        ladm_core::plan::RemoteInsert::Twice,
+    );
+
+    let cfg = SimConfig::paper_multi_gpu();
+    let mut sys = GpuSystem::new(cfg.clone());
+    let page_stats = sys.run(&exec, &page_gran);
+    let sub_stats = sys.run(&exec, &sub_page);
+    assert!(
+        sub_stats.offchip_fraction() < 0.1,
+        "sub-page stripes must be local: {:.1}%",
+        sub_stats.offchip_fraction() * 100.0
+    );
+    assert!(
+        page_stats.offchip_fraction() > 0.5,
+        "page-granularity cannot express 256 B stripes: {:.1}%",
+        page_stats.offchip_fraction() * 100.0
+    );
+}
+
+#[test]
+fn remote_caching_helps_gemm() {
+    // §IV-A: enabling remote caching improves GEMM substantially.
+    let w = by_name("SQ-GEMM", Scale::Test).expect("suite workload");
+    let on = SimConfig::paper_multi_gpu();
+    let mut off = SimConfig::paper_multi_gpu();
+    off.remote_caching = false;
+    let with = run(&on, &w, &Coda::hierarchical());
+    let without = run(&off, &w, &Coda::hierarchical());
+    assert!(
+        without.cycles > with.cycles,
+        "remote caching must help: {} vs {}",
+        without.cycles,
+        with.cycles
+    );
+}

@@ -1,0 +1,181 @@
+//! Cross-crate plan-consistency tests: every policy produces a valid,
+//! pure plan for every workload of the suite on every topology — without
+//! running the simulator.
+
+use ladm::prelude::*;
+use ladm_core::plan::RemoteInsert;
+use ladm_core::policies::{CacheMode, Policy};
+use ladm_workloads::{suite, Scale};
+
+fn all_policies() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(BaselineRr::new()),
+        Box::new(BatchFt::new()),
+        Box::new(KernelWide::new()),
+        Box::new(Coda::flat()),
+        Box::new(Coda::hierarchical()),
+        Box::new(Lasp::new(CacheMode::Rtwice)),
+        Box::new(Lasp::new(CacheMode::Ronce)),
+        Box::new(Lasp::ladm()),
+    ]
+}
+
+fn topologies() -> Vec<Topology> {
+    vec![
+        Topology::paper_multi_gpu(),
+        Topology::monolithic(),
+        Topology::dgx1(),
+        Topology::mcm_gpu(),
+        Topology::new(2, 8),
+    ]
+}
+
+#[test]
+fn every_policy_plans_every_workload_on_every_topology() {
+    for topo in topologies() {
+        for w in suite(Scale::Test) {
+            for kernel in &w.kernels {
+                let launch = kernel.launch();
+                for policy in all_policies() {
+                    let plan = policy.plan(launch, &topo);
+                    assert_eq!(
+                        plan.args.len(),
+                        launch.kernel.args.len(),
+                        "{} under {} on {}: one ArgPlan per argument",
+                        w.name,
+                        policy.name(),
+                        topo
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn plans_are_pure() {
+    let topo = Topology::paper_multi_gpu();
+    for w in suite(Scale::Test) {
+        let launch = w.kernels[0].launch();
+        for policy in all_policies() {
+            let a = policy.plan(launch, &topo);
+            let b = policy.plan(launch, &topo);
+            assert_eq!(a, b, "{} plan must be deterministic", policy.name());
+        }
+    }
+}
+
+#[test]
+fn schedules_cover_only_valid_nodes() {
+    let topo = Topology::paper_multi_gpu();
+    for w in suite(Scale::Test) {
+        let launch = w.kernels[0].launch();
+        let (gdx, gdy) = launch.grid;
+        for policy in all_policies() {
+            let plan = policy.plan(launch, &topo);
+            for &(bx, by) in &[
+                (0, 0),
+                (gdx - 1, 0),
+                (0, gdy - 1),
+                (gdx - 1, gdy - 1),
+                (gdx / 2, gdy / 2),
+            ] {
+                let node = plan.schedule.node_of_tb(bx, by, launch.grid, &topo);
+                assert!(
+                    node.0 < topo.num_nodes(),
+                    "{} under {}: block ({bx},{by}) -> invalid {node}",
+                    w.name,
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schedules_use_all_nodes_for_large_grids() {
+    // Any sensible policy load-balances a grid much larger than the
+    // machine across every node.
+    let topo = Topology::paper_multi_gpu();
+    for w in suite(Scale::Test) {
+        let launch = w.kernels[0].launch();
+        if launch.total_tbs() < 4 * u64::from(topo.num_nodes()) {
+            continue;
+        }
+        let (gdx, gdy) = launch.grid;
+        for policy in all_policies() {
+            let plan = policy.plan(launch, &topo);
+            let mut used = vec![false; topo.num_nodes() as usize];
+            for by in 0..gdy {
+                for bx in 0..gdx {
+                    used[plan.schedule.node_of_tb(bx, by, launch.grid, &topo).0 as usize] =
+                        true;
+                }
+            }
+            // Row/column-granularity schedules may leave nodes idle when
+            // the grid has fewer rows than nodes (the paper accepts
+            // this); what must never happen is a pile-up on a few nodes.
+            let count = used.iter().filter(|&&u| u).count();
+            let lower = (topo.num_nodes() as usize / 2)
+                .min(gdx.max(gdy) as usize)
+                .max(1);
+            assert!(
+                count >= lower,
+                "{} under {}: only {count}/{} nodes used",
+                w.name,
+                policy.name(),
+                topo.num_nodes()
+            );
+        }
+    }
+}
+
+#[test]
+fn ladm_cache_policy_follows_crb() {
+    // Under CRB only ITL structures get RONCE; under the uniform modes
+    // everything follows the mode.
+    let topo = Topology::paper_multi_gpu();
+    for w in suite(Scale::Test) {
+        let launch = w.kernels[0].launch();
+        let crb = Lasp::ladm().plan(launch, &topo);
+        let rtwice = Lasp::new(CacheMode::Rtwice).plan(launch, &topo);
+        let ronce = Lasp::new(CacheMode::Ronce).plan(launch, &topo);
+        for (i, _) in launch.kernel.args.iter().enumerate() {
+            assert_eq!(rtwice.args[i].remote_insert, RemoteInsert::Twice);
+            assert_eq!(ronce.args[i].remote_insert, RemoteInsert::Once);
+            // CRB is one of the two, per-argument.
+            let _ = crb.args[i].remote_insert;
+        }
+        // All three share the same placement and schedule.
+        assert_eq!(crb.schedule, rtwice.schedule, "{}", w.name);
+        for i in 0..launch.kernel.args.len() {
+            assert_eq!(crb.args[i].pages, rtwice.args[i].pages, "{}", w.name);
+        }
+    }
+}
+
+#[test]
+fn locality_table_roundtrip_for_suite() {
+    use ladm_core::table::{LocalityTable, MallocPc};
+    let mut table = LocalityTable::new();
+    for (wi, w) in suite(Scale::Test).iter().enumerate() {
+        let launch = w.kernels[0].launch();
+        let pcs: Vec<MallocPc> = (0..launch.kernel.args.len())
+            .map(|i| MallocPc((wi * 100 + i) as u64))
+            .collect();
+        table.compile_kernel(&launch.kernel, &pcs);
+        for (i, &pc) in pcs.iter().enumerate() {
+            assert_eq!(table.bind_allocation(pc, 0x1000 * pc.0, launch.arg_pages(i)), 1);
+        }
+    }
+    assert!(table.len() > 27 * 2);
+    for e in table.entries() {
+        assert!(e.is_bound());
+        assert!((1..=7).contains(&e.representative_class().table_row()));
+    }
+    // The rendered table mentions every locality group.
+    let rendered = table.to_string();
+    for needle in ["ITL", "NL", "RCL", "unclassified"] {
+        assert!(rendered.contains(needle), "missing {needle}");
+    }
+}
