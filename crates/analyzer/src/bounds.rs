@@ -1,0 +1,140 @@
+//! Pass 3 — symbolic span and bounds derivation.
+//!
+//! For every access site, the free prime variables (`tx`, `ty`, `bx`,
+//! `by`, loop counters) range over boxes fixed by the launch geometry and
+//! the trip count. Index skeletons are multilinear in those variables, so
+//! the extreme index values occur at corners of the box: evaluating all
+//! `2^k` corners yields the exact `[min, max]` span, which is compared
+//! against the allocation length. Out-of-range spans fire `L005 oob-span`
+//! (a note when an `allow_halo` waiver documents the overrun, e.g. stencil
+//! halos clamped by a guard the index skeleton cannot express).
+
+use crate::diag::{Diagnostic, LintCode, Report, Severity};
+use ladm_core::expr::{Poly, Var};
+use ladm_core::launch::LaunchInfo;
+use ladm_workloads::Workload;
+
+/// The inclusive range a free variable can take at this launch.
+fn var_range(v: Var, launch: &LaunchInfo, trips: u32) -> Option<(i64, i64)> {
+    let hi = |dim: u32| i64::from(dim).max(1) - 1;
+    match v {
+        Var::Tx => Some((0, hi(launch.block.0))),
+        Var::Ty => Some((0, hi(launch.block.1))),
+        Var::Bx => Some((0, hi(launch.grid.0))),
+        Var::By => Some((0, hi(launch.grid.1))),
+        Var::Ind(_) => Some((0, i64::from(trips).max(1) - 1)),
+        _ => None,
+    }
+}
+
+/// Exact `[min, max]` of a multilinear index over the launch box, or
+/// `None` when the index cannot be bounded statically (data-dependent
+/// terms, unbound parameters, or a free variable at power >= 2).
+pub fn index_span(index: &Poly, launch: &LaunchInfo, trips: u32) -> Option<(i64, i64)> {
+    if index.contains(Var::Data) {
+        return None;
+    }
+    let base_env = launch.env();
+    let mut frees: Vec<(Var, i64, i64)> = Vec::new();
+    for v in index.vars() {
+        if base_env.try_get(v).is_some() {
+            continue;
+        }
+        let (lo, hi) = var_range(v, launch, trips)?;
+        frees.push((v, lo, hi));
+    }
+    // Corner evaluation is exact only for multilinear polynomials: every
+    // term must mention each free variable at most once.
+    for (vars, _) in index.iter() {
+        for &(v, _, _) in &frees {
+            if vars.iter().filter(|&&x| x == v).count() > 1 {
+                return None;
+            }
+        }
+    }
+
+    let k = frees.len();
+    debug_assert!(k <= 16, "implausible number of free index variables");
+    let mut min = i64::MAX;
+    let mut max = i64::MIN;
+    for corner in 0..(1u32 << k) {
+        let mut env = base_env.clone();
+        let (mut tx, mut ty, mut bx, mut by) = (0i64, 0i64, 0i64, 0i64);
+        for (bit, &(v, lo, hi)) in frees.iter().enumerate() {
+            let value = if corner & (1 << bit) != 0 { hi } else { lo };
+            match v {
+                Var::Tx => tx = value,
+                Var::Ty => ty = value,
+                Var::Bx => bx = value,
+                Var::By => by = value,
+                Var::Ind(id) => env.set_ind(id, value),
+                _ => unreachable!("only launch-box variables are free"),
+            }
+        }
+        env.set_thread(tx, ty);
+        env.set_block(bx, by);
+        let value = index.eval(&env);
+        min = min.min(value);
+        max = max.max(value);
+    }
+    Some((min, max))
+}
+
+/// Checks every access site of one kernel launch against its allocation.
+pub fn check(w: &Workload, launch: &LaunchInfo, trips: u32, report: &mut Report) {
+    let kernel = launch.kernel.name;
+    for (i, arg) in launch.kernel.args.iter().enumerate() {
+        let len = launch.arg_lens[i] as i64;
+        let halo = w.halo_waiver(kernel, i);
+        let mut arg_oob = false;
+        for (site, index) in arg.accesses.iter().enumerate() {
+            let Some((min, max)) = index_span(index, launch, trips) else {
+                continue;
+            };
+            let oob = min < 0 || max >= len;
+            if !oob {
+                continue;
+            }
+            arg_oob = true;
+            let detail = format!(
+                "index span [{min}, {max}] vs allocation [0, {}] ({} elements)",
+                len - 1,
+                len
+            );
+            let diag = |severity, message| Diagnostic {
+                code: LintCode::OobSpan,
+                severity,
+                workload: w.name,
+                kernel,
+                arg: Some(arg.name),
+                site: Some(site),
+                message,
+                notes: vec![detail.clone(), format!("index: {index}")],
+            };
+            match halo {
+                Some(reason) => report.diagnostics.push(diag(
+                    Severity::Note,
+                    format!("acknowledged halo overrun: {reason}"),
+                )),
+                None => report.diagnostics.push(diag(
+                    Severity::Warning,
+                    "derived index span exceeds the allocation".to_string(),
+                )),
+            }
+        }
+        if halo.is_some() && !arg_oob {
+            report.diagnostics.push(Diagnostic {
+                code: LintCode::OobSpan,
+                severity: Severity::Warning,
+                workload: w.name,
+                kernel,
+                arg: Some(arg.name),
+                site: None,
+                message: "stale allow_halo: no access site of this argument leaves \
+                          the allocation"
+                    .to_string(),
+                notes: Vec::new(),
+            });
+        }
+    }
+}

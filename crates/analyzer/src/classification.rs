@@ -1,0 +1,173 @@
+//! Pass 1 — classification audit.
+//!
+//! Re-runs the Table II classification for every access site of a kernel
+//! through the locality table's audit hook, checks each result against
+//! the workload's expected-row annotations, and attaches the Algorithm 1
+//! explanation trace to every disagreement. Fires `L001
+//! unclassified-access`, `L004 nonlinear-index`, `L006
+//! expectation-mismatch` and `L007 missing-annotation`.
+
+use crate::diag::{Diagnostic, LintCode, Report, Severity};
+use ladm_core::launch::LaunchInfo;
+use ladm_core::table::{LocalityTable, MallocPc};
+use ladm_core::AccessClass;
+use ladm_workloads::Workload;
+
+/// Runs the audit for one kernel launch, returning the compiled locality
+/// table (consumed by the dynamic cross-validation pass so both passes
+/// see the exact same classification).
+pub fn audit(w: &Workload, launch: &LaunchInfo, report: &mut Report) -> LocalityTable {
+    let mut table = LocalityTable::new();
+    let kernel = launch.kernel.name;
+    let pcs: Vec<MallocPc> = (0..launch.kernel.args.len())
+        .map(|i| MallocPc(0x400 + 4 * i as u64))
+        .collect();
+    let workload = w.name;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut sites = 0usize;
+    table.compile_kernel_audited(&launch.kernel, &pcs, |entry, traces| {
+        let arg = &launch.kernel.args[entry.arg_index];
+        for (site, (class, trace)) in entry.classes.iter().zip(traces).enumerate() {
+            sites += 1;
+            let row = class.table_row();
+            let diag = |code, severity, message, notes| Diagnostic {
+                code,
+                severity,
+                workload,
+                kernel,
+                arg: Some(arg.name),
+                site: Some(site),
+                message,
+                notes,
+            };
+            match w.expectation(kernel, entry.arg_index, site) {
+                None => diags.push(diag(
+                    LintCode::MissingAnnotation,
+                    Severity::Warning,
+                    format!(
+                        "access site has no expected-row annotation \
+                         (classifier says row {row}: {class})"
+                    ),
+                    Vec::new(),
+                )),
+                Some(e) if e.row != row => diags.push(diag(
+                    LintCode::ExpectationMismatch,
+                    Severity::Error,
+                    format!(
+                        "spec expects Table II row {}, classifier derived row {row} ({class})",
+                        e.row
+                    ),
+                    trace.steps.clone(),
+                )),
+                Some(e) if *class == AccessClass::Unclassified => {
+                    // Expected row 7: a note when the reason is documented,
+                    // a warning otherwise.
+                    match e.reason {
+                        Some(reason) => diags.push(diag(
+                            LintCode::UnclassifiedAccess,
+                            Severity::Note,
+                            format!("expected-unclassified access: {reason}"),
+                            trace.steps.clone(),
+                        )),
+                        None => diags.push(diag(
+                            LintCode::UnclassifiedAccess,
+                            Severity::Warning,
+                            "unclassified access lacks a documented reason \
+                             (use expect_unclassified)"
+                                .to_string(),
+                            trace.steps.clone(),
+                        )),
+                    }
+                }
+                Some(_) => {}
+            }
+            if trace.nonlinear {
+                diags.push(diag(
+                    LintCode::NonlinearIndex,
+                    Severity::Warning,
+                    format!(
+                        "loop-variant group `{}` is not linear in {}: no stride derivable",
+                        trace.variant, trace.loop_var
+                    ),
+                    trace.steps.clone(),
+                ));
+            }
+        }
+    });
+    report.sites_checked += sites;
+    report.diagnostics.extend(diags);
+    table
+}
+
+/// Flags annotations and waivers that point at no real kernel, argument
+/// or access site — stale spec metadata is as misleading as missing
+/// metadata.
+pub fn check_stale_annotations(w: &Workload, report: &mut Report) {
+    let site_counts: Vec<(&'static str, Vec<usize>)> = w
+        .kernels
+        .iter()
+        .map(|k| {
+            let kernel = &k.launch().kernel;
+            (
+                kernel.name,
+                kernel.args.iter().map(|a| a.accesses.len()).collect(),
+            )
+        })
+        .collect();
+    let lookup = |kernel: &str| site_counts.iter().find(|(name, _)| *name == kernel);
+
+    for e in &w.expectations {
+        let stale = match lookup(e.kernel) {
+            None => Some(format!("annotation names unknown kernel `{}`", e.kernel)),
+            Some((_, args)) => {
+                if e.arg >= args.len() || e.site >= args[e.arg] {
+                    Some(format!(
+                        "annotation for arg {} site {} points at no access site",
+                        e.arg, e.site
+                    ))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(message) = stale {
+            report.diagnostics.push(Diagnostic {
+                code: LintCode::MissingAnnotation,
+                severity: Severity::Warning,
+                workload: w.name,
+                kernel: e.kernel,
+                arg: None,
+                site: None,
+                message,
+                notes: Vec::new(),
+            });
+        }
+    }
+    for waiver in &w.waivers {
+        let (kernel, arg) = match waiver {
+            ladm_workloads::Waiver::Halo { kernel, arg, .. } => (*kernel, Some(*arg)),
+            ladm_workloads::Waiver::TieBreak { kernel, .. } => (*kernel, None),
+        };
+        let stale = match lookup(kernel) {
+            None => Some(format!("waiver names unknown kernel `{kernel}`")),
+            Some((_, args)) => match arg {
+                Some(a) if a >= args.len() => {
+                    Some(format!("halo waiver points at nonexistent arg {a}"))
+                }
+                _ => None,
+            },
+        };
+        if let Some(message) = stale {
+            report.diagnostics.push(Diagnostic {
+                code: LintCode::MissingAnnotation,
+                severity: Severity::Warning,
+                workload: w.name,
+                kernel,
+                arg: None,
+                site: None,
+                message,
+                notes: Vec::new(),
+            });
+        }
+    }
+}

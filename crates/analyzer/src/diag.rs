@@ -1,0 +1,339 @@
+//! Structured diagnostics: lint codes, severities, and the per-workload
+//! [`Report`] with rustc-style text and JSON renderers.
+
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Note < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: an acknowledged or expected condition.
+    Note,
+    /// Suspicious but not provably wrong; `--deny warnings` promotes it.
+    Warning,
+    /// A contradiction between spec, classifier and observed behavior.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The lint catalog (see `DESIGN.md` for the full rationale per code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// `L001 unclassified-access`: an access site lands in Table II row 7.
+    UnclassifiedAccess,
+    /// `L002 scheduler-conflict`: shared structures pull the LASP
+    /// tie-break in different directions.
+    SchedulerConflict,
+    /// `L003 footprint-mismatch`: the dynamically sampled footprint
+    /// contradicts the class claimed in the locality table.
+    FootprintMismatch,
+    /// `L004 nonlinear-index`: the loop-variant group is not linear in
+    /// the induction variable.
+    NonlinearIndex,
+    /// `L005 oob-span`: the derived index span exceeds the allocation.
+    OobSpan,
+    /// `L006 expectation-mismatch`: the classifier disagrees with the
+    /// spec's annotated Table II row.
+    ExpectationMismatch,
+    /// `L007 missing-annotation`: an access site carries no expected-row
+    /// annotation, or an annotation points at no site.
+    MissingAnnotation,
+}
+
+impl LintCode {
+    /// Every lint code, in catalog order.
+    pub const ALL: [LintCode; 7] = [
+        LintCode::UnclassifiedAccess,
+        LintCode::SchedulerConflict,
+        LintCode::FootprintMismatch,
+        LintCode::NonlinearIndex,
+        LintCode::OobSpan,
+        LintCode::ExpectationMismatch,
+        LintCode::MissingAnnotation,
+    ];
+
+    /// The `Lnnn` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::UnclassifiedAccess => "L001",
+            LintCode::SchedulerConflict => "L002",
+            LintCode::FootprintMismatch => "L003",
+            LintCode::NonlinearIndex => "L004",
+            LintCode::OobSpan => "L005",
+            LintCode::ExpectationMismatch => "L006",
+            LintCode::MissingAnnotation => "L007",
+        }
+    }
+
+    /// The kebab-case lint name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::UnclassifiedAccess => "unclassified-access",
+            LintCode::SchedulerConflict => "scheduler-conflict",
+            LintCode::FootprintMismatch => "footprint-mismatch",
+            LintCode::NonlinearIndex => "nonlinear-index",
+            LintCode::OobSpan => "oob-span",
+            LintCode::ExpectationMismatch => "expectation-mismatch",
+            LintCode::MissingAnnotation => "missing-annotation",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One finding, pinned to a workload/kernel and optionally an
+/// argument/access site.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Severity of this occurrence (one code can fire at different
+    /// severities, e.g. an acknowledged halo is a note, not a warning).
+    pub severity: Severity,
+    /// Table IV workload name.
+    pub workload: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Argument name, when the finding is argument-scoped.
+    pub arg: Option<&'static str>,
+    /// Access-site index within the argument, when site-scoped.
+    pub site: Option<usize>,
+    /// Primary message.
+    pub message: String,
+    /// Attached explanation lines (Algorithm 1 traces, rankings, sample
+    /// points).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// `workload/kernel[/arg[site]]` source location.
+    pub fn location(&self) -> String {
+        let mut loc = format!("{}/{}", self.workload, self.kernel);
+        if let Some(arg) = self.arg {
+            loc.push('/');
+            loc.push_str(arg);
+            if let Some(site) = self.site {
+                loc.push_str(&format!("[{site}]"));
+            }
+        }
+        loc
+    }
+}
+
+/// All findings for one workload, plus coverage counters.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Table IV workload name.
+    pub workload: &'static str,
+    /// Findings in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Access sites audited by the classification pass.
+    pub sites_checked: usize,
+    /// Concrete `(block, thread, iteration)` evaluations performed by the
+    /// dynamic cross-validation pass.
+    pub samples_checked: usize,
+}
+
+impl Report {
+    /// An empty report for `workload`.
+    pub fn new(workload: &'static str) -> Self {
+        Report {
+            workload,
+            diagnostics: Vec::new(),
+            sites_checked: 0,
+            samples_checked: 0,
+        }
+    }
+
+    /// The most severe finding, `None` when clean.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Does the report contain any error?
+    pub fn has_errors(&self) -> bool {
+        self.worst() == Some(Severity::Error)
+    }
+
+    /// Renders the rustc-style text report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}[{} {}]: {}\n  --> {}\n",
+                d.severity,
+                d.code.code(),
+                d.code.name(),
+                d.message,
+                d.location()
+            ));
+            for note in &d.notes {
+                out.push_str(&format!("  = note: {note}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s), {} note(s); {} site(s) audited, {} sample(s) evaluated\n",
+            self.workload,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+            self.sites_checked,
+            self.samples_checked,
+        ));
+        out
+    }
+
+    /// Renders the report as one JSON object (stable key order, no
+    /// external dependencies).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"workload\":\"{}\",\"sites_checked\":{},\"samples_checked\":{},\"diagnostics\":[",
+            json_escape(self.workload),
+            self.sites_checked,
+            self.samples_checked
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"kernel\":\"{}\"",
+                d.code.code(),
+                d.code.name(),
+                d.severity,
+                json_escape(d.kernel)
+            ));
+            if let Some(arg) = d.arg {
+                out.push_str(&format!(",\"arg\":\"{}\"", json_escape(arg)));
+            }
+            if let Some(site) = d.site {
+                out.push_str(&format!(",\"site\":{site}"));
+            }
+            out.push_str(&format!(",\"message\":\"{}\"", json_escape(&d.message)));
+            out.push_str(",\"notes\":[");
+            for (j, note) in d.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\"", json_escape(note)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_diag(severity: Severity) -> Diagnostic {
+        Diagnostic {
+            code: LintCode::UnclassifiedAccess,
+            severity,
+            workload: "W",
+            kernel: "k",
+            arg: Some("a"),
+            site: Some(0),
+            message: "msg with \"quotes\"".into(),
+            notes: vec!["step 1".into()],
+        }
+    }
+
+    #[test]
+    fn severity_orders_note_warning_error() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn codes_and_names_are_stable() {
+        assert_eq!(LintCode::FootprintMismatch.code(), "L003");
+        assert_eq!(LintCode::FootprintMismatch.name(), "footprint-mismatch");
+        let codes: Vec<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(
+            codes,
+            vec!["L001", "L002", "L003", "L004", "L005", "L006", "L007"]
+        );
+    }
+
+    #[test]
+    fn report_counts_and_worst() {
+        let mut r = Report::new("W");
+        assert_eq!(r.worst(), None);
+        r.diagnostics.push(sample_diag(Severity::Note));
+        r.diagnostics.push(sample_diag(Severity::Warning));
+        assert_eq!(r.worst(), Some(Severity::Warning));
+        assert_eq!(r.count(Severity::Note), 1);
+        assert!(!r.has_errors());
+        r.diagnostics.push(sample_diag(Severity::Error));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn text_render_is_rustc_style() {
+        let mut r = Report::new("W");
+        r.diagnostics.push(sample_diag(Severity::Warning));
+        let text = r.render_text();
+        assert!(text.contains("warning[L001 unclassified-access]"));
+        assert!(text.contains("--> W/k/a[0]"));
+        assert!(text.contains("= note: step 1"));
+        assert!(text.contains("1 warning(s)"));
+    }
+
+    #[test]
+    fn json_render_escapes_and_nests() {
+        let mut r = Report::new("W");
+        r.diagnostics.push(sample_diag(Severity::Error));
+        let json = r.render_json();
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"site\":0"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+        assert_eq!(json_escape("c\u{1}"), "c\\u0001");
+    }
+}

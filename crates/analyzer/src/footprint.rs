@@ -1,0 +1,295 @@
+//! Pass 4 — dynamic footprint cross-validation.
+//!
+//! The static classifier reasons symbolically; this pass checks its
+//! conclusions *numerically*. For every claimed locality class the pass
+//! evaluates the actual index polynomial at concrete
+//! `(block, thread, iteration)` sample points and verifies the behavior
+//! the class promises: intra-thread walks advance by exactly one element,
+//! no-locality blocks own exclusive datablocks and move by the claimed
+//! stride, grid-row sharing is `bx`-independent (and the symmetric checks
+//! for columns), motion direction matches the stride-vs-pitch relation,
+//! and the observed per-block footprint equals the derived datablock
+//! span. Any contradiction is an `L003 footprint-mismatch` **error** —
+//! the strongest conviction the linter can hand out, because both a
+//! symbolic and a numeric witness exist.
+//!
+//! The pass validates the classes *claimed* in [`TableEntry`] rows rather
+//! than re-deriving them, so tests can hand it a deliberately corrupted
+//! table and watch it convict the mismatch.
+
+use crate::diag::{Diagnostic, LintCode, Report, Severity};
+use ladm_core::analysis::{datablock_span_elems, row_pitch_elems, AccessClass, Motion, Sharing};
+use ladm_core::expr::{Env, Poly, Var};
+use ladm_core::launch::LaunchInfo;
+use ladm_core::table::TableEntry;
+
+/// Placeholder bound to [`Var::Data`] during sampling: the checks below
+/// only compare differences and dependences, so any fixed value works.
+const DATA_STAND_IN: i64 = 997;
+
+/// Synthetic loop-iteration samples (algebraic checks, not bounded by the
+/// runtime trip count).
+const M_SAMPLES: [i64; 3] = [0, 1, 2];
+
+/// Evaluation helper that counts every concrete sample it takes.
+struct Sampler<'a> {
+    base: &'a Env,
+    samples: usize,
+}
+
+impl<'a> Sampler<'a> {
+    fn new(base: &'a Env) -> Self {
+        Sampler { base, samples: 0 }
+    }
+
+    /// Evaluates `index` at one `(block, thread, iteration)` point.
+    fn at(&mut self, index: &Poly, block: (i64, i64), thread: (i64, i64), m: i64) -> i64 {
+        self.samples += 1;
+        let mut env = self.base.clone();
+        env.set_block(block.0, block.1);
+        env.set_thread(thread.0, thread.1);
+        env.set_ind(0, m);
+        index.eval(&env)
+    }
+}
+
+/// Cross-validates the claimed classes of `entries` against the index
+/// polynomials in `launch`. `entries` normally comes straight from the
+/// classification pass; tests may mutate it first.
+pub fn validate(
+    workload: &'static str,
+    launch: &LaunchInfo,
+    entries: &[TableEntry],
+    report: &mut Report,
+) {
+    let kernel = launch.kernel.name;
+    let env = launch.env();
+    let (gdx, gdy) = (i64::from(launch.grid.0), i64::from(launch.grid.1));
+    let (bdx, bdy) = (i64::from(launch.block.0), i64::from(launch.block.1));
+    let blocks = corner_points(gdx, gdy);
+    let threads = corner_points(bdx, bdy);
+    let mut sampler = Sampler::new(&env);
+
+    for entry in entries {
+        let Some(arg) = launch.kernel.args.get(entry.arg_index) else {
+            continue;
+        };
+        if entry.kernel != kernel {
+            // Entry belongs to a different kernel of the same workload.
+            continue;
+        }
+        for (site, class) in entry.classes.iter().enumerate() {
+            let Some(index) = arg.accesses.get(site) else {
+                continue;
+            };
+            // Ground data-dependent terms so the polynomial evaluates.
+            let index = index.subst(Var::Data, &Poly::constant(DATA_STAND_IN));
+            let mut convict = |message: String, notes: Vec<String>| {
+                report.diagnostics.push(Diagnostic {
+                    code: LintCode::FootprintMismatch,
+                    severity: Severity::Error,
+                    workload,
+                    kernel,
+                    arg: Some(arg.name),
+                    site: Some(site),
+                    message,
+                    notes,
+                });
+            };
+
+            match class {
+                AccessClass::IntraThread => {
+                    // Row 6 promise: each thread advances one element per
+                    // iteration.
+                    for &block in &blocks {
+                        for &thread in &threads {
+                            for &m in &M_SAMPLES {
+                                let here = sampler.at(&index, block, thread, m);
+                                let next = sampler.at(&index, block, thread, m + 1);
+                                if next - here != 1 {
+                                    convict(
+                                        "claimed intra-thread locality, but the observed \
+                                         per-iteration step is not 1 element"
+                                            .to_string(),
+                                        vec![sample_note(block, thread, m, here, next)],
+                                    );
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                AccessClass::NoLocality { stride } => {
+                    let stride = stride.subst(Var::Data, &Poly::constant(DATA_STAND_IN));
+                    let Some(stride_val) = stride.try_eval(&env) else {
+                        convict(
+                            "claimed no-locality stride does not evaluate at launch time"
+                                .to_string(),
+                            vec![format!("stride: {stride}")],
+                        );
+                        continue;
+                    };
+                    for &block in &blocks {
+                        for &m in &M_SAMPLES {
+                            let here = sampler.at(&index, block, (0, 0), m);
+                            let next = sampler.at(&index, block, (0, 0), m + 1);
+                            if next - here != stride_val {
+                                convict(
+                                    format!(
+                                        "claimed no-locality stride {stride_val}, observed \
+                                         per-iteration step {}",
+                                        next - here
+                                    ),
+                                    vec![sample_note(block, (0, 0), m, here, next)],
+                                );
+                                break;
+                            }
+                        }
+                    }
+                    // Row 1 promise: blocks own exclusive datablocks, so
+                    // the index must depend on the block coordinates.
+                    if gdx > 1 {
+                        let a = sampler.at(&index, (0, 0), (0, 0), 0);
+                        let b = sampler.at(&index, (gdx - 1, 0), (0, 0), 0);
+                        if a == b {
+                            convict(
+                                "claimed no-locality, but the index is independent of \
+                                 blockIdx.x — blocks do not own exclusive datablocks"
+                                    .to_string(),
+                                vec![format!("index {a} at bx=0 and bx={}", gdx - 1)],
+                            );
+                        }
+                    }
+                    if launch.grid.1 > 1 {
+                        let a = sampler.at(&index, (0, 0), (0, 0), 0);
+                        let b = sampler.at(&index, (0, gdy - 1), (0, 0), 0);
+                        if a == b {
+                            convict(
+                                "claimed no-locality on a 2D grid, but the index is \
+                                 independent of blockIdx.y"
+                                    .to_string(),
+                                vec![format!("index {a} at by=0 and by={}", gdy - 1)],
+                            );
+                        }
+                    }
+                }
+                AccessClass::Shared {
+                    sharing,
+                    motion,
+                    stride,
+                } => {
+                    let (dep_extent, indep_extent) = match sharing {
+                        Sharing::GridRow => (gdy, gdx),
+                        Sharing::GridCol => (gdx, gdy),
+                    };
+                    let block_at = |shared_axis: i64, other_axis: i64| match sharing {
+                        Sharing::GridRow => (other_axis, shared_axis),
+                        Sharing::GridCol => (shared_axis, other_axis),
+                    };
+                    // Sharing promise: blocks along the independent axis
+                    // see the same datablocks...
+                    if indep_extent > 1 {
+                        let a = sampler.at(&index, block_at(0, 0), (0, 0), 0);
+                        let b = sampler.at(&index, block_at(0, indep_extent - 1), (0, 0), 0);
+                        if a != b {
+                            convict(
+                                format!(
+                                    "claimed {sharing:?} sharing, but blocks along the \
+                                     supposedly shared axis access different data"
+                                ),
+                                vec![format!("index {a} vs {b} across the independent axis")],
+                            );
+                        }
+                    }
+                    // ...while the sharing axis selects distinct bands.
+                    if dep_extent > 1 {
+                        let a = sampler.at(&index, block_at(0, 0), (0, 0), 0);
+                        let b = sampler.at(&index, block_at(dep_extent - 1, 0), (0, 0), 0);
+                        if a == b {
+                            convict(
+                                format!(
+                                    "claimed {sharing:?} sharing, but the index does not \
+                                     depend on the sharing block coordinate"
+                                ),
+                                vec![format!("index {a} at both ends of the sharing axis")],
+                            );
+                        }
+                    }
+                    // Motion promise: vertical motion skips at least one
+                    // whole row of the structure per iteration.
+                    let stride = stride.subst(Var::Data, &Poly::constant(DATA_STAND_IN));
+                    if let Some(stride_val) = stride.try_eval(&env) {
+                        if stride_val != 0 {
+                            let pitch = row_pitch_elems(&index, &env) as i64;
+                            let vertical = stride_val.abs() >= pitch;
+                            let claimed_vertical = *motion == Motion::Vertical;
+                            if vertical != claimed_vertical {
+                                convict(
+                                    format!(
+                                        "claimed {motion:?} motion, but stride {stride_val} \
+                                         vs row pitch {pitch} implies {} motion",
+                                        if vertical { "Vertical" } else { "Horizontal" }
+                                    ),
+                                    vec!["|stride| >= pitch <=> vertical".to_string()],
+                                );
+                            }
+                        }
+                    }
+                }
+                AccessClass::Unclassified => {
+                    // Row 7 makes no testable promise: a fixed stand-in for
+                    // the data-dependent terms cannot falsify anything.
+                    continue;
+                }
+            }
+
+            // Footprint promise (all classified rows): the span the block's
+            // thread corners touch in one iteration equals the derived
+            // datablock span.
+            let expected_span = datablock_span_elems(&index, &env) as i64;
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            for &thread in &threads {
+                let value = sampler.at(&index, (0, 0), thread, 0);
+                lo = lo.min(value);
+                hi = hi.max(value);
+            }
+            let observed_span = hi - lo + 1;
+            if observed_span != expected_span {
+                convict(
+                    format!(
+                        "derived datablock span is {expected_span} element(s), observed \
+                         thread-corner span is {observed_span}"
+                    ),
+                    vec![format!("corner indices range [{lo}, {hi}]")],
+                );
+            }
+        }
+    }
+    report.samples_checked += sampler.samples;
+}
+
+/// The distinct corners of a `[0, x) x [0, y)` integer box.
+fn corner_points(x: i64, y: i64) -> Vec<(i64, i64)> {
+    let mut out = Vec::with_capacity(4);
+    for &px in &[0, x - 1] {
+        for &py in &[0, y - 1] {
+            let p = (px.max(0), py.max(0));
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+fn sample_note(block: (i64, i64), thread: (i64, i64), m: i64, here: i64, next: i64) -> String {
+    format!(
+        "at block ({}, {}), thread ({}, {}): index(m={m}) = {here}, index(m={}) = {next}",
+        block.0,
+        block.1,
+        thread.0,
+        thread.1,
+        m + 1
+    )
+}

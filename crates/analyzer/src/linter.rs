@@ -1,0 +1,210 @@
+//! The linter driver: runs all four analysis passes over a workload (or
+//! the whole Table IV suite) and produces one [`Report`] per workload.
+//!
+//! Pass order per kernel launch:
+//!
+//! 1. **Classification audit** ([`crate::classification`]) — recompiles
+//!    the locality table with the audit hook and checks every access site
+//!    against the spec's expected Table II rows.
+//! 2. **Scheduler-conflict detection** ([`crate::scheduler`]) — surfaces
+//!    the LASP largest-structure tie-break and flags order-dependent
+//!    coin flips.
+//! 3. **Bounds derivation** ([`crate::bounds`]) — corner-evaluates every
+//!    index span against its allocation.
+//! 4. **Dynamic cross-validation** ([`crate::footprint`]) — samples
+//!    concrete `(block, thread, iteration)` points and convicts locality
+//!    claims the numbers contradict.
+
+use crate::diag::Report;
+use crate::{bounds, classification, footprint, scheduler};
+use ladm_core::analysis::classify;
+use ladm_workloads::spec::Scale;
+use ladm_workloads::{suite, Workload};
+
+/// Lints one workload: every kernel, all four passes.
+pub fn lint_workload(w: &Workload) -> Report {
+    let mut report = Report::new(w.name);
+    for kernel in &w.kernels {
+        let launch = kernel.launch();
+        let trips = kernel.trips();
+        let table = classification::audit(w, launch, &mut report);
+        scheduler::check(w, launch, &mut report);
+        bounds::check(w, launch, trips, &mut report);
+        footprint::validate(w.name, launch, table.entries(), &mut report);
+    }
+    classification::check_stale_annotations(w, &mut report);
+    report
+}
+
+/// Lints the full Table IV suite at `scale`, one report per workload.
+pub fn lint_suite(scale: Scale) -> Vec<Report> {
+    suite(scale).iter().map(lint_workload).collect()
+}
+
+/// Renders one line per access site of every suite workload with its
+/// derived Table II row — the golden-file format used by
+/// `tests/golden_table2.rs` and `ladm-lint --table`.
+pub fn classification_report(scale: Scale) -> String {
+    let mut out = String::new();
+    for w in suite(scale) {
+        for kernel in &w.kernels {
+            let launch = kernel.launch();
+            for arg in &launch.kernel.args {
+                for (site, index) in arg.accesses.iter().enumerate() {
+                    let class = classify(index, launch.kernel.grid_shape, 0);
+                    out.push_str(&format!(
+                        "{:<14} {:<12} {:<12} site {}  row {}  {}\n",
+                        w.name,
+                        launch.kernel.name,
+                        arg.name,
+                        site,
+                        class.table_row(),
+                        class
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{LintCode, Severity};
+    use ladm_core::analysis::AccessClass;
+    use ladm_core::table::{LocalityTable, MallocPc};
+    use ladm_workloads::by_name;
+
+    /// Acceptance criterion: the shipped suite is lint-clean — every
+    /// diagnostic is an acknowledged note, never a warning or error.
+    #[test]
+    fn suite_is_lint_clean_at_test_scale() {
+        for report in lint_suite(Scale::Test) {
+            assert!(
+                report.worst() <= Some(Severity::Note),
+                "{} is not lint-clean:\n{}",
+                report.workload,
+                report.render_text()
+            );
+            assert_eq!(
+                report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.code == LintCode::FootprintMismatch)
+                    .count(),
+                0,
+                "{} has footprint mismatches",
+                report.workload
+            );
+            assert!(report.sites_checked > 0, "{}", report.workload);
+        }
+    }
+
+    /// The dynamic pass must catch a spec whose claimed class lies: flip
+    /// VecAdd's no-locality row to intra-thread and watch L003 fire.
+    #[test]
+    fn deliberate_misclassification_is_convicted() {
+        let w = by_name("VecAdd", Scale::Test).expect("VecAdd in suite");
+        let launch = w.kernels[0].launch();
+        let pcs: Vec<MallocPc> = (0..launch.kernel.args.len())
+            .map(|i| MallocPc(0x400 + 4 * i as u64))
+            .collect();
+        let mut table = LocalityTable::new();
+        table.compile_kernel(&launch.kernel, &pcs);
+        let mut entries = table.entries().to_vec();
+        entries[0].classes[0] = AccessClass::IntraThread;
+
+        let mut report = Report::new("VecAdd");
+        footprint::validate("VecAdd", launch, &entries, &mut report);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::FootprintMismatch && d.severity == Severity::Error),
+            "mutated class must be convicted:\n{}",
+            report.render_text()
+        );
+        assert!(report.samples_checked > 0);
+    }
+
+    /// The untouched table passes the same dynamic validation.
+    #[test]
+    fn honest_table_passes_cross_validation() {
+        let w = by_name("VecAdd", Scale::Test).expect("VecAdd in suite");
+        let launch = w.kernels[0].launch();
+        let pcs: Vec<MallocPc> = (0..launch.kernel.args.len())
+            .map(|i| MallocPc(0x400 + 4 * i as u64))
+            .collect();
+        let mut table = LocalityTable::new();
+        table.compile_kernel(&launch.kernel, &pcs);
+        let mut report = Report::new("VecAdd");
+        footprint::validate("VecAdd", launch, table.entries(), &mut report);
+        assert!(!report.has_errors(), "{}", report.render_text());
+    }
+
+    /// Every access site of every workload appears in the golden format.
+    #[test]
+    fn classification_report_covers_every_site() {
+        let report = classification_report(Scale::Test);
+        let lines = report.lines().count();
+        let sites: usize = suite(Scale::Test)
+            .iter()
+            .flat_map(|w| w.kernels.iter())
+            .flat_map(|k| k.launch().kernel.args.iter())
+            .map(|a| a.accesses.len())
+            .sum();
+        assert_eq!(lines, sites);
+        assert!(report.contains("VecAdd"));
+        assert!(report.contains("row 7"));
+    }
+
+    /// A spec with a wrong expected row draws an L006 error.
+    #[test]
+    fn wrong_expectation_draws_l006() {
+        let mut w = by_name("VecAdd", Scale::Test).expect("VecAdd in suite");
+        for e in &mut w.expectations {
+            e.row = 6; // VecAdd is row 1 everywhere.
+        }
+        let report = lint_workload(&w);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::ExpectationMismatch && d.severity == Severity::Error),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    /// A spec with no annotations draws L007 warnings.
+    #[test]
+    fn missing_annotations_draw_l007() {
+        let mut w = by_name("VecAdd", Scale::Test).expect("VecAdd in suite");
+        w.expectations.clear();
+        let report = lint_workload(&w);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::MissingAnnotation));
+    }
+
+    /// A stale halo waiver (pointing at an in-bounds argument) is flagged.
+    #[test]
+    fn stale_halo_waiver_is_flagged() {
+        let w = by_name("VecAdd", Scale::Test)
+            .expect("VecAdd in suite")
+            .allow_halo("vecadd", 0, "bogus");
+        let report = lint_workload(&w);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::OobSpan
+                    && d.severity == Severity::Warning
+                    && d.message.contains("stale")),
+            "{}",
+            report.render_text()
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Pass 2 — scheduler-preference conflict detection.
+//!
+//! LASP binds the threadblock scheduler to the *largest* shared structure
+//! (paper §III-D2, input-size-aware tie-breaking); when two shared
+//! structures have equal byte counts the first-listed argument wins
+//! silently. This pass surfaces that ranking (`L002 scheduler-conflict`
+//! note) and escalates to a warning when equal-size structures would bind
+//! *different* schedulers — a silent coin flip the spec author should
+//! acknowledge with `ack_tie`.
+
+use crate::diag::{Diagnostic, LintCode, Report, Severity};
+use ladm_core::analysis::{classify, AccessClass, Sharing};
+use ladm_core::launch::LaunchInfo;
+use ladm_core::table::representative;
+use ladm_workloads::Workload;
+
+/// One shared structure competing for the scheduler binding.
+struct Contender {
+    arg: &'static str,
+    bytes: u64,
+    sharing: Sharing,
+}
+
+/// Audits the LASP tie-break for one kernel launch.
+pub fn check(w: &Workload, launch: &LaunchInfo, report: &mut Report) {
+    let kernel = launch.kernel.name;
+    let grid_shape = launch.kernel.grid_shape;
+    let contenders: Vec<Contender> = launch
+        .kernel
+        .args
+        .iter()
+        .enumerate()
+        .filter_map(|(i, arg)| {
+            let classes: Vec<AccessClass> = arg
+                .accesses
+                .iter()
+                .map(|index| classify(index, grid_shape, 0))
+                .collect();
+            match representative(&classes) {
+                AccessClass::Shared { sharing, .. } => Some(Contender {
+                    arg: arg.name,
+                    bytes: launch.arg_bytes(i),
+                    sharing,
+                }),
+                _ => None,
+            }
+        })
+        .collect();
+
+    let tie_reason = w.tie_waiver(kernel);
+    if contenders.len() < 2 {
+        // No competition possible; a tie acknowledgment here is stale.
+        if tie_reason.is_some() {
+            report.diagnostics.push(Diagnostic {
+                code: LintCode::SchedulerConflict,
+                severity: Severity::Warning,
+                workload: w.name,
+                kernel,
+                arg: None,
+                site: None,
+                message: format!(
+                    "stale ack_tie: kernel has {} shared structure(s), no tie-break occurs",
+                    contenders.len()
+                ),
+                notes: Vec::new(),
+            });
+        }
+        return;
+    }
+
+    // LASP's first_max_by_bytes: strictly-greater replaces, so the first
+    // of the equal maxima wins.
+    let mut winner_idx = 0usize;
+    for (i, c) in contenders.iter().enumerate() {
+        if c.bytes > contenders[winner_idx].bytes {
+            winner_idx = i;
+        }
+    }
+    let winner = &contenders[winner_idx];
+    let max_bytes = winner.bytes;
+    let tied: Vec<&Contender> = contenders.iter().filter(|c| c.bytes == max_bytes).collect();
+    let ranking: Vec<String> = contenders
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            format!(
+                "{}: {} bytes, {:?}-shared{}",
+                c.arg,
+                c.bytes,
+                c.sharing,
+                if i == winner_idx {
+                    " (binds the scheduler)"
+                } else {
+                    ""
+                }
+            )
+        })
+        .collect();
+
+    let conflicting_tie = tied.len() > 1 && tied.iter().any(|c| c.sharing != winner.sharing);
+    if conflicting_tie {
+        match tie_reason {
+            Some(reason) => report.diagnostics.push(Diagnostic {
+                code: LintCode::SchedulerConflict,
+                severity: Severity::Note,
+                workload: w.name,
+                kernel,
+                arg: Some(winner.arg),
+                site: None,
+                message: format!("acknowledged scheduler tie-break: {reason}"),
+                notes: ranking,
+            }),
+            None => report.diagnostics.push(Diagnostic {
+                code: LintCode::SchedulerConflict,
+                severity: Severity::Warning,
+                workload: w.name,
+                kernel,
+                arg: Some(winner.arg),
+                site: None,
+                message: format!(
+                    "{} equal-size shared structures prefer different schedulers; \
+                     argument order silently decides (first-listed `{}` wins)",
+                    tied.len(),
+                    winner.arg
+                ),
+                notes: ranking,
+            }),
+        }
+        return;
+    }
+
+    // No conflicting tie: a plain ranking note keeps the decision visible,
+    // and an acknowledgment of a tie that does not exist is stale.
+    if tie_reason.is_some() {
+        report.diagnostics.push(Diagnostic {
+            code: LintCode::SchedulerConflict,
+            severity: Severity::Warning,
+            workload: w.name,
+            kernel,
+            arg: None,
+            site: None,
+            message: "stale ack_tie: shared structures differ in size or agree on \
+                      the scheduler, no conflicting tie-break occurs"
+                .to_string(),
+            notes: ranking,
+        });
+    } else {
+        report.diagnostics.push(Diagnostic {
+            code: LintCode::SchedulerConflict,
+            severity: Severity::Note,
+            workload: w.name,
+            kernel,
+            arg: Some(winner.arg),
+            site: None,
+            message: format!(
+                "largest shared structure `{}` ({} bytes) binds the scheduler",
+                winner.arg, max_bytes
+            ),
+            notes: ranking,
+        });
+    }
+}

@@ -7,8 +7,7 @@
 //! * scheduler tie-break direction (row- vs column-binding on an
 //!   asymmetric GEMM — input-size awareness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ladm_bench::run_workload;
+use ladm_bench::{bench_function, run_workload};
 use ladm_core::policies::{BatchFt, Coda, Lasp, Policy};
 use ladm_sim::SimConfig;
 use ladm_workloads::{by_name, Scale, Workload};
@@ -108,24 +107,17 @@ fn print_ablations() {
     println!();
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_ablations();
 
     let cfg = SimConfig::paper_multi_gpu();
     let w = load("SQ-GEMM");
     let mut no_rc = cfg.clone();
     no_rc.remote_caching = false;
-    c.bench_function("ablations/gemm_remote_caching_on", |b| {
-        b.iter(|| run_workload(&cfg, &w, &Coda::hierarchical()))
+    bench_function("ablations/gemm_remote_caching_on", || {
+        let _ = run_workload(&cfg, &w, &Coda::hierarchical());
     });
-    c.bench_function("ablations/gemm_remote_caching_off", |b| {
-        b.iter(|| run_workload(&no_rc, &w, &Coda::hierarchical()))
+    bench_function("ablations/gemm_remote_caching_off", || {
+        let _ = run_workload(&no_rc, &w, &Coda::hierarchical());
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,30 +1,22 @@
 //! Figure 10 bench: prints the off-chip-traffic rows at test scale, then
 //! times the traffic accounting on a traffic-heavy workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ladm_bench::experiments::{default_threads, fig9_10, Fig10};
-use ladm_bench::run_workload;
+use ladm_bench::{bench_function, run_workload};
 use ladm_core::policies::{BaselineRr, Lasp};
 use ladm_sim::SimConfig;
 use ladm_workloads::{by_name, Scale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let f = fig9_10(Scale::Test, default_threads());
     println!("{}", Fig10(&f));
 
     let cfg = SimConfig::paper_multi_gpu();
     let w = by_name("ScalarProd", Scale::Test).expect("suite workload");
-    c.bench_function("fig10/rr_scalarprod", |b| {
-        b.iter(|| run_workload(&cfg, &w, &BaselineRr::new()).offchip_fraction())
+    bench_function("fig10/rr_scalarprod", || {
+        let _ = run_workload(&cfg, &w, &BaselineRr::new()).offchip_fraction();
     });
-    c.bench_function("fig10/ladm_scalarprod", |b| {
-        b.iter(|| run_workload(&cfg, &w, &Lasp::ladm()).offchip_fraction())
+    bench_function("fig10/ladm_scalarprod", || {
+        let _ = run_workload(&cfg, &w, &Lasp::ladm()).offchip_fraction();
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,29 +1,21 @@
 //! Figure 11 bench: prints the RTWICE/RONCE case studies, then times both
 //! insertion policies on the low-reuse workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ladm_bench::experiments::{default_threads, fig11, fmt_fig11};
-use ladm_bench::run_workload;
+use ladm_bench::{bench_function, run_workload};
 use ladm_core::policies::{CacheMode, Lasp};
 use ladm_sim::SimConfig;
 use ladm_workloads::{by_name, Scale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", fmt_fig11(&fig11(Scale::Test, default_threads())));
 
     let cfg = SimConfig::paper_multi_gpu();
     let w = by_name("Random-loc", Scale::Test).expect("suite workload");
-    c.bench_function("fig11/random_loc_rtwice", |b| {
-        b.iter(|| run_workload(&cfg, &w, &Lasp::new(CacheMode::Rtwice)))
+    bench_function("fig11/random_loc_rtwice", || {
+        let _ = run_workload(&cfg, &w, &Lasp::new(CacheMode::Rtwice));
     });
-    c.bench_function("fig11/random_loc_ronce", |b| {
-        b.iter(|| run_workload(&cfg, &w, &Lasp::new(CacheMode::Ronce)))
+    bench_function("fig11/random_loc_ronce", || {
+        let _ = run_workload(&cfg, &w, &Lasp::new(CacheMode::Ronce));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,27 +1,19 @@
 //! Figure 4 bench: prints the bandwidth-sensitivity series at test scale,
 //! then times one sweep point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ladm_bench::experiments::{default_threads, fig4};
-use ladm_bench::run_workload;
+use ladm_bench::{bench_function, run_workload};
 use ladm_core::policies::Coda;
 use ladm_sim::SimConfig;
 use ladm_workloads::{by_name, Scale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // Regenerate the figure once (outside the timers).
     println!("{}", fig4(Scale::Test, default_threads()));
 
     let cfg = SimConfig::fig4_xbar(180);
     let w = by_name("VecAdd", Scale::Test).expect("suite workload");
-    c.bench_function("fig4/coda_vecadd_xbar180", |b| {
-        b.iter(|| run_workload(&cfg, &w, &Coda::flat()))
+    bench_function("fig4/coda_vecadd_xbar180", || {
+        let _ = run_workload(&cfg, &w, &Coda::flat());
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

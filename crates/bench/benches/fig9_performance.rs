@@ -1,31 +1,23 @@
 //! Figure 9 bench: prints the per-workload normalized-performance rows at
 //! test scale, then times representative policy runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ladm_bench::experiments::{default_threads, fig9_10};
-use ladm_bench::run_workload;
+use ladm_bench::{bench_function, run_workload};
 use ladm_core::policies::{Coda, Lasp};
 use ladm_sim::SimConfig;
 use ladm_workloads::{by_name, Scale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let f = fig9_10(Scale::Test, default_threads());
     println!("{f}");
     println!("{}", f.summary());
 
     let cfg = SimConfig::paper_multi_gpu();
     let gemm = by_name("SQ-GEMM", Scale::Test).expect("suite workload");
-    c.bench_function("fig9/ladm_sq_gemm", |b| {
-        b.iter(|| run_workload(&cfg, &gemm, &Lasp::ladm()))
+    bench_function("fig9/ladm_sq_gemm", || {
+        let _ = run_workload(&cfg, &gemm, &Lasp::ladm());
     });
-    c.bench_function("fig9/hcoda_sq_gemm", |b| {
-        b.iter(|| run_workload(&cfg, &gemm, &Coda::hierarchical()))
+    bench_function("fig9/hcoda_sq_gemm", || {
+        let _ = run_workload(&cfg, &gemm, &Coda::hierarchical());
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,30 +1,22 @@
 //! Table I bench: prints the locality-pattern capability matrix, then
 //! times the strided-pattern microbenchmark under two policies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ladm_bench::experiments::{default_threads, fmt_table1, table1};
-use ladm_bench::run_workload;
+use ladm_bench::{bench_function, run_workload};
 use ladm_core::policies::{Coda, Lasp};
 use ladm_sim::SimConfig;
 use ladm_workloads::{by_name, Scale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (policies, rows) = table1(Scale::Test, default_threads());
     println!("{}", fmt_table1(&policies, &rows));
 
     let cfg = SimConfig::paper_multi_gpu();
     let w = by_name("ScalarProd", Scale::Test).expect("suite workload");
-    c.bench_function("tab1/stride_coda", |b| {
-        b.iter(|| run_workload(&cfg, &w, &Coda::flat()))
+    bench_function("tab1/stride_coda", || {
+        let _ = run_workload(&cfg, &w, &Coda::flat());
     });
-    c.bench_function("tab1/stride_ladm", |b| {
-        b.iter(|| run_workload(&cfg, &w, &Lasp::ladm()))
+    bench_function("tab1/stride_ladm", || {
+        let _ = run_workload(&cfg, &w, &Lasp::ladm());
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,32 +1,25 @@
 //! Table IV bench: prints the workload characterization, then times the
 //! LASP planning step itself (which must stay cheap enough for a runtime).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ladm_bench::bench_function;
 use ladm_bench::experiments::{default_threads, fmt_table4, table4};
 use ladm_core::policies::{Lasp, Policy};
 use ladm_core::topology::Topology;
 use ladm_workloads::{by_name, Scale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", fmt_table4(&table4(Scale::Test, default_threads())));
 
     let gemm = by_name("SQ-GEMM", Scale::Test).expect("suite workload");
     let launch = gemm.kernels[0].launch().clone();
     let topo = Topology::paper_multi_gpu();
-    c.bench_function("tab4/lasp_plan_gemm", |b| {
-        b.iter(|| Lasp::ladm().plan(&launch, &topo))
+    bench_function("tab4/lasp_plan_gemm", || {
+        let _ = Lasp::ladm().plan(&launch, &topo);
     });
 
     let graph = by_name("PageRank", Scale::Test).expect("suite workload");
     let launch = graph.kernels[0].launch().clone();
-    c.bench_function("tab4/lasp_plan_pagerank", |b| {
-        b.iter(|| Lasp::ladm().plan(&launch, &topo))
+    bench_function("tab4/lasp_plan_pagerank", || {
+        let _ = Lasp::ladm().plan(&launch, &topo);
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

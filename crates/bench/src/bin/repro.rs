@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--bench] [--threads N] <experiment>
-//!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 dgx1 summary all
+//!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 lint dgx1 summary all
 //! ```
 //!
 //! By default runs at `Scale::Test` (small inputs, seconds); `--bench`
@@ -10,8 +10,8 @@
 //! EXPERIMENTS.md).
 
 use ladm_bench::experiments::{
-    default_threads, dgx1, fig11, fig4, fig9_10, fmt_fig11, fmt_table1, fmt_table4, table1,
-    table4, Fig10,
+    default_threads, dgx1, fig11, fig4, fig9_10, fmt_fig11, fmt_lint, fmt_table1, fmt_table4, lint,
+    table1, table4, Fig10,
 };
 use ladm_core::analysis::{classify, GridShape};
 use ladm_core::expr::{Expr, Poly, Var};
@@ -44,7 +44,7 @@ fn main() {
     }
     let list: Vec<&str> = if what.iter().any(|w| w == "all") {
         vec![
-            "tab2", "tab3", "tab1", "tab4", "fig4", "fig9", "fig10", "fig11", "dgx1",
+            "tab2", "tab3", "lint", "tab1", "tab4", "fig4", "fig9", "fig10", "fig11", "dgx1",
             "summary",
         ]
     } else {
@@ -73,6 +73,7 @@ fn main() {
             "tab2" => print_table2(),
             "tab3" => print_table3(),
             "tab4" => println!("{}", fmt_table4(&table4(scale, threads))),
+            "lint" => println!("{}", fmt_lint(&lint(scale, threads))),
             "dgx1" => println!("{}", dgx1(scale, threads)),
             "summary" => {
                 let f = fig9_cache.get_or_insert_with(|| fig9_10(scale, threads));
@@ -89,7 +90,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--bench] [--threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|dgx1|summary|all>"
+        "usage: repro [--bench] [--threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|summary|all>"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -4,9 +4,7 @@
 //! share one implementation.
 
 use crate::harness::{geomean, parallel_map, run_workload};
-use ladm_core::policies::{
-    BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Policy,
-};
+use ladm_core::policies::{BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Policy};
 use ladm_sim::{KernelStats, SimConfig};
 use ladm_workloads::{by_name, dl_gemms, suite, Scale, WorkloadKind};
 use std::fmt;
@@ -198,13 +196,7 @@ pub fn fig9_10(scale: Scale, threads: usize) -> Fig9 {
         .collect();
 
     Fig9 {
-        policies: vec![
-            "H-CODA",
-            "LASP+RTWICE",
-            "LASP+RONCE",
-            "LADM",
-            "Monolithic",
-        ],
+        policies: vec!["H-CODA", "LASP+RTWICE", "LASP+RONCE", "LADM", "Monolithic"],
         rows,
     }
 }
@@ -335,9 +327,8 @@ impl fmt::Display for Fig10<'_> {
         }
         write!(f, "{:<21}", "MEAN")?;
         for p in 0..4 {
-            let m = crate::harness::mean(
-                &self.0.rows.iter().map(|r| r.offchip[p]).collect::<Vec<_>>(),
-            );
+            let m =
+                crate::harness::mean(&self.0.rows.iter().map(|r| r.offchip[p]).collect::<Vec<_>>());
             write!(f, "{:>12.1}%", m * 100.0)?;
         }
         writeln!(f)
@@ -508,7 +499,11 @@ pub fn fmt_table1(policies: &[&'static str], rows: &[Tab1Row]) -> String {
     for row in rows {
         write!(s, "{:<20} {:<12}", row.pattern, row.workload).unwrap();
         for &v in &row.offchip {
-            let mark = if v < TAB1_CAPTURE_THRESHOLD { "[x]" } else { "   " };
+            let mark = if v < TAB1_CAPTURE_THRESHOLD {
+                "[x]"
+            } else {
+                "   "
+            };
             write!(s, "{:>11.1}%{mark}", v * 100.0).unwrap();
         }
         writeln!(s).unwrap();
@@ -667,6 +662,82 @@ impl fmt::Display for Dgx1 {
             self.speedup_vs_kernel_wide()
         )
     }
+}
+
+// ---------------------------------------------------------------------
+// Locality-lint report
+// ---------------------------------------------------------------------
+
+/// One workload's lint summary (the `repro lint` experiment).
+#[derive(Debug, Clone)]
+pub struct LintRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Error-severity findings.
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// Note-severity findings (acknowledged conditions).
+    pub notes: usize,
+    /// Access sites audited by the classification pass.
+    pub sites: usize,
+    /// Concrete sample evaluations taken by the dynamic pass.
+    pub samples: usize,
+}
+
+/// Runs the locality linter over the whole suite and summarizes per
+/// workload. A healthy suite reports zero errors and zero warnings.
+pub fn lint(scale: Scale, threads: usize) -> Vec<LintRow> {
+    use ladm_analyzer::Severity;
+    let names: Vec<&'static str> = suite(scale).iter().map(|w| w.name).collect();
+    parallel_map(names.len(), threads, |i| {
+        let w = by_name(names[i], scale).expect("suite workload");
+        let report = ladm_analyzer::lint_workload(&w);
+        LintRow {
+            name: names[i],
+            errors: report.count(Severity::Error),
+            warnings: report.count(Severity::Warning),
+            notes: report.count(Severity::Note),
+            sites: report.sites_checked,
+            samples: report.samples_checked,
+        }
+    })
+}
+
+/// Formats the lint summary table.
+pub fn fmt_lint(rows: &[LintRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Locality lint: spec health across the suite (ladm-lint summary)"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<14} {:>7} {:>9} {:>7} {:>7} {:>9}",
+        "workload", "errors", "warnings", "notes", "sites", "samples"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            s,
+            "{:<14} {:>7} {:>9} {:>7} {:>7} {:>9}",
+            r.name, r.errors, r.warnings, r.notes, r.sites, r.samples
+        )
+        .unwrap();
+    }
+    let errors: usize = rows.iter().map(|r| r.errors).sum();
+    let warnings: usize = rows.iter().map(|r| r.warnings).sum();
+    writeln!(
+        s,
+        "TOTAL          {errors:>7} {warnings:>9} {:>7} {:>7} {:>9}",
+        rows.iter().map(|r| r.notes).sum::<usize>(),
+        rows.iter().map(|r| r.sites).sum::<usize>(),
+        rows.iter().map(|r| r.samples).sum::<usize>(),
+    )
+    .unwrap();
+    s
 }
 
 #[cfg(test)]

@@ -50,6 +50,32 @@ where
         .collect()
 }
 
+/// Times `f` and prints a one-line summary, standing in for the
+/// criterion harness (the workspace builds with no registry
+/// dependencies). One warm-up call, then `LADM_BENCH_SAMPLES` timed
+/// samples (default 5); reports min and mean wall time.
+pub fn bench_function<F: FnMut()>(name: &str, mut f: F) {
+    let samples: usize = std::env::var("LADM_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0;
+    for _ in 0..samples {
+        let t0 = std::time::Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        sum += dt;
+    }
+    println!(
+        "bench {name:<40} min {best:>10.6}s  mean {:>10.6}s  ({samples} samples)",
+        sum / samples as f64
+    );
+}
+
 /// Geometric mean of strictly positive values; 0.0 for an empty slice.
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {

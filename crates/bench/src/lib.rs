@@ -11,4 +11,4 @@
 pub mod experiments;
 pub mod harness;
 
-pub use harness::{geomean, parallel_map, run_workload};
+pub use harness::{bench_function, geomean, parallel_map, run_workload};

@@ -164,16 +164,87 @@ pub enum GridShape {
 /// assert!(matches!(class, AccessClass::NoLocality { .. }));
 /// ```
 pub fn classify(index: &Poly, grid: GridShape, loop_id: u8) -> AccessClass {
+    classify_explain(index, grid, loop_id).0
+}
+
+/// A record of *why* [`classify`] put an access in its Table II row: the
+/// Algorithm 1 loop-variant/invariant split, the block-variable
+/// dependence tests, and a human-readable narration of each decision.
+///
+/// Produced by [`classify_explain`]; consumed by the locality linter to
+/// render per-access explanation traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifyTrace {
+    /// The induction variable the split was taken against.
+    pub loop_var: Var,
+    /// The loop-variant group (every term mentions `loop_var`).
+    pub variant: Poly,
+    /// The loop-invariant group (no term mentions `loop_var`).
+    pub invariant: Poly,
+    /// Whether the invariant group depends on `blockIdx.x`.
+    pub inv_bx: bool,
+    /// Whether the invariant group depends on `blockIdx.y`.
+    pub inv_by: bool,
+    /// The derived per-iteration stride, when the variant group divided
+    /// exactly by the induction variable.
+    pub stride: Option<Poly>,
+    /// `true` when a non-empty variant group failed the exact division —
+    /// the access is non-linear in the induction variable.
+    pub nonlinear: bool,
+    /// Ordered narration of the Algorithm 1 decisions.
+    pub steps: Vec<String>,
+}
+
+/// [`classify`] with a full explanation trace. This is the single
+/// implementation of Algorithm 1; `classify` delegates here, so the
+/// trace can never diverge from the classification it explains.
+pub fn classify_explain(
+    index: &Poly,
+    grid: GridShape,
+    loop_id: u8,
+) -> (AccessClass, ClassifyTrace) {
     let m = Var::Ind(loop_id);
     let (variant, invariant) = index.split_by_induction(loop_id);
+    let mut trace = ClassifyTrace {
+        loop_var: m,
+        variant: variant.clone(),
+        invariant: invariant.clone(),
+        inv_bx: invariant.contains(Var::Bx),
+        inv_by: invariant.contains(Var::By),
+        stride: None,
+        nonlinear: false,
+        steps: Vec::new(),
+    };
+    trace.steps.push(format!(
+        "split on {m}: loop-variant = {variant}, loop-invariant = {invariant}"
+    ));
 
     // Row 6: loopVariant(m, ...) == m  — intra-thread locality.
     if variant == Poly::var(m) {
-        return AccessClass::IntraThread;
+        trace
+            .steps
+            .push(format!("loop-variant group is exactly {m} -> row 6 (ITL)"));
+        return (AccessClass::IntraThread, trace);
     }
 
-    let inv_bx = invariant.contains(Var::Bx);
-    let inv_by = invariant.contains(Var::By);
+    let inv_bx = trace.inv_bx;
+    let inv_by = trace.inv_by;
+    trace.steps.push(format!(
+        "invariant depends on bx: {inv_bx}, on by: {inv_by} (grid {grid:?})"
+    ));
+
+    let stride = stride_of(&variant, m);
+    trace.stride = stride.clone();
+    if stride.is_none() {
+        trace.nonlinear = true;
+        trace.steps.push(format!(
+            "loop-variant group {variant} is not linear in {m}: no stride"
+        ));
+    } else if let Some(s) = &stride {
+        trace
+            .steps
+            .push(format!("stride = loopVariant / {m} = {s}"));
+    }
 
     // Row 1: invariant depends on bx (1D) or both bx and by (2D).
     let no_locality = match grid {
@@ -181,9 +252,19 @@ pub fn classify(index: &Poly, grid: GridShape, loop_id: u8) -> AccessClass {
         GridShape::TwoD => inv_bx && inv_by,
     };
     if no_locality {
-        return match stride_of(&variant, m) {
-            Some(stride) => AccessClass::NoLocality { stride },
-            None => AccessClass::Unclassified,
+        return match stride {
+            Some(stride) => {
+                trace
+                    .steps
+                    .push("every block owns exclusive datablocks -> row 1 (NL)".to_string());
+                (AccessClass::NoLocality { stride }, trace)
+            }
+            None => {
+                trace
+                    .steps
+                    .push("block-exclusive but non-linear -> row 7 (unclassified)".to_string());
+                (AccessClass::Unclassified, trace)
+            }
         };
     }
 
@@ -197,6 +278,9 @@ pub fn classify(index: &Poly, grid: GridShape, loop_id: u8) -> AccessClass {
             None
         };
         if let Some(sharing) = sharing {
+            trace.steps.push(format!(
+                "invariant depends on exactly one block index -> sharing {sharing:?}"
+            ));
             if variant.is_zero() {
                 // Loop-free sharing: pick the motion whose placement keeps
                 // the shared data local (rows for by-sharing, column
@@ -205,13 +289,18 @@ pub fn classify(index: &Poly, grid: GridShape, loop_id: u8) -> AccessClass {
                     Sharing::GridRow => Motion::Horizontal,
                     Sharing::GridCol => Motion::Vertical,
                 };
-                return AccessClass::Shared {
+                let class = AccessClass::Shared {
                     sharing,
                     motion,
                     stride: Poly::zero(),
                 };
+                trace.steps.push(format!(
+                    "loop-free sharing -> {motion:?} motion, row {}",
+                    class.table_row()
+                ));
+                return (class, trace);
             }
-            if let Some(stride) = stride_of(&variant, m) {
+            if let Some(stride) = trace.stride.clone() {
                 // A loop-variant term scaling with a grid dimension means
                 // whole rows of the structure are skipped per iteration
                 // (Table II tests gDim.x; gDim.y appears symmetrically in
@@ -221,16 +310,30 @@ pub fn classify(index: &Poly, grid: GridShape, loop_id: u8) -> AccessClass {
                 } else {
                     Motion::Horizontal
                 };
-                return AccessClass::Shared {
+                let class = AccessClass::Shared {
                     sharing,
                     motion,
                     stride,
                 };
+                trace.steps.push(format!(
+                    "variant mentions a grid dim: {} -> {motion:?} motion, row {}",
+                    variant.contains(Var::Gdx) || variant.contains(Var::Gdy),
+                    class.table_row()
+                ));
+                return (class, trace);
             }
+        } else {
+            trace.steps.push(
+                "invariant depends on neither or both block indices: no sharing direction"
+                    .to_string(),
+            );
         }
     }
 
-    AccessClass::Unclassified
+    trace
+        .steps
+        .push("no Table II pattern matched -> row 7 (unclassified)".to_string());
+    (AccessClass::Unclassified, trace)
 }
 
 /// `stride = loopVariant(m, ...) / m`; `None` when the variant group is not
@@ -348,17 +451,13 @@ mod tests {
 
     /// `A[(by*TILE + ty) * WIDTH + m*TILE + tx]` — Fig. 6 matrix A.
     fn mm_a() -> Poly {
-        ((v(Var::By) * TILE + v(Var::Ty)) * width() + v(Var::Ind(0)) * TILE + v(Var::Tx))
-            .to_poly()
+        ((v(Var::By) * TILE + v(Var::Ty)) * width() + v(Var::Ind(0)) * TILE + v(Var::Tx)).to_poly()
     }
 
     /// `B[m*TILE*WIDTH + ty*WIDTH + bx*TILE + tx]` — Fig. 6 matrix B.
     fn mm_b() -> Poly {
-        (v(Var::Ind(0)) * TILE * width()
-            + v(Var::Ty) * width()
-            + v(Var::Bx) * TILE
-            + v(Var::Tx))
-        .to_poly()
+        (v(Var::Ind(0)) * TILE * width() + v(Var::Ty) * width() + v(Var::Bx) * TILE + v(Var::Tx))
+            .to_poly()
     }
 
     /// `C[(by*TILE + ty) * WIDTH + bx*TILE + tx]` — Fig. 6 matrix C.
@@ -424,8 +523,7 @@ mod tests {
     #[test]
     fn grid_stride_loop_is_no_locality_with_stride() {
         // A[bx*bDim.x + tx + m*bDim.x*gDim.x]  (ScalarProd / BLK pattern)
-        let idx =
-            (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * width()).to_poly();
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * width()).to_poly();
         let class = classify(&idx, GridShape::OneD, 0);
         match &class {
             AccessClass::NoLocality { stride } => {
@@ -469,10 +567,8 @@ mod tests {
     #[test]
     fn nonlinear_induction_is_unclassified() {
         // A[bx*bDim.x + tx + m*m]
-        let idx = (v(Var::Bx) * v(Var::Bdx)
-            + v(Var::Tx)
-            + v(Var::Ind(0)) * v(Var::Ind(0)))
-        .to_poly();
+        let idx =
+            (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * v(Var::Ind(0))).to_poly();
         assert_eq!(
             classify(&idx, GridShape::OneD, 0),
             AccessClass::Unclassified
@@ -565,8 +661,7 @@ mod tests {
 
     #[test]
     fn stride_elems_for_nl() {
-        let idx =
-            (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * width()).to_poly();
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * width()).to_poly();
         let class = classify(&idx, GridShape::OneD, 0);
         assert_eq!(stride_elems(&class, &launch_env()), Some(128));
     }

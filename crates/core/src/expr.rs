@@ -658,9 +658,7 @@ mod tests {
     #[test]
     fn split_by_induction_partitions_terms() {
         // bx*bDim.x + tx + m*bDim.x*gDim.x
-        let e = v(Var::Bx) * v(Var::Bdx)
-            + v(Var::Tx)
-            + v(Var::Ind(0)) * v(Var::Bdx) * v(Var::Gdx);
+        let e = v(Var::Bx) * v(Var::Bdx) + v(Var::Tx) + v(Var::Ind(0)) * v(Var::Bdx) * v(Var::Gdx);
         let (variant, invariant) = e.to_poly().split_by_induction(0);
         assert!(variant.contains(Var::Ind(0)));
         assert!(!invariant.contains(Var::Ind(0)));

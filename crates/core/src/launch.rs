@@ -115,7 +115,10 @@ impl LaunchInfo {
 
     /// Overrides the page size.
     pub fn with_page_bytes(mut self, page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         self.page_bytes = page_bytes;
         self
     }
@@ -179,8 +182,8 @@ mod tests {
 
     #[test]
     fn env_binds_dims_and_params() {
-        let launch = LaunchInfo::new(vecadd(), (64, 2), (32, 4), vec![1, 1, 1])
-            .with_param("n", 777);
+        let launch =
+            LaunchInfo::new(vecadd(), (64, 2), (32, 4), vec![1, 1, 1]).with_param("n", 777);
         let env = launch.env();
         assert_eq!(env.try_get(Var::Gdx), Some(64));
         assert_eq!(env.try_get(Var::Gdy), Some(2));

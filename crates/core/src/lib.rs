@@ -53,11 +53,12 @@ pub mod expr;
 pub mod launch;
 pub mod plan;
 pub mod policies;
+pub mod rng;
 pub mod runtime;
 pub mod table;
 pub mod topology;
 
-pub use analysis::{AccessClass, GridShape, Motion, Sharing};
+pub use analysis::{AccessClass, ClassifyTrace, GridShape, Motion, Sharing};
 pub use launch::{ArgStatic, KernelStatic, LaunchInfo};
 pub use plan::{ArgPlan, KernelPlan, PageMap, RemoteInsert, RrOrder, TbMap};
 pub use policies::{BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Manual, Policy};

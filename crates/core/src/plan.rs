@@ -117,12 +117,7 @@ impl PageMap {
     /// Resolves the home node of the byte at `offset_bytes` from the
     /// allocation base. Returns `None` only for
     /// [`PageMap::FirstTouch`].
-    pub fn node_of(
-        &self,
-        offset_bytes: u64,
-        page_bytes: u64,
-        topo: &Topology,
-    ) -> Option<NodeId> {
+    pub fn node_of(&self, offset_bytes: u64, page_bytes: u64, topo: &Topology) -> Option<NodeId> {
         match self {
             PageMap::SubPageInterleave { gran_bytes, order } => {
                 let gran = (*gran_bytes).max(1);

@@ -143,10 +143,16 @@ mod tests {
     fn batch_is_page_aligned() {
         // datablock = 128 floats = 512 B; 4 KiB page -> batch of 8.
         let launch = vecadd_launch(128);
-        assert_eq!(Coda::flat().batch_for(&launch, &Topology::paper_multi_gpu()), 8);
+        assert_eq!(
+            Coda::flat().batch_for(&launch, &Topology::paper_multi_gpu()),
+            8
+        );
         // 1024 threads -> 4 KiB datablock -> batch of 1.
         let launch = vecadd_launch(1024);
-        assert_eq!(Coda::flat().batch_for(&launch, &Topology::paper_multi_gpu()), 1);
+        assert_eq!(
+            Coda::flat().batch_for(&launch, &Topology::paper_multi_gpu()),
+            1
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@
 
 use super::{eq1_interleave_gran_pages, Policy};
 use crate::analysis::{
-    classify, coeff_poly, datablock_span_elems, row_pitch_elems, stride_elems, AccessClass,
-    Motion, Sharing,
+    classify, coeff_poly, datablock_span_elems, row_pitch_elems, stride_elems, AccessClass, Motion,
+    Sharing,
 };
 use crate::expr::{Env, Poly, Var};
 use crate::launch::LaunchInfo;
@@ -204,9 +204,7 @@ fn select_schedule(
                     // (a convoy); fine round-robin spreads the victims and
                     // the shared matrix lives in the L2s instead — the
                     // paper's observation for the DL layers (§V-A).
-                    if pitch_bytes(winner, env)
-                        >= u64::from(n) * launch.page_bytes
-                    {
+                    if pitch_bytes(winner, env) >= u64::from(n) * launch.page_bytes {
                         return TbMap::ColBinding {
                             cols_per_node: u64::from(gdx).div_ceil(u64::from(n)).max(1),
                         };
@@ -430,17 +428,15 @@ mod tests {
     /// Tiled GEMM kernel with configurable A/B sizes and grid (elements).
     fn gemm_launch_grid(a_len: u64, b_len: u64, grid: (u32, u32)) -> LaunchInfo {
         const TILE: i64 = 16;
-        let a = ((v(Var::By) * TILE + v(Var::Ty)) * width()
-            + v(Var::Ind(0)) * TILE
-            + v(Var::Tx))
-        .to_poly();
+        let a = ((v(Var::By) * TILE + v(Var::Ty)) * width() + v(Var::Ind(0)) * TILE + v(Var::Tx))
+            .to_poly();
         let b = (v(Var::Ind(0)) * TILE * width()
             + v(Var::Ty) * width()
             + v(Var::Bx) * TILE
             + v(Var::Tx))
         .to_poly();
-        let c = ((v(Var::By) * TILE + v(Var::Ty)) * width() + v(Var::Bx) * TILE + v(Var::Tx))
-            .to_poly();
+        let c =
+            ((v(Var::By) * TILE + v(Var::Ty)) * width() + v(Var::Bx) * TILE + v(Var::Tx)).to_poly();
         let kernel = KernelStatic {
             name: "sgemm",
             grid_shape: GridShape::TwoD,
@@ -623,10 +619,10 @@ mod tests {
 
     fn stencil_launch() -> LaunchInfo {
         // 2D tile: A[(by*bdy+ty)*W + bx*bdx + tx]
-        let idx =
-            ((v(Var::By) * v(Var::Bdy) + v(Var::Ty)) * width() + v(Var::Bx) * v(Var::Bdx)
-                + v(Var::Tx))
-            .to_poly();
+        let idx = ((v(Var::By) * v(Var::Bdy) + v(Var::Ty)) * width()
+            + v(Var::Bx) * v(Var::Bdx)
+            + v(Var::Tx))
+        .to_poly();
         let kernel = KernelStatic {
             name: "srad",
             grid_shape: GridShape::TwoD,
@@ -714,8 +710,7 @@ mod tests {
     fn row4_row_sharing_vertical_motion_gets_col_placement() {
         // inv(by) + m*W -> row 4: row-binding schedule, column-striped
         // placement (Eq. 1 with stride = the row pitch).
-        let idx =
-            (v(Var::By) * v(Var::Bdy) + v(Var::Ty) + v(Var::Ind(0)) * width()).to_poly();
+        let idx = (v(Var::By) * v(Var::Bdy) + v(Var::Ty) + v(Var::Ind(0)) * width()).to_poly();
         let kernel = KernelStatic {
             name: "row4",
             grid_shape: GridShape::TwoD,

@@ -131,9 +131,6 @@ mod tests {
             vec!["Baseline-RR", "Batch+FT", "Kernel-Wide", "CODA"]
         );
         let names: Vec<&str> = fig9_lineup().iter().map(|p| p.name()).collect();
-        assert_eq!(
-            names,
-            vec!["H-CODA", "LASP+RTWICE", "LASP+RONCE", "LADM"]
-        );
+        assert_eq!(names, vec!["H-CODA", "LASP+RTWICE", "LASP+RONCE", "LADM"]);
     }
 }

@@ -38,7 +38,10 @@ impl fmt::Display for LaunchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LaunchError::UnknownKernel(name) => {
-                write!(f, "kernel '{name}' was not compiled into the locality table")
+                write!(
+                    f,
+                    "kernel '{name}' was not compiled into the locality table"
+                )
             }
             LaunchError::UnboundAllocation {
                 kernel,
@@ -132,7 +135,10 @@ impl LadmRuntime {
     ///
     /// Panics if `page_bytes` is not a power of two.
     pub fn with_page_bytes(mut self, page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         self.page_bytes = page_bytes;
         self
     }
@@ -195,8 +201,8 @@ impl LadmRuntime {
             arg_lens.push(alloc.bytes / u64::from(arg.elem_bytes.max(1)));
         }
 
-        let mut launch = LaunchInfo::new(kernel.clone(), grid, block, arg_lens)
-            .with_page_bytes(self.page_bytes);
+        let mut launch =
+            LaunchInfo::new(kernel.clone(), grid, block, arg_lens).with_page_bytes(self.page_bytes);
         for &(name, value) in params {
             launch = launch.with_param(name, value);
         }

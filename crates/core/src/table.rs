@@ -7,7 +7,7 @@
 //! the runtime fills base address and page count when the allocation
 //! happens, and LASP reads the completed rows on each kernel launch.
 
-use crate::analysis::{classify, AccessClass};
+use crate::analysis::{classify_explain, AccessClass, ClassifyTrace};
 use crate::launch::KernelStatic;
 use std::fmt;
 
@@ -97,18 +97,39 @@ impl LocalityTable {
     /// Panics if `malloc_pcs.len()` differs from the kernel's argument
     /// count.
     pub fn compile_kernel(&mut self, kernel: &KernelStatic, malloc_pcs: &[MallocPc]) {
+        self.compile_kernel_audited(kernel, malloc_pcs, |_, _| {});
+    }
+
+    /// [`compile_kernel`](Self::compile_kernel) with an audit hook: after
+    /// each row is classified, `audit` observes the finished entry and
+    /// the per-site [`ClassifyTrace`]s explaining every classification.
+    /// The locality linter uses this to attach Algorithm 1 narrations to
+    /// its diagnostics without re-running the classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `malloc_pcs.len()` differs from the kernel's argument
+    /// count.
+    pub fn compile_kernel_audited(
+        &mut self,
+        kernel: &KernelStatic,
+        malloc_pcs: &[MallocPc],
+        mut audit: impl FnMut(&TableEntry, &[ClassifyTrace]),
+    ) {
         assert_eq!(
             kernel.args.len(),
             malloc_pcs.len(),
             "one MallocPC per kernel argument"
         );
         for (arg_index, (arg, &malloc_pc)) in kernel.args.iter().zip(malloc_pcs).enumerate() {
-            let classes = arg
-                .accesses
-                .iter()
-                .map(|index| classify(index, kernel.grid_shape, 0))
-                .collect();
-            self.entries.push(TableEntry {
+            let mut classes = Vec::with_capacity(arg.accesses.len());
+            let mut traces = Vec::with_capacity(arg.accesses.len());
+            for index in &arg.accesses {
+                let (class, trace) = classify_explain(index, kernel.grid_shape, 0);
+                classes.push(class);
+                traces.push(trace);
+            }
+            let entry = TableEntry {
                 malloc_pc,
                 kernel: kernel.name,
                 arg_index,
@@ -116,14 +137,21 @@ impl LocalityTable {
                 elem_bytes: arg.elem_bytes,
                 base_addr: None,
                 num_pages: None,
-            });
+            };
+            audit(&entry, &traces);
+            self.entries.push(entry);
         }
     }
 
     /// The runtime half: records the address and size of the allocation
     /// made at `malloc_pc` into every row bound to that call site.
     /// Returns the number of rows updated.
-    pub fn bind_allocation(&mut self, malloc_pc: MallocPc, base_addr: u64, num_pages: u64) -> usize {
+    pub fn bind_allocation(
+        &mut self,
+        malloc_pc: MallocPc,
+        base_addr: u64,
+        num_pages: u64,
+    ) -> usize {
         let mut updated = 0;
         for entry in &mut self.entries {
             if entry.malloc_pc == malloc_pc {
@@ -208,7 +236,14 @@ mod tests {
         let mut table = LocalityTable::new();
         table.compile_kernel(&sample_kernel(), &[MallocPc(0x400), MallocPc(0x404)]);
         assert_eq!(table.len(), 2);
-        assert_eq!(table.lookup("k", 0).unwrap().representative_class().table_row(), 1);
+        assert_eq!(
+            table
+                .lookup("k", 0)
+                .unwrap()
+                .representative_class()
+                .table_row(),
+            1
+        );
         assert_eq!(
             table.lookup("k", 1).unwrap().representative_class(),
             AccessClass::IntraThread
@@ -237,12 +272,35 @@ mod tests {
         let nl = AccessClass::NoLocality {
             stride: Poly::zero(),
         };
-        assert_eq!(
-            representative(&[nl.clone(), shared.clone()]),
-            shared
-        );
+        assert_eq!(representative(&[nl.clone(), shared.clone()]), shared);
         assert_eq!(representative(std::slice::from_ref(&nl)), nl);
         assert_eq!(representative(&[]), AccessClass::Unclassified);
+    }
+
+    #[test]
+    fn audit_hook_sees_every_row_with_traces() {
+        let mut table = LocalityTable::new();
+        let mut seen = Vec::new();
+        table.compile_kernel_audited(
+            &sample_kernel(),
+            &[MallocPc(0x400), MallocPc(0x404)],
+            |entry, traces| {
+                assert_eq!(entry.classes.len(), traces.len());
+                for (class, trace) in entry.classes.iter().zip(traces) {
+                    // The trace explains the class it accompanies.
+                    assert!(!trace.steps.is_empty());
+                    if *class == AccessClass::IntraThread {
+                        assert_eq!(trace.variant, Poly::var(Var::Ind(0)));
+                    }
+                }
+                seen.push((entry.kernel, entry.arg_index));
+            },
+        );
+        assert_eq!(seen, vec![("k", 0), ("k", 1)]);
+        // The audited compile fills the table identically to the plain one.
+        let mut plain = LocalityTable::new();
+        plain.compile_kernel(&sample_kernel(), &[MallocPc(0x400), MallocPc(0x404)]);
+        assert_eq!(table, plain);
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl Topology {
     /// Panics if either count is zero.
     pub fn new(num_gpus: u32, chiplets_per_gpu: u32) -> Self {
         assert!(num_gpus > 0, "topology needs at least one GPU");
-        assert!(chiplets_per_gpu > 0, "topology needs at least one chiplet per GPU");
+        assert!(
+            chiplets_per_gpu > 0,
+            "topology needs at least one chiplet per GPU"
+        );
         Topology {
             num_gpus,
             chiplets_per_gpu,
@@ -136,7 +139,11 @@ impl Topology {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{} (gpus x chiplets)", self.num_gpus, self.chiplets_per_gpu)
+        write!(
+            f,
+            "{}x{} (gpus x chiplets)",
+            self.num_gpus, self.chiplets_per_gpu
+        )
     }
 }
 

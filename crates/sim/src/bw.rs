@@ -207,10 +207,7 @@ mod tests {
         for _ in 0..100 {
             last = last.max(b.claim(0.0, 320));
         }
-        assert!(
-            (last - 3200.0).abs() < 2.0 * BIN_CYCLES,
-            "last = {last}"
-        );
+        assert!((last - 3200.0).abs() < 2.0 * BIN_CYCLES, "last = {last}");
         assert_eq!(b.bytes_total(), 32_000);
     }
 

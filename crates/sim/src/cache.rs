@@ -83,7 +83,8 @@ impl SectoredCache {
     }
 
     fn sector_bit(&self, addr: u64) -> u8 {
-        let sector_in_line = (addr >> self.sector_shift) & ((1 << (self.line_shift - self.sector_shift)) - 1);
+        let sector_in_line =
+            (addr >> self.sector_shift) & ((1 << (self.line_shift - self.sector_shift)) - 1);
         1u8 << sector_in_line
     }
 
@@ -244,7 +245,7 @@ mod tests {
         // Set 0 holds lines with even line index (2 sets).
         c.access(0x0000); // line A -> set 0
         c.access(0x0100); // line B -> set 1? line 2 & 1 = 0 -> set 0
-        // line index = addr >> 7. 0x0000 -> 0, 0x0100 -> 2: both set 0.
+                          // line index = addr >> 7. 0x0000 -> 0, 0x0100 -> 2: both set 0.
         c.access(0x0000); // A most recent
         c.access(0x0200); // line 4 -> set 0: evicts B.
         assert_eq!(c.access(0x0000), Lookup::Hit);

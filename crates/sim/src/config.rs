@@ -38,7 +38,10 @@ impl CacheConfig {
         let lines = self.bytes / u64::from(self.line_bytes);
         let sets = lines / u64::from(self.assoc);
         assert!(sets > 0, "cache too small for its associativity");
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         sets
     }
 

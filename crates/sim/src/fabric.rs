@@ -33,7 +33,9 @@ impl Fabric {
         let gpus = cfg.topology.num_gpus as usize;
         Fabric {
             topo: cfg.topology,
-            xbar: (0..nodes).map(|_| TokenBucket::new(cfg.intra_chiplet_bw)).collect(),
+            xbar: (0..nodes)
+                .map(|_| TokenBucket::new(cfg.intra_chiplet_bw))
+                .collect(),
             ring: (0..gpus).map(|_| TokenBucket::new(cfg.ring_bw)).collect(),
             switch_out: (0..gpus).map(|_| TokenBucket::new(cfg.switch_bw)).collect(),
             switch_in: (0..gpus).map(|_| TokenBucket::new(cfg.switch_bw)).collect(),

@@ -74,7 +74,10 @@ impl AddressSpace {
     ///
     /// Panics if `page_bytes` is not a power of two.
     pub fn new(page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         AddressSpace {
             page_bytes,
             allocs: Vec::new(),
@@ -201,23 +204,15 @@ impl AddressSpace {
     /// arrive from the same node, the page migrates there and `true` is
     /// returned (the caller charges the transfer). `threshold == 0`
     /// disables migration.
-    pub fn record_remote_access(
-        &mut self,
-        addr: u64,
-        requester: NodeId,
-        threshold: u32,
-    ) -> bool {
+    pub fn record_remote_access(&mut self, addr: u64, requester: NodeId, threshold: u32) -> bool {
         if threshold == 0 {
             return false;
         }
         let page = addr / self.page_bytes;
-        let state = self
-            .migration_state
-            .entry(page)
-            .or_insert(MigrationState {
-                node: requester,
-                streak: 0,
-            });
+        let state = self.migration_state.entry(page).or_insert(MigrationState {
+            node: requester,
+            streak: 0,
+        });
         if state.node == requester {
             state.streak += 1;
         } else {

@@ -94,7 +94,9 @@ impl GpuSystem {
         let nodes = cfg.topology.num_nodes() as usize;
         GpuSystem {
             mem: AddressSpace::new(cfg.page_bytes),
-            l1: (0..total_sms).map(|_| SectoredCache::new(&cfg.l1)).collect(),
+            l1: (0..total_sms)
+                .map(|_| SectoredCache::new(&cfg.l1))
+                .collect(),
             l2: (0..nodes).map(|_| SectoredCache::new(&cfg.l2)).collect(),
             dram: (0..nodes).map(|_| TokenBucket::new(cfg.dram_bw)).collect(),
             fabric: Fabric::new(&cfg),
@@ -192,16 +194,16 @@ impl GpuSystem {
 
         // Dispatches threadblocks from `node`'s queue onto its SMs.
         let dispatch = |node: u32,
-                            now: f64,
-                            queues: &mut Vec<VecDeque<(u32, u32)>>,
-                            sms: &mut Vec<SmState>,
-                            warps: &mut Vec<WarpCtx>,
-                            free_warp_slots: &mut Vec<u32>,
-                            tbs: &mut Vec<TbCtx>,
-                            free_tb_slots: &mut Vec<u32>,
-                            heap: &mut BinaryHeap<Reverse<Event>>,
-                            seq: &mut u64,
-                            stats: &mut KernelStats| {
+                        now: f64,
+                        queues: &mut Vec<VecDeque<(u32, u32)>>,
+                        sms: &mut Vec<SmState>,
+                        warps: &mut Vec<WarpCtx>,
+                        free_warp_slots: &mut Vec<u32>,
+                        tbs: &mut Vec<TbCtx>,
+                        free_tb_slots: &mut Vec<u32>,
+                        heap: &mut BinaryHeap<Reverse<Event>>,
+                        seq: &mut u64,
+                        stats: &mut KernelStats| {
             let sm_base = node * cfg.sms_per_chiplet;
             'outer: while !queues[node as usize].is_empty() {
                 // First SM on the node with room for a whole block.
@@ -215,7 +217,9 @@ impl GpuSystem {
                     }
                 }
                 let Some(sm) = chosen else { break 'outer };
-                let (bx, by) = queues[node as usize].pop_front().expect("checked non-empty");
+                let (bx, by) = queues[node as usize]
+                    .pop_front()
+                    .expect("checked non-empty");
                 sms[sm as usize].free_tb_slots -= 1;
                 sms[sm as usize].free_warps -= warps_per_tb;
                 let tb_idx = match free_tb_slots.pop() {
@@ -319,10 +323,9 @@ impl GpuSystem {
 
             // Issue cost: one compute instruction plus one memory
             // instruction per (approximate) access site.
-            let mem_instrs =
-                (access_buf.len() as u64).div_ceil(u64::from(cfg.warp_size)).max(
-                    u64::from(!access_buf.is_empty()),
-                );
+            let mem_instrs = (access_buf.len() as u64)
+                .div_ceil(u64::from(cfg.warp_size))
+                .max(u64::from(!access_buf.is_empty()));
             let instrs = 1 + mem_instrs;
             stats.warp_instructions += instrs;
             let sm_state = &mut sms[ctx.sm as usize];
@@ -447,7 +450,9 @@ impl GpuSystem {
                     .mem
                     .record_remote_access(addr, node, cfg.migration_threshold)
             {
-                let t = self.fabric.route(t + l2_lat, home.node, node, cfg.page_bytes);
+                let t = self
+                    .fabric
+                    .route(t + l2_lat, home.node, node, cfg.page_bytes);
                 let t = self.dram[node.0 as usize].claim(t, sector) + cfg.dram_latency as f64;
                 self.l2[node.0 as usize].fill(addr);
                 if !write {
@@ -543,8 +548,7 @@ mod tests {
 
     impl VecAdd {
         fn new(blocks: u32, bdx: u32) -> Self {
-            let idx =
-                (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
+            let idx = (Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)).to_poly();
             let n = u64::from(blocks) * u64::from(bdx);
             let kernel = KernelStatic {
                 name: "vecadd",
@@ -619,7 +623,8 @@ mod tests {
         let kernel = VecAdd::new(512, 128);
         let stats = sys.run(&kernel, &Lasp::ladm());
         assert_eq!(
-            stats.sectors_offnode, 0,
+            stats.sectors_offnode,
+            0,
             "off-chip fraction = {}",
             stats.offchip_fraction()
         );

@@ -1,0 +1,51 @@
+//! Expected Table II classifications and linter acknowledgements for the
+//! suite workloads.
+//!
+//! Every access site of every suite kernel carries a declared expected
+//! row; the locality linter (`crates/analyzer`) checks the classifier
+//! against these and fails on drift, which makes the annotations a
+//! machine-checked part of the spec. Row-7 (unclassified) expectations
+//! must carry a documented reason, and [`Waiver`]s suppress specific
+//! warning diagnostics — again with a reason that ends up in the lint
+//! report.
+
+/// Expected classification of one access site of one kernel argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteExpectation {
+    /// Kernel name (as in `KernelStatic::name`).
+    pub kernel: &'static str,
+    /// Argument position.
+    pub arg: usize,
+    /// Access-site position within the argument.
+    pub site: usize,
+    /// Expected Table II row (1–7).
+    pub row: u8,
+    /// Documented reason; required by the linter when `row == 7`.
+    pub reason: Option<&'static str>,
+}
+
+/// A documented acknowledgement that suppresses one class of linter
+/// warning for a specific kernel/argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Waiver {
+    /// The argument intentionally indexes past the allocation edge
+    /// (stencil halos, lagged re-reads); the simulator clamps/wraps, so
+    /// the out-of-bounds span is by design.
+    Halo {
+        /// Kernel name.
+        kernel: &'static str,
+        /// Argument position.
+        arg: usize,
+        /// Why the overrun is intended.
+        reason: &'static str,
+    },
+    /// The kernel's shared structures tie in size and the LASP
+    /// largest-structure-wins tie-break is order-dependent; the spec
+    /// author acknowledges which structure wins and why that is fine.
+    TieBreak {
+        /// Kernel name.
+        kernel: &'static str,
+        /// Why the ambiguous tie-break is acceptable.
+        reason: &'static str,
+    },
+}

@@ -3,8 +3,7 @@
 //! local and long-range edges, standing in for the paper's road networks
 //! and web graphs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ladm_core::rng::SplitMix64;
 
 /// A compressed-sparse-row graph.
 ///
@@ -42,27 +41,27 @@ impl Csr {
             max_degree >= avg_degree.max(1),
             "max degree must be at least the average"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut row_ptr = Vec::with_capacity(n as usize + 1);
         let mut col = Vec::new();
         row_ptr.push(0u32);
         for v in 0..n {
             // Skewed degree: 1/16 of the nodes are hubs.
-            let degree = if rng.random_range(0..16u32) == 0 {
-                rng.random_range(avg_degree..=max_degree)
+            let degree = if rng.below(16) == 0 {
+                rng.range_u32(avg_degree, max_degree)
             } else {
-                rng.random_range(1..=avg_degree.max(2))
+                rng.range_u32(1, avg_degree.max(2))
             };
             for _ in 0..degree {
                 // Graphs laid out in CSR order exhibit strong neighbor
                 // locality (road networks, reordered web graphs): most
                 // edges stay in a ±256 window.
-                let target = if rng.random_bool(0.85) {
+                let target = if rng.chance(85, 100) {
                     let lo = v.saturating_sub(256);
                     let hi = (v + 256).min(n - 1);
-                    rng.random_range(lo..=hi)
+                    rng.range_u32(lo, hi)
                 } else {
-                    rng.random_range(0..n)
+                    rng.below(u64::from(n)) as u32
                 };
                 col.push(target);
             }
@@ -88,7 +87,10 @@ impl Csr {
 
     /// Largest out-degree in the graph.
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -60,12 +60,7 @@ impl CsrKernel {
             ArgStatic::read("aux", 4, gather_idx),
             ArgStatic::write("out", 4, out_idx),
         ];
-        let mut lens = vec![
-            u64::from(n) + 1,
-            u64::from(e),
-            u64::from(n),
-            u64::from(n),
-        ];
+        let mut lens = vec![u64::from(n) + 1, u64::from(e), u64::from(n), u64::from(n)];
         if has_vals {
             args.push(ArgStatic::read("vals", 4, edge_idx));
             lens.push(u64::from(e));
@@ -106,7 +101,10 @@ impl KernelExec for CsrKernel {
     }
 
     fn set_page_bytes(&mut self, page_bytes: u64) {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         self.launch.page_bytes = page_bytes;
     }
 
@@ -155,7 +153,18 @@ fn graph_workload(
     let nodes = (full_nodes / scale.divisor().max(1)).max(16_384);
     let graph = Csr::synthetic(nodes, avg_degree, 64, seed);
     let kernel = CsrKernel::new(kernel_name, graph, bdx, 32, intensity, has_vals);
+    let mut rows: Vec<&[u8]> = vec![&[1], &[6], &[7], &[1]];
+    if has_vals {
+        rows.push(&[6]);
+    }
     Workload::new(name, WorkloadKind::IntraThread, vec![Box::new(kernel)])
+        .expect_rows(kernel_name, &rows)
+        .expect_unclassified(
+            kernel_name,
+            ARG_AUX as usize,
+            0,
+            "neighbor gather aux[col[e]]: the target index is graph data",
+        )
 }
 
 /// `PageRank` (Pannotia): rank push over a skewed web-like graph.
@@ -165,7 +174,17 @@ pub fn pagerank(scale: Scale) -> Workload {
 
 /// `BFS-relax` (Lonestar): all-edge relaxation step.
 pub fn bfs(scale: Scale) -> Workload {
-    graph_workload("BFS-relax", "bfs_relax", scale, 131_072, 8, 256, 1, false, 22)
+    graph_workload(
+        "BFS-relax",
+        "bfs_relax",
+        scale,
+        131_072,
+        8,
+        256,
+        1,
+        false,
+        22,
+    )
 }
 
 /// `SSSP` (Pannotia): weighted relaxation (edge weights stream with the
@@ -184,8 +203,8 @@ pub fn spmv_jds(scale: Scale) -> Workload {
 mod tests {
     use super::*;
     use ladm_core::analysis::{classify, AccessClass};
-    use ladm_core::policies::{Lasp, Policy};
     use ladm_core::plan::TbMap;
+    use ladm_core::policies::{Lasp, Policy};
     use ladm_core::topology::Topology;
 
     #[test]
@@ -234,15 +253,13 @@ mod tests {
         // iter 0: row_ptr + out + (col+aux if degree > 0) for each lane.
         k.warp_accesses((0, 0), 0, 0, &mut out);
         assert!(out.len() >= 64); // 32 lanes x (row_ptr + out)
-        // A very deep iteration produces accesses only for hubs.
+                                  // A very deep iteration produces accesses only for hubs.
         let mut deep = Vec::new();
         k.warp_accesses((0, 0), 0, 31, &mut deep);
         assert!(deep.len() < out.len());
         // lane 0 on iter 0 reads edge row_ptr[0] when degree > 0.
         if deg0 > 0 {
-            assert!(out
-                .iter()
-                .any(|a| a.arg == ARG_COL && a.idx == 0));
+            assert!(out.iter().any(|a| a.arg == ARG_COL && a.idx == 0));
         }
     }
 

@@ -27,12 +27,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod expect;
 pub mod graphs;
 pub mod irregular;
 pub mod regular;
 pub mod spec;
 pub mod suite;
 
+pub use expect::{SiteExpectation, Waiver};
 pub use graphs::Csr;
 pub use spec::{AffineKernel, Scale};
 pub use suite::{by_name, dl_gemms, suite, Workload, WorkloadKind};

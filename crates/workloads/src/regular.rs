@@ -15,11 +15,7 @@ use ladm_core::analysis::GridShape;
 use ladm_core::expr::Expr;
 use ladm_core::launch::{ArgStatic, KernelStatic, LaunchInfo};
 
-fn single(
-    name: &'static str,
-    kind: WorkloadKind,
-    kernel: AffineKernel,
-) -> Workload {
+fn single(name: &'static str, kind: WorkloadKind, kernel: AffineKernel) -> Workload {
     Workload::new(name, kind, vec![Box::new(kernel)])
 }
 
@@ -38,7 +34,12 @@ pub fn vecadd(scale: Scale) -> Workload {
         ],
     };
     let launch = LaunchInfo::new(kernel, (blocks, 1), (128, 1), vec![n, n, n]);
-    single("VecAdd", WorkloadKind::NoLocality, AffineKernel::new(launch, 1, 1))
+    single(
+        "VecAdd",
+        WorkloadKind::NoLocality,
+        AffineKernel::new(launch, 1, 1),
+    )
+    .expect_rows("vecadd", &[&[1], &[1], &[1]])
 }
 
 /// Five-point 2D stencil used by both SRAD and HotSpot.
@@ -85,6 +86,13 @@ pub fn srad(scale: Scale) -> Workload {
         WorkloadKind::NoLocality,
         stencil_2d("srad", (g, g), false, 4),
     )
+    .expect_rows("srad", &[&[1, 1, 1, 1, 1], &[1]])
+    .allow_halo(
+        "srad",
+        0,
+        "five-point stencil: the edge rows/columns read a ±1/±width halo \
+         outside the image; real SRAD clamps at the border",
+    )
 }
 
 /// `HS` — HotSpot (Rodinia): thermal 2D stencil with a power map.
@@ -94,6 +102,12 @@ pub fn hs(scale: Scale) -> Workload {
         "HS",
         WorkloadKind::NoLocality,
         stencil_2d("hotspot", (g, g), true, 4),
+    )
+    .expect_rows("hotspot", &[&[1, 1, 1, 1, 1], &[1], &[1]])
+    .allow_halo(
+        "hotspot",
+        0,
+        "five-point stencil halo as in SRAD; border cells clamp",
     )
 }
 
@@ -109,7 +123,17 @@ fn grid_stride(
 ) -> AffineKernel {
     let idx = (tid() + m() * width()).to_poly();
     let n = u64::from(blocks) * u64::from(bdx) * u64::from(trips);
-    build_stride_kernel(name, blocks, bdx, trips, reads, block_output, intensity, idx, n)
+    build_stride_kernel(
+        name,
+        blocks,
+        bdx,
+        trips,
+        reads,
+        block_output,
+        intensity,
+        idx,
+        n,
+    )
 }
 
 /// Block-contiguous-vector kernel skeleton: each block loops over its own
@@ -127,7 +151,17 @@ fn block_vectors(
     let veclen = i64::from(trips) * i64::from(block_x);
     let idx = (bx() * veclen + m() * bdx() + tx()).to_poly();
     let n = u64::from(blocks) * veclen as u64;
-    build_stride_kernel(name, blocks, block_x, trips, reads, block_output, intensity, idx, n)
+    build_stride_kernel(
+        name,
+        blocks,
+        block_x,
+        trips,
+        reads,
+        block_output,
+        intensity,
+        idx,
+        n,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -182,6 +216,7 @@ pub fn scalarprod(scale: Scale) -> Workload {
         WorkloadKind::NoLocality,
         block_vectors("scalarprod", blocks, 256, 16, &["a", "b"], true, 1),
     )
+    .expect_rows("scalarprod", &[&[1], &[1], &[1]])
 }
 
 /// `BLK` — BlackScholes (CUDA SDK): option pricing over per-block
@@ -209,6 +244,7 @@ pub fn blk(scale: Scale) -> Workload {
         WorkloadKind::NoLocality,
         AffineKernel::new(launch, trips, 8),
     )
+    .expect_rows("blackscholes", &[&[1], &[1], &[1], &[1], &[1]])
 }
 
 /// `Histo-final` (Parboil): per-block merge of contiguous partial
@@ -220,6 +256,7 @@ pub fn histo_final(scale: Scale) -> Workload {
         WorkloadKind::NoLocality,
         block_vectors("histo_final", blocks, 512, 8, &["partials"], false, 1),
     )
+    .expect_rows("histo_final", &[&[1], &[1]])
 }
 
 /// `Reduction-k6` (CUDA SDK): grid-stride tree reduction.
@@ -230,6 +267,7 @@ pub fn reduction(scale: Scale) -> Workload {
         WorkloadKind::NoLocality,
         grid_stride("reduction_k6", blocks, 256, 8, &["in"], true, 1),
     )
+    .expect_rows("reduction_k6", &[&[1], &[1]])
 }
 
 /// `Hotspot3D` (Rodinia): 3D stencil walking layers in `z` — the paper's
@@ -269,6 +307,13 @@ pub fn hotspot3d(scale: Scale) -> Workload {
         WorkloadKind::NoLocality,
         AffineKernel::new(launch, trips, 2),
     )
+    .expect_rows("hotspot3d", &[&[1, 1, 1, 1, 1], &[1], &[1]])
+    .allow_halo(
+        "hotspot3d",
+        0,
+        "3D stencil: the in-layer ±1/±width halo reaches outside the \
+         volume at the borders; real Hotspot3D clamps",
+    )
 }
 
 /// `CONV` (CUDA SDK separable convolution, rows pass): every block of a
@@ -299,6 +344,7 @@ pub fn conv(scale: Scale) -> Workload {
         WorkloadKind::RowCol,
         AffineKernel::new(launch, trips, 2).with_epilogue(1),
     )
+    .expect_rows("conv_rows", &[&[2], &[1]])
 }
 
 /// `Histo-main` (Parboil): image scan with column sharing plus
@@ -323,6 +369,14 @@ pub fn histo_main(scale: Scale) -> Workload {
         // Bucket writes are re-randomized each iteration.
         .with_data_per_iter(1);
     single("Histo-main", WorkloadKind::RowCol, k)
+        .expect_rows("histo_main", &[&[5], &[7]])
+        .expect_unclassified(
+            "histo_main",
+            1,
+            0,
+            "histogram bucket index is the pixel value itself — \
+             data-dependent by construction",
+        )
 }
 
 /// `FWT-k2` (CUDA SDK fast Walsh transform, second kernel): columns of
@@ -350,6 +404,7 @@ pub fn fwt_k2(scale: Scale) -> Workload {
         WorkloadKind::RowCol,
         AffineKernel::new(launch, trips, 1),
     )
+    .expect_rows("fwt_k2", &[&[5], &[5]])
 }
 
 /// Tiled GEMM skeleton: `C[M×N] = A[M×K] × B[K×N]` with `TILE`-sized
@@ -362,11 +417,16 @@ fn gemm_kernel(
     trips: u32,
     k_dim: u32,
 ) -> AffineKernel {
-    let kp = Expr::param("K");
-    // A[(by*bdy + ty) * K + m*bdy + tx] — the walk advances bdy columns
+    // A[(by*bdy + ty) * lda + m*bdy + tx] — the walk advances bdy columns
     // per iteration, matching B's bdy-row walk so both cover K in
-    // `trips = K/bdy` iterations (Fig. 6 with square TILE = bdy).
-    let a = ((by() * bdy() + ty()) * kp + m() * bdy() + tx()).to_poly();
+    // `trips = K/bdy` iterations (Fig. 6 with square TILE = bdy). With
+    // non-square tiles the bdx lanes of the final iteration reach
+    // `K - bdy + bdx - 1`, i.e. bdx-bdy elements past K, so A is stored
+    // with a BLAS-style padded leading dimension `lda = K + bdx - bdy`
+    // that keeps every access in bounds (lda == K for square tiles).
+    let lda_val = i64::from(k_dim) + i64::from(block.0) - i64::from(block.1);
+    let lda = Expr::param("lda");
+    let a = ((by() * bdy() + ty()) * lda + m() * bdy() + tx()).to_poly();
     // B[(m*bdy + ty) * N + bx*bdx + tx], N = bdx*gdx
     let b = ((m() * bdy() + ty()) * width() + bx() * bdx() + tx()).to_poly();
     // C[(by*bdy + ty) * N + bx*bdx + tx]
@@ -383,12 +443,11 @@ fn gemm_kernel(
         ],
     };
     let lens = vec![
-        m_dim * u64::from(k_dim),
+        m_dim * lda_val as u64,
         u64::from(k_dim) * n_dim,
         m_dim * n_dim,
     ];
-    let launch =
-        LaunchInfo::new(kernel, grid, block, lens).with_param("K", i64::from(k_dim));
+    let launch = LaunchInfo::new(kernel, grid, block, lens).with_param("lda", lda_val);
     // C accumulates in registers; one store on the last iteration.
     AffineKernel::new(launch, trips, 2).with_epilogue(2)
 }
@@ -402,6 +461,13 @@ pub fn sq_gemm(scale: Scale) -> Workload {
         "SQ-GEMM",
         WorkloadKind::RowCol,
         gemm_kernel("sq_gemm", (g, g), (16, 16), 32, 512),
+    )
+    .expect_rows("sq_gemm", &[&[2], &[5], &[1]])
+    .ack_tie(
+        "sq_gemm",
+        "A (M*K) and B (K*N) tie in bytes for square matrices; the \
+         first-listed structure (A) wins, so LASP picks the row-binding \
+         schedule the paper reports for sgemm (§IV-C)",
     )
 }
 
@@ -424,6 +490,7 @@ pub fn alexnet_fc2(scale: Scale) -> Workload {
         WorkloadKind::RowCol,
         fc_layer("alexnet_fc2", m, k, n),
     )
+    .expect_rows("alexnet_fc2", &[&[2], &[5], &[1]])
 }
 
 /// `VGGnet-FC-2` fully-connected layer (scaled).
@@ -437,6 +504,7 @@ pub fn vggnet_fc2(scale: Scale) -> Workload {
         WorkloadKind::RowCol,
         fc_layer("vggnet_fc2", m, k, n),
     )
+    .expect_rows("vggnet_fc2", &[&[2], &[5], &[1]])
 }
 
 /// `Resnet-50-FC` final classifier layer (scaled).
@@ -450,6 +518,7 @@ pub fn resnet_fc(scale: Scale) -> Workload {
         WorkloadKind::RowCol,
         fc_layer("resnet50_fc", m, k, n),
     )
+    .expect_rows("resnet50_fc", &[&[2], &[5], &[1]])
 }
 
 /// `LSTM-1` gate GEMM (scaled).
@@ -459,6 +528,7 @@ pub fn lstm1(scale: Scale) -> Workload {
         Scale::Bench => (32, 128, 4096),
     };
     single("LSTM-1", WorkloadKind::RowCol, fc_layer("lstm1", m, k, n))
+        .expect_rows("lstm1", &[&[2], &[5], &[1]])
 }
 
 /// `LSTM-2` gate GEMM (scaled, smaller).
@@ -468,6 +538,7 @@ pub fn lstm2(scale: Scale) -> Workload {
         Scale::Bench => (32, 64, 1024),
     };
     single("LSTM-2", WorkloadKind::RowCol, fc_layer("lstm2", m, k, n))
+        .expect_rows("lstm2", &[&[2], &[5], &[1]])
 }
 
 /// `TRA` (CUDA SDK transpose): rows of blocks walk matching rows of the
@@ -495,6 +566,7 @@ pub fn tra(scale: Scale) -> Workload {
         WorkloadKind::RowCol,
         AffineKernel::new(launch, trips, 1),
     )
+    .expect_rows("transpose", &[&[2], &[4]])
 }
 
 /// `Random-loc` (Young et al.): each thread streams a short run from a
@@ -528,6 +600,14 @@ pub fn random_loc(scale: Scale) -> Workload {
     let launch = LaunchInfo::new(kernel, (blocks, 1), (256, 1), vec![stream_elems, 16 << 20]);
     let k = AffineKernel::new(launch, trips, 1).with_data_per_iter(1);
     single("Random-loc", WorkloadKind::IntraThread, k)
+        .expect_rows("random_loc", &[&[6, 6], &[6]])
+        .allow_halo(
+            "random_loc",
+            0,
+            "the lagged re-read trails the stream by 8 elements, so the \
+             first threads' early iterations index below the base; the \
+             address generator clamps negative offsets",
+        )
 }
 
 /// `Kmeans-noTex` (Rodinia): per-point feature walks plus shared
@@ -558,6 +638,7 @@ pub fn kmeans(scale: Scale) -> Workload {
         WorkloadKind::IntraThread,
         AffineKernel::new(launch, 16, 2).with_epilogue(2),
     )
+    .expect_rows("kmeans", &[&[6], &[6], &[1]])
 }
 
 /// `B+tree` (Rodinia): random-node pointer chasing, one level per
@@ -573,6 +654,14 @@ pub fn btree(scale: Scale) -> Workload {
     let launch = LaunchInfo::new(kernel, (blocks, 1), (256, 1), vec![4 << 20]);
     let k = AffineKernel::new(launch, 8, 1).with_data_per_iter(0);
     single("B+tree", WorkloadKind::Unclassified, k)
+        .expect_rows("btree_find", &[&[7]])
+        .expect_unclassified(
+            "btree_find",
+            0,
+            0,
+            "pointer chase: each level's node index comes from the \
+             previous node's payload",
+        )
 }
 
 /// `LBM` (Parboil): lattice-Boltzmann with long, mixed-direction strides
@@ -598,11 +687,19 @@ pub fn lbm(scale: Scale) -> Workload {
         ],
     };
     let launch = LaunchInfo::new(kernel, (blocks, 1), (120, 1), vec![32 << 20, 32 << 20]);
+    let cell_base = "lattice accesses ride on a data-dependent cell base \
+                     (the 19-direction soa offset), which Algorithm 1 \
+                     cannot decompose";
     single(
         "LBM",
         WorkloadKind::Unclassified,
         AffineKernel::new(launch, 4, 2),
     )
+    .expect_rows("lbm", &[&[7, 7, 7], &[7]])
+    .expect_unclassified("lbm", 0, 0, cell_base)
+    .expect_unclassified("lbm", 0, 1, cell_base)
+    .expect_unclassified("lbm", 0, 2, cell_base)
+    .expect_unclassified("lbm", 1, 0, cell_base)
 }
 
 /// `StreamCluster` (Parboil): per-point feature walks against
@@ -629,6 +726,13 @@ pub fn streamcluster(scale: Scale) -> Workload {
     );
     let k = AffineKernel::new(launch, dim as u32, 2).with_data_per_iter(1);
     single("StreamCluster", WorkloadKind::Unclassified, k)
+        .expect_rows("streamcluster", &[&[6], &[7]])
+        .expect_unclassified(
+            "streamcluster",
+            1,
+            0,
+            "candidate cluster centers are sampled at random each pass",
+        )
 }
 
 #[cfg(test)]

@@ -208,7 +208,10 @@ impl KernelExec for AffineKernel {
     }
 
     fn set_page_bytes(&mut self, page_bytes: u64) {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         self.launch.page_bytes = page_bytes;
     }
 
@@ -231,8 +234,7 @@ impl KernelExec for AffineKernel {
                     continue;
                 }
                 let (tx, ty) = thread_xy(t, bdx);
-                let mut idx =
-                    base + access.c_tx * i64::from(tx) + access.c_ty * i64::from(ty);
+                let mut idx = base + access.c_tx * i64::from(tx) + access.c_ty * i64::from(ty);
                 if access.c_data != 0 {
                     let gtid = tb_lin * u64::from(threads) + u64::from(t);
                     let mut seed = gtid ^ (site as u64).wrapping_mul(0xA076_1D64_78BD_642F);

@@ -1,6 +1,7 @@
 //! The evaluation suite: the 27 scalable workloads of Table IV with their
 //! locality-group metadata.
 
+use crate::expect::{SiteExpectation, Waiver};
 use crate::spec::Scale;
 use crate::{irregular, regular};
 use ladm_sim::KernelExec;
@@ -38,6 +39,10 @@ pub struct Workload {
     pub kind: WorkloadKind,
     /// Kernels in execution order.
     pub kernels: Vec<Box<dyn KernelExec>>,
+    /// Expected Table II row of every access site (linter ground truth).
+    pub expectations: Vec<SiteExpectation>,
+    /// Documented acknowledgements suppressing specific lint warnings.
+    pub waivers: Vec<Waiver>,
 }
 
 impl Workload {
@@ -46,17 +51,103 @@ impl Workload {
     /// # Panics
     ///
     /// Panics if `kernels` is empty.
-    pub fn new(
-        name: &'static str,
-        kind: WorkloadKind,
-        kernels: Vec<Box<dyn KernelExec>>,
-    ) -> Self {
+    pub fn new(name: &'static str, kind: WorkloadKind, kernels: Vec<Box<dyn KernelExec>>) -> Self {
         assert!(!kernels.is_empty(), "a workload needs at least one kernel");
         Workload {
             name,
             kind,
             kernels,
+            expectations: Vec::new(),
+            waivers: Vec::new(),
         }
+    }
+
+    /// Declares the expected Table II row of every access site of
+    /// `kernel`: one inner slice per argument, one row per access site,
+    /// in declaration order.
+    pub fn expect_rows(mut self, kernel: &'static str, rows: &[&[u8]]) -> Self {
+        for (arg, sites) in rows.iter().enumerate() {
+            for (site, &row) in sites.iter().enumerate() {
+                assert!((1..=7).contains(&row), "Table II rows are 1-7");
+                self.expectations.push(SiteExpectation {
+                    kernel,
+                    arg,
+                    site,
+                    row,
+                    reason: None,
+                });
+            }
+        }
+        self
+    }
+
+    /// Documents why a site declared row 7 by [`expect_rows`]
+    /// (Self::expect_rows) is expected to be unclassifiable. The linter
+    /// requires a reason for every expected row-7 site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row-7 expectation exists for the site.
+    pub fn expect_unclassified(
+        mut self,
+        kernel: &'static str,
+        arg: usize,
+        site: usize,
+        reason: &'static str,
+    ) -> Self {
+        let e = self
+            .expectations
+            .iter_mut()
+            .find(|e| e.kernel == kernel && e.arg == arg && e.site == site)
+            .unwrap_or_else(|| panic!("no expectation for {kernel} arg {arg} site {site}"));
+        assert_eq!(e.row, 7, "expect_unclassified needs a row-7 expectation");
+        e.reason = Some(reason);
+        self
+    }
+
+    /// Acknowledges that `kernel`'s argument `arg` intentionally indexes
+    /// past its allocation edge (stencil halo, lagged re-read).
+    pub fn allow_halo(mut self, kernel: &'static str, arg: usize, reason: &'static str) -> Self {
+        self.waivers.push(Waiver::Halo {
+            kernel,
+            arg,
+            reason,
+        });
+        self
+    }
+
+    /// Acknowledges `kernel`'s equal-size scheduler-preference tie and
+    /// documents why the order-dependent tie-break is acceptable.
+    pub fn ack_tie(mut self, kernel: &'static str, reason: &'static str) -> Self {
+        self.waivers.push(Waiver::TieBreak { kernel, reason });
+        self
+    }
+
+    /// Looks up the declared expectation for one access site.
+    pub fn expectation(&self, kernel: &str, arg: usize, site: usize) -> Option<&SiteExpectation> {
+        self.expectations
+            .iter()
+            .find(|e| e.kernel == kernel && e.arg == arg && e.site == site)
+    }
+
+    /// The halo waiver for `(kernel, arg)`, if any.
+    pub fn halo_waiver(&self, kernel: &str, arg: usize) -> Option<&'static str> {
+        self.waivers.iter().find_map(|w| match w {
+            Waiver::Halo {
+                kernel: k,
+                arg: a,
+                reason,
+            } if *k == kernel && *a == arg => Some(*reason),
+            _ => None,
+        })
+    }
+
+    /// The tie-break waiver for `kernel`, if any.
+    pub fn tie_waiver(&self, kernel: &str) -> Option<&'static str> {
+        self.waivers.iter().find_map(|w| match w {
+            Waiver::TieBreak { kernel: k, reason } if *k == kernel => Some(*reason),
+            _ => None,
+        })
     }
 
     /// Total input footprint in bytes (sum of the first kernel's

@@ -2,59 +2,52 @@
 //! the analysis↔execution consistency guarantee.
 
 use ladm_core::analysis::{classify, datablock_span_elems};
+use ladm_core::rng::SplitMix64;
 use ladm_sim::{KernelExec, ThreadAccess};
 use ladm_workloads::{suite, Scale};
-use proptest::prelude::*;
 
-fn collect(
-    kernel: &dyn KernelExec,
-    tb: (u32, u32),
-    warp: u32,
-    iter: u32,
-) -> Vec<ThreadAccess> {
+fn collect(kernel: &dyn KernelExec, tb: (u32, u32), warp: u32, iter: u32) -> Vec<ThreadAccess> {
     let mut out = Vec::new();
     kernel.warp_accesses(tb, warp, iter, &mut out);
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every kernel of every workload is deterministic: the same
-    /// `(tb, warp, iter)` always generates the same accesses.
-    #[test]
-    fn warp_accesses_deterministic(
-        workload_idx in 0usize..27,
-        tb_frac in 0.0f64..1.0,
-        warp in 0u32..4,
-        iter_frac in 0.0f64..1.0,
-    ) {
-        let all = suite(Scale::Test);
-        let w = &all[workload_idx];
+/// Every kernel of every workload is deterministic: the same
+/// `(tb, warp, iter)` always generates the same accesses.
+#[test]
+fn warp_accesses_deterministic() {
+    let all = suite(Scale::Test);
+    let mut r = SplitMix64::new(0xde7e9);
+    for _ in 0..16 {
+        let w = &all[r.below(all.len() as u64) as usize];
+        let tb_frac = r.next_f64();
+        let iter_frac = r.next_f64();
+        let warp_pick = r.range_u32(0, 3);
         for kernel in &w.kernels {
             let launch = kernel.launch();
             let (gdx, gdy) = launch.grid;
             let bx = ((f64::from(gdx) * tb_frac) as u32).min(gdx - 1);
             let by = ((f64::from(gdy) * tb_frac) as u32).min(gdy - 1);
-            let iter = ((kernel.trips() as f64 * iter_frac) as u32)
-                .min(kernel.trips().saturating_sub(1));
+            let iter =
+                ((kernel.trips() as f64 * iter_frac) as u32).min(kernel.trips().saturating_sub(1));
             let warps = launch.threads_per_tb().div_ceil(32) as u32;
-            let warp = warp.min(warps - 1);
+            let warp = warp_pick.min(warps - 1);
             let a = collect(&**kernel, (bx, by), warp, iter);
             let b = collect(&**kernel, (bx, by), warp, iter);
-            prop_assert_eq!(a, b, "{} must be deterministic", w.name);
+            assert_eq!(a, b, "{} must be deterministic", w.name);
         }
     }
+}
 
-    /// Every generated access targets a declared argument, and writes
-    /// only target arguments declared as written.
-    #[test]
-    fn accesses_respect_signatures(
-        workload_idx in 0usize..27,
-        tb_frac in 0.0f64..1.0,
-    ) {
-        let all = suite(Scale::Test);
-        let w = &all[workload_idx];
+/// Every generated access targets a declared argument, and writes only
+/// target arguments declared as written.
+#[test]
+fn accesses_respect_signatures() {
+    let all = suite(Scale::Test);
+    let mut r = SplitMix64::new(0x519);
+    for _ in 0..16 {
+        let w = &all[r.below(all.len() as u64) as usize];
+        let tb_frac = r.next_f64();
         for kernel in &w.kernels {
             let launch = kernel.launch();
             let (gdx, gdy) = launch.grid;
@@ -64,11 +57,17 @@ proptest! {
                 for warp in 0..launch.threads_per_tb().div_ceil(32) as u32 {
                     for a in collect(&**kernel, (bx, by), warp, iter) {
                         let arg = usize::from(a.arg);
-                        prop_assert!(arg < launch.kernel.args.len(),
-                            "{}: access to undeclared arg {arg}", w.name);
+                        assert!(
+                            arg < launch.kernel.args.len(),
+                            "{}: access to undeclared arg {arg}",
+                            w.name
+                        );
                         if a.write {
-                            prop_assert!(launch.kernel.args[arg].is_written,
-                                "{}: write to read-only arg {arg}", w.name);
+                            assert!(
+                                launch.kernel.args[arg].is_written,
+                                "{}: write to read-only arg {arg}",
+                                w.name
+                            );
                         }
                     }
                 }

@@ -21,7 +21,10 @@ fn main() {
     // pitch is page-expressible over 4 nodes — column-binding wins.
     let fc = ladm_workloads::by_name("Alexnet-FC-2", Scale::Test).expect("suite workload");
     let plan = Lasp::ladm().plan(fc.kernels[0].launch(), &Topology::dgx1());
-    println!("Alexnet-FC-2 (B >> A):   schedule = {} (DGX-1)\n", plan.schedule);
+    println!(
+        "Alexnet-FC-2 (B >> A):   schedule = {} (DGX-1)\n",
+        plan.schedule
+    );
 
     // Reproduce the DGX-1 validation: DL GEMMs under LASP vs CODA vs
     // kernel-wide on a 4-GPU NVLink box.

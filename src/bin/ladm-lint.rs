@@ -1,0 +1,142 @@
+//! `ladm-lint` — the locality linter CLI.
+//!
+//! Runs the four-pass locality analysis over the Table IV workload suite
+//! (or a named subset) and prints rustc-style diagnostics.
+//!
+//! ```text
+//! ladm-lint [OPTIONS] [WORKLOAD...]
+//!
+//! OPTIONS:
+//!     --json            emit one JSON object per workload report
+//!     --deny warnings   exit non-zero on warnings as well as errors
+//!     --bench           lint at Bench scale instead of Test scale
+//!     --table           print the per-site Table II classification
+//!                       (the golden-fixture format) and exit
+//!     --quiet           suppress clean reports, print findings only
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when errors (or warnings under
+//! `--deny warnings`) were found, 2 on usage errors.
+
+use ladm_analyzer::{classification_report, lint_workload, Report, Severity};
+use ladm_workloads::{by_name, suite, Scale, Workload};
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    scale: Scale,
+    table: bool,
+    quiet: bool,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        scale: Scale::Test,
+        table: false,
+        quiet: false,
+        names: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => opts.deny_warnings = true,
+                other => {
+                    return Err(format!(
+                        "--deny expects `warnings`, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--bench" => opts.scale = Scale::Bench,
+            "--table" => opts.table = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                return Err(String::new()); // usage without the error prefix
+            }
+            name if !name.starts_with('-') => opts.names.push(name.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ladm-lint [--json] [--deny warnings] [--bench] [--table] \
+         [--quiet] [WORKLOAD...]"
+    );
+}
+
+fn selected_workloads(opts: &Options) -> Result<Vec<Workload>, String> {
+    if opts.names.is_empty() {
+        return Ok(suite(opts.scale));
+    }
+    opts.names
+        .iter()
+        .map(|name| by_name(name, opts.scale).ok_or_else(|| format!("unknown workload `{name}`")))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                usage();
+                return ExitCode::SUCCESS; // --help
+            }
+            eprintln!("error: {msg}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.table {
+        print!("{}", classification_report(opts.scale));
+        return ExitCode::SUCCESS;
+    }
+
+    let workloads = match selected_workloads(&opts) {
+        Ok(w) => w,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let reports: Vec<Report> = workloads.iter().map(lint_workload).collect();
+    let mut failed = false;
+    for report in &reports {
+        let bad = report.has_errors()
+            || (opts.deny_warnings && report.worst() >= Some(Severity::Warning));
+        failed |= bad;
+        if opts.json {
+            println!("{}", report.render_json());
+        } else if !opts.quiet || bad {
+            print!("{}", report.render_text());
+        }
+    }
+    if !opts.json {
+        let errors: usize = reports.iter().map(|r| r.count(Severity::Error)).sum();
+        let warnings: usize = reports.iter().map(|r| r.count(Severity::Warning)).sum();
+        let sites: usize = reports.iter().map(|r| r.sites_checked).sum();
+        let samples: usize = reports.iter().map(|r| r.samples_checked).sum();
+        println!(
+            "ladm-lint: {} workload(s), {sites} site(s), {samples} sample(s): \
+             {errors} error(s), {warnings} warning(s)",
+            reports.len()
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -7,13 +7,15 @@
 //! * [`core`] (`ladm-core`) — index analysis, LASP placement/scheduling,
 //!   CRB cache policy and the baseline policies,
 //! * [`sim`] (`ladm-sim`) — the hierarchical NUMA multi-GPU simulator,
-//! * [`workloads`] (`ladm-workloads`) — the 27-benchmark evaluation suite.
+//! * [`workloads`] (`ladm-workloads`) — the 27-benchmark evaluation suite,
+//! * [`analyzer`] (`ladm-analyzer`) — the locality linter (`ladm-lint`).
 //!
 //! See the repository `examples/` directory for runnable end-to-end
 //! scenarios, starting with `quickstart.rs`.
 
 #![warn(missing_docs)]
 
+pub use ladm_analyzer as analyzer;
 pub use ladm_core as core;
 pub use ladm_sim as sim;
 pub use ladm_workloads as workloads;

@@ -45,7 +45,10 @@ fn full_suite_runs_under_ladm_with_invariants() {
         let stats = run(&cfg, &w, &Lasp::ladm());
         assert_eq!(
             stats.threadblocks,
-            w.kernels.iter().map(|k| k.launch().total_tbs()).sum::<u64>(),
+            w.kernels
+                .iter()
+                .map(|k| k.launch().total_tbs())
+                .sum::<u64>(),
             "{}: every threadblock must execute",
             w.name
         );
@@ -216,7 +219,11 @@ fn multi_kernel_workloads_accumulate_and_flush() {
             ],
         };
         let n = 512 * 128u64;
-        AffineKernel::new(LaunchInfo::new(kernel, (512, 1), (128, 1), vec![n, n]), 1, 1)
+        AffineKernel::new(
+            LaunchInfo::new(kernel, (512, 1), (128, 1), vec![n, n]),
+            1,
+            1,
+        )
     };
     let w = Workload::new(
         "two-pass",
@@ -226,7 +233,11 @@ fn multi_kernel_workloads_accumulate_and_flush() {
     let cfg = SimConfig::paper_multi_gpu();
     let two = run(&cfg, &w, &Lasp::ladm());
     let single = {
-        let w1 = Workload::new("one-pass", WorkloadKind::NoLocality, vec![Box::new(make("p"))]);
+        let w1 = Workload::new(
+            "one-pass",
+            WorkloadKind::NoLocality,
+            vec![Box::new(make("p"))],
+        );
         run(&cfg, &w1, &Lasp::ladm())
     };
     assert_eq!(two.threadblocks, 2 * single.threadblocks);

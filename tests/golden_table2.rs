@@ -1,0 +1,79 @@
+//! Golden-file test for the Table II classification of the whole suite.
+//!
+//! `tests/fixtures/table2_rows.txt` holds one line per access site of
+//! every Table IV workload with its derived Table II row. Any change to
+//! the classifier or to a workload spec that moves a site to a different
+//! row shows up as a diff here. Regenerate deliberately with:
+//!
+//! ```text
+//! cargo run --bin ladm-lint -- --table > tests/fixtures/table2_rows.txt
+//! ```
+
+use ladm::analyzer::classification_report;
+use ladm::workloads::{suite, Scale};
+
+const GOLDEN: &str = include_str!("fixtures/table2_rows.txt");
+
+/// The derived classification of every access site matches the checked-in
+/// fixture line for line.
+#[test]
+fn classification_matches_golden_fixture() {
+    let actual = classification_report(Scale::Test);
+    if actual != GOLDEN {
+        let mismatches: Vec<String> = actual
+            .lines()
+            .zip(GOLDEN.lines())
+            .filter(|(a, g)| a != g)
+            .map(|(a, g)| format!("  fixture: {g}\n  derived: {a}"))
+            .collect();
+        panic!(
+            "Table II classification diverged from tests/fixtures/table2_rows.txt \
+             ({} line(s) differ, {} vs {} lines total).\n{}\n\
+             Regenerate with `cargo run --bin ladm-lint -- --table` if intended.",
+            mismatches
+                .len()
+                .max(actual.lines().count().abs_diff(GOLDEN.lines().count())),
+            actual.lines().count(),
+            GOLDEN.lines().count(),
+            mismatches.join("\n")
+        );
+    }
+}
+
+/// The fixture covers every access site of every workload — nothing in
+/// the suite escapes the golden check.
+#[test]
+fn fixture_covers_every_access_site() {
+    let sites: usize = suite(Scale::Test)
+        .iter()
+        .flat_map(|w| w.kernels.iter())
+        .flat_map(|k| k.launch().kernel.args.iter())
+        .map(|a| a.accesses.len())
+        .sum();
+    assert_eq!(
+        GOLDEN.lines().count(),
+        sites,
+        "fixture must have exactly one line per access site"
+    );
+    for w in suite(Scale::Test) {
+        assert!(
+            GOLDEN.lines().any(|l| l.starts_with(w.name)),
+            "workload {} missing from fixture",
+            w.name
+        );
+    }
+}
+
+/// Sanity: the suite exercises both ends of Table II — no-locality
+/// (row 1) and unclassified (row 7) rows both appear.
+#[test]
+fn fixture_spans_table_rows() {
+    assert!(GOLDEN.contains("row 1"), "row 1 (NL) must appear");
+    assert!(GOLDEN.contains("row 6"), "row 6 (ITL) must appear");
+    assert!(GOLDEN.contains("row 7"), "row 7 (Unclassified) must appear");
+    // At least one Shared row (2-5) from the dense-linear-algebra kernels.
+    assert!(
+        (2..=5).any(|r| GOLDEN.contains(&format!("row {r}"))),
+        "a Shared row (2-5) must appear"
+    );
+}

@@ -108,8 +108,7 @@ fn schedules_use_all_nodes_for_large_grids() {
             let mut used = vec![false; topo.num_nodes() as usize];
             for by in 0..gdy {
                 for bx in 0..gdx {
-                    used[plan.schedule.node_of_tb(bx, by, launch.grid, &topo).0 as usize] =
-                        true;
+                    used[plan.schedule.node_of_tb(bx, by, launch.grid, &topo).0 as usize] = true;
                 }
             }
             // Row/column-granularity schedules may leave nodes idle when
@@ -165,7 +164,10 @@ fn locality_table_roundtrip_for_suite() {
             .collect();
         table.compile_kernel(&launch.kernel, &pcs);
         for (i, &pc) in pcs.iter().enumerate() {
-            assert_eq!(table.bind_allocation(pc, 0x1000 * pc.0, launch.arg_pages(i)), 1);
+            assert_eq!(
+                table.bind_allocation(pc, 0x1000 * pc.0, launch.arg_pages(i)),
+                1
+            );
         }
     }
     assert!(table.len() > 27 * 2);
