@@ -1,0 +1,145 @@
+//! `ladm-trace` — traces one Table IV workload end to end and exports
+//! the observability artifacts.
+//!
+//! ```text
+//! ladm-trace [--bench] [--policy NAME] [--out FILE] [--heatmap FILE] <workload>
+//! ladm-trace --validate FILE
+//! ladm-trace --list
+//! ```
+//!
+//! The default run writes a Chrome trace-event JSON file
+//! (`trace-<workload>.json`, open it at `chrome://tracing` or in
+//! Perfetto), prints the requester→home traffic matrix, and prints the
+//! folded counters in Prometheus text exposition. `--validate` parses a
+//! previously emitted file with the built-in JSON parser and checks the
+//! trace-event invariants (used by the CI smoke job).
+
+use ladm_bench::trace::{policy_by_name, trace_by_name};
+use ladm_obs::Json;
+use ladm_sim::SimConfig;
+use ladm_workloads::{suite, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Test;
+    let mut policy_name = "ladm".to_string();
+    let mut out: Option<String> = None;
+    let mut heatmap_out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut workloads: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => scale = Scale::Bench,
+            "--test" => scale = Scale::Test,
+            "--policy" => {
+                policy_name = it.next().unwrap_or_else(|| usage("--policy needs a name"));
+            }
+            "--out" => out = Some(it.next().unwrap_or_else(|| usage("--out needs a path"))),
+            "--heatmap" => {
+                heatmap_out = Some(it.next().unwrap_or_else(|| usage("--heatmap needs a path")));
+            }
+            "--validate" => {
+                validate = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--validate needs a path")),
+                );
+            }
+            "--list" => {
+                for w in suite(Scale::Test) {
+                    println!("{}", w.name);
+                }
+                return;
+            }
+            "-h" | "--help" => usage(""),
+            other => workloads.push(other.to_string()),
+        }
+    }
+
+    if let Some(path) = validate {
+        match validate_trace_file(&path) {
+            Ok(n) => println!("{path}: OK ({n} trace events)"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if workloads.len() != 1 {
+        usage("expected exactly one workload name (see --list)");
+    }
+    let name = &workloads[0];
+    let policy = policy_by_name(&policy_name)
+        .unwrap_or_else(|| usage(&format!("unknown policy '{policy_name}'")));
+    let cfg = SimConfig::paper_multi_gpu();
+    let run = trace_by_name(name, scale, &cfg, &*policy)
+        .unwrap_or_else(|| usage(&format!("unknown workload '{name}' (see --list)")));
+
+    let out_path = out.unwrap_or_else(|| format!("trace-{}.json", run.name.to_lowercase()));
+    std::fs::write(&out_path, run.chrome_json()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "{} under {}: {} events, {:.0} cycles, {} threadblocks",
+        run.name,
+        run.policy,
+        run.events.len(),
+        run.stats.cycles,
+        run.stats.threadblocks
+    );
+    println!("chrome trace written to {out_path}\n");
+
+    let matrix = run.traffic_matrix();
+    println!("{}", matrix.render_text());
+    if let Some(path) = heatmap_out {
+        std::fs::write(&path, matrix.to_json()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("heatmap JSON written to {path}");
+    }
+    println!();
+    print!("{}", run.counters().expose());
+}
+
+/// Parses `path` with the dependency-free JSON parser and checks the
+/// Chrome trace-event invariants: a `traceEvents` array whose entries
+/// all carry `name`, `ph` and `pid`, plus an `otherData` object.
+/// Returns the event count.
+fn validate_trace_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = Json::parse(&text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing 'traceEvents' array")?;
+    doc.get("otherData").ok_or("missing 'otherData' object")?;
+    for (i, ev) in events.iter().enumerate() {
+        for key in ["name", "ph", "pid"] {
+            if ev.get(key).is_none() {
+                return Err(format!("event {i} is missing '{key}'"));
+            }
+        }
+    }
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    Ok(events.len())
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: ladm-trace [--bench] [--policy NAME] [--out FILE] [--heatmap FILE] <workload>\n\
+         \u{20}      ladm-trace --validate FILE\n\
+         \u{20}      ladm-trace --list\n\
+         policies: baseline-rr batch-ft kernel-wide coda h-coda lasp-rtwice lasp-ronce ladm"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

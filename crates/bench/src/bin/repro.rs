@@ -3,11 +3,19 @@
 //! ```text
 //! repro [--bench] [--threads N] <experiment>
 //!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 lint dgx1 summary all
+//! repro --trace <workload>...
 //! ```
 //!
 //! By default runs at `Scale::Test` (small inputs, seconds); `--bench`
 //! uses the larger benchmark inputs (the numbers recorded in
 //! EXPERIMENTS.md).
+//!
+//! With `--trace`, the positional arguments are Table IV workload names
+//! instead of experiments: each is run once under LADM with the
+//! observability sink attached, a Chrome trace (`trace-<name>.json`) is
+//! written next to the working directory, and the NUMA traffic matrix
+//! plus the counter exposition are printed. See `ladm-trace` for policy
+//! selection and validation.
 
 use ladm_bench::experiments::{
     default_threads, dgx1, fig11, fig4, fig9_10, fmt_fig11, fmt_lint, fmt_table1, fmt_table4, lint,
@@ -23,12 +31,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Test;
     let mut threads = default_threads();
+    let mut trace = false;
     let mut what: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--bench" => scale = Scale::Bench,
             "--test" => scale = Scale::Test,
+            "--trace" => trace = true,
             "--threads" => {
                 threads = it
                     .next()
@@ -40,7 +50,15 @@ fn main() {
         }
     }
     if what.is_empty() {
-        usage("no experiment given");
+        usage(if trace {
+            "--trace needs at least one workload name"
+        } else {
+            "no experiment given"
+        });
+    }
+    if trace {
+        run_traces(scale, &what);
+        return;
     }
     let list: Vec<&str> = if what.iter().any(|w| w == "all") {
         vec![
@@ -90,9 +108,44 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--bench] [--threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|summary|all>"
+        "usage: repro [--bench] [--threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|summary|all>\n\
+         \u{20}      repro [--bench] --trace <workload>..."
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// `--trace` mode: runs each named workload once under LADM with the
+/// recording sink, writes `trace-<name>.json`, and prints the traffic
+/// matrix plus the counter exposition.
+fn run_traces(scale: Scale, names: &[String]) {
+    let cfg = SimConfig::paper_multi_gpu();
+    let policy = ladm_core::policies::Lasp::ladm();
+    for name in names {
+        let t0 = Instant::now();
+        let run =
+            ladm_bench::trace::trace_by_name(name, scale, &cfg, &policy).unwrap_or_else(|| {
+                usage(&format!(
+                    "unknown workload '{name}' (try ladm-trace --list)"
+                ))
+            });
+        let out = format!("trace-{}.json", run.name.to_lowercase());
+        if let Err(e) = std::fs::write(&out, run.chrome_json()) {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "{} under {}: {} events, {:.0} cycles, {} threadblocks",
+            run.name,
+            run.policy,
+            run.events.len(),
+            run.stats.cycles,
+            run.stats.threadblocks
+        );
+        println!("chrome trace written to {out}\n");
+        println!("{}\n", run.traffic_matrix().render_text());
+        print!("{}", run.counters().expose());
+        eprintln!("[trace {} done in {:.1?}]\n", run.name, t0.elapsed());
+    }
 }
 
 /// Table II: the classifier demonstrated on the canonical index

@@ -3,7 +3,7 @@
 //! `repro` binary, the integration tests and the Criterion benches all
 //! share one implementation.
 
-use crate::harness::{geomean, parallel_map, run_workload};
+use crate::harness::{geomean, parallel_map_labeled, run_workload};
 use ladm_core::policies::{BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Policy};
 use ladm_sim::{KernelStats, SimConfig};
 use ladm_workloads::{by_name, dl_gemms, suite, Scale, WorkloadKind};
@@ -66,19 +66,32 @@ pub fn fig4(scale: Scale, threads: usize) -> Fig4 {
 
     // Monolithic baseline per workload.
     let mono_cfg = SimConfig::monolithic();
-    let mono: Vec<f64> = parallel_map(names.len(), threads, |i| {
-        run_named(&mono_cfg, names[i], scale, &Lasp::ladm()).cycles
-    });
+    let mono: Vec<f64> = parallel_map_labeled(
+        names.len(),
+        threads,
+        |i| format!("{} (monolithic)", names[i]),
+        |i| run_named(&mono_cfg, names[i], scale, &Lasp::ladm()).cycles,
+    );
 
     let jobs = configs.len() * policy_indices.len() * names.len();
-    let cycles: Vec<f64> = parallel_map(jobs, threads, |j| {
+    let split = |j: usize| {
         let c = j / (policy_indices.len() * names.len());
         let rest = j % (policy_indices.len() * names.len());
-        let p = rest / names.len();
-        let w = rest % names.len();
-        let policy = policy_by_index(policy_indices[p]);
-        run_named(&configs[c].1, names[w], scale, &*policy).cycles
-    });
+        (c, rest / names.len(), rest % names.len())
+    };
+    let cycles: Vec<f64> = parallel_map_labeled(
+        jobs,
+        threads,
+        |j| {
+            let (c, p, w) = split(j);
+            format!("{} on {} (policy {})", names[w], configs[c].0, p)
+        },
+        |j| {
+            let (c, p, w) = split(j);
+            let policy = policy_by_index(policy_indices[p]);
+            run_named(&configs[c].1, names[w], scale, &*policy).cycles
+        },
+    );
 
     let mut norm_perf = Vec::new();
     for c in 0..configs.len() {
@@ -162,16 +175,25 @@ pub fn fig9_10(scale: Scale, threads: usize) -> Fig9 {
     let mono_cfg = SimConfig::monolithic();
 
     let jobs = names.len() * (policy_indices.len() + 1);
-    let stats: Vec<KernelStats> = parallel_map(jobs, threads, |j| {
-        let w = j / (policy_indices.len() + 1);
-        let p = j % (policy_indices.len() + 1);
-        if p == policy_indices.len() {
-            run_named(&mono_cfg, names[w].0, scale, &Lasp::ladm())
-        } else {
-            let policy = policy_by_index(policy_indices[p]);
-            run_named(&cfg, names[w].0, scale, &*policy)
-        }
-    });
+    let stats: Vec<KernelStats> = parallel_map_labeled(
+        jobs,
+        threads,
+        |j| {
+            let w = j / (policy_indices.len() + 1);
+            let p = j % (policy_indices.len() + 1);
+            format!("{} (policy slot {p})", names[w].0)
+        },
+        |j| {
+            let w = j / (policy_indices.len() + 1);
+            let p = j % (policy_indices.len() + 1);
+            if p == policy_indices.len() {
+                run_named(&mono_cfg, names[w].0, scale, &Lasp::ladm())
+            } else {
+                let policy = policy_by_index(policy_indices[p]);
+                run_named(&cfg, names[w].0, scale, &*policy)
+            }
+        },
+    );
 
     let rows = names
         .iter()
@@ -350,6 +372,9 @@ pub struct Fig11Case {
     pub traffic_share: [f64; 3],
     /// Hit rate per class `[LL, LR, RL]`.
     pub hit_rate: [f64; 3],
+    /// Lookup count per class `[LL, LR, RL]` — 0 means the hit rate is
+    /// meaningless and is rendered `n/a`.
+    pub accesses: [u64; 3],
     /// Aggregate L2 hit rate.
     pub total_hit_rate: f64,
 }
@@ -364,34 +389,44 @@ pub fn fig11(scale: Scale, threads: usize) -> Vec<Fig11Case> {
         ("SQ-GEMM", "RTWICE", CacheMode::Rtwice),
         ("SQ-GEMM", "RONCE", CacheMode::Ronce),
     ];
-    parallel_map(jobs.len(), threads, |i| {
-        let (workload, policy, mode) = jobs[i];
-        let stats = run_named(&cfg, workload, scale, &Lasp::new(mode));
-        let classes = [
-            stats.l2_local_local,
-            stats.l2_local_remote,
-            stats.l2_remote_local,
-        ];
-        let total: u64 = classes.iter().map(|c| c.accesses).sum();
-        let share = |c: ladm_sim::ClassStats| {
-            if total == 0 {
-                0.0
-            } else {
-                c.accesses as f64 / total as f64
+    parallel_map_labeled(
+        jobs.len(),
+        threads,
+        |i| format!("{} ({})", jobs[i].0, jobs[i].1),
+        |i| {
+            let (workload, policy, mode) = jobs[i];
+            let stats = run_named(&cfg, workload, scale, &Lasp::new(mode));
+            let classes = [
+                stats.l2_local_local,
+                stats.l2_local_remote,
+                stats.l2_remote_local,
+            ];
+            let total: u64 = classes.iter().map(|c| c.accesses).sum();
+            let share = |c: ladm_sim::ClassStats| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c.accesses as f64 / total as f64
+                }
+            };
+            Fig11Case {
+                workload,
+                policy,
+                traffic_share: [share(classes[0]), share(classes[1]), share(classes[2])],
+                hit_rate: [
+                    classes[0].hit_rate(),
+                    classes[1].hit_rate(),
+                    classes[2].hit_rate(),
+                ],
+                accesses: [
+                    classes[0].accesses,
+                    classes[1].accesses,
+                    classes[2].accesses,
+                ],
+                total_hit_rate: stats.l2_hit_rate(),
             }
-        };
-        Fig11Case {
-            workload,
-            policy,
-            traffic_share: [share(classes[0]), share(classes[1]), share(classes[2])],
-            hit_rate: [
-                classes[0].hit_rate(),
-                classes[1].hit_rate(),
-                classes[2].hit_rate(),
-            ],
-            total_hit_rate: stats.l2_hit_rate(),
-        }
-    })
+        },
+    )
 }
 
 /// Formats the Figure 11 cases.
@@ -405,23 +440,35 @@ pub fn fmt_fig11(cases: &[Fig11Case]) -> String {
     .unwrap();
     writeln!(
         s,
-        "{:<12} {:<8} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>8}",
+        "{:<12} {:<8} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>8}   accesses",
         "workload", "policy", "LL%", "LR%", "RL%", "LLhit", "LRhit", "RLhit", "L2hit"
     )
     .unwrap();
+    // A never-accessed class renders `n/a`, not 0.00: both a dead class
+    // and a 0 %-hit class would otherwise print the same cell.
+    let hit = |rate: f64, accesses: u64| {
+        if accesses == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{rate:.2}")
+        }
+    };
     for c in cases {
         writeln!(
             s,
-            "{:<12} {:<8} {:>7.1}% {:>7.1}% {:>7.1}%   {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            "{:<12} {:<8} {:>7.1}% {:>7.1}% {:>7.1}%   {:>8} {:>8} {:>8} {:>8.2}   {}/{}/{}",
             c.workload,
             c.policy,
             c.traffic_share[0] * 100.0,
             c.traffic_share[1] * 100.0,
             c.traffic_share[2] * 100.0,
-            c.hit_rate[0],
-            c.hit_rate[1],
-            c.hit_rate[2],
+            hit(c.hit_rate[0], c.accesses[0]),
+            hit(c.hit_rate[1], c.accesses[1]),
+            hit(c.hit_rate[2], c.accesses[2]),
             c.total_hit_rate,
+            c.accesses[0],
+            c.accesses[1],
+            c.accesses[2],
         )
         .unwrap();
     }
@@ -463,12 +510,23 @@ pub fn table1(scale: Scale, threads: usize) -> (Vec<&'static str>, Vec<Tab1Row>)
         ("Intra-thread loc", "SpMV-jds"),
     ];
     let jobs = patterns.len() * policy_indices.len();
-    let offchip: Vec<f64> = parallel_map(jobs, threads, |j| {
-        let pat = j / policy_indices.len();
-        let pol = j % policy_indices.len();
-        let policy = policy_by_index(policy_indices[pol]);
-        run_named(&cfg, patterns[pat].1, scale, &*policy).offchip_fraction()
-    });
+    let offchip: Vec<f64> = parallel_map_labeled(
+        jobs,
+        threads,
+        |j| {
+            format!(
+                "{} (policy slot {})",
+                patterns[j / policy_indices.len()].1,
+                j % policy_indices.len()
+            )
+        },
+        |j| {
+            let pat = j / policy_indices.len();
+            let pol = j % policy_indices.len();
+            let policy = policy_by_index(policy_indices[pol]);
+            run_named(&cfg, patterns[pat].1, scale, &*policy).offchip_fraction()
+        },
+    );
     let rows = patterns
         .iter()
         .enumerate()
@@ -539,21 +597,26 @@ pub fn table4(scale: Scale, threads: usize) -> Vec<Tab4Row> {
     let cfg = SimConfig::paper_multi_gpu();
     let meta: Vec<(&'static str, WorkloadKind)> =
         suite(scale).iter().map(|w| (w.name, w.kind)).collect();
-    parallel_map(meta.len(), threads, |i| {
-        let (name, kind) = meta[i];
-        let w = by_name(name, scale).expect("suite workload");
-        let plan = Lasp::ladm().plan(w.kernels[0].launch(), &cfg.topology);
-        let stats = run_workload(&cfg, &w, &Lasp::ladm());
-        Tab4Row {
-            name,
-            kind,
-            scheduler: plan.schedule.to_string(),
-            tb_dim: w.tb_dim(),
-            input_mib: w.input_bytes() as f64 / (1024.0 * 1024.0),
-            launched_tbs: w.launched_tbs(),
-            l2_mpki: stats.l2_mpki(),
-        }
-    })
+    parallel_map_labeled(
+        meta.len(),
+        threads,
+        |i| meta[i].0.to_string(),
+        |i| {
+            let (name, kind) = meta[i];
+            let w = by_name(name, scale).expect("suite workload");
+            let plan = Lasp::ladm().plan(w.kernels[0].launch(), &cfg.topology);
+            let stats = run_workload(&cfg, &w, &Lasp::ladm());
+            Tab4Row {
+                name,
+                kind,
+                scheduler: plan.schedule.to_string(),
+                tb_dim: w.tb_dim(),
+                input_mib: w.input_bytes() as f64 / (1024.0 * 1024.0),
+                launched_tbs: w.launched_tbs(),
+                l2_mpki: stats.l2_mpki(),
+            }
+        },
+    )
 }
 
 /// Formats Table IV.
@@ -627,12 +690,17 @@ impl Dgx1 {
 pub fn dgx1(scale: Scale, threads: usize) -> Dgx1 {
     let cfg = SimConfig::dgx1();
     let names: Vec<&'static str> = dl_gemms(scale).iter().map(|w| w.name).collect();
-    let rows = parallel_map(names.len(), threads, |i| {
-        let lasp = run_named(&cfg, names[i], scale, &Lasp::ladm()).cycles;
-        let coda = run_named(&cfg, names[i], scale, &Coda::flat()).cycles;
-        let kw = run_named(&cfg, names[i], scale, &KernelWide::new()).cycles;
-        (names[i], lasp, coda, kw)
-    });
+    let rows = parallel_map_labeled(
+        names.len(),
+        threads,
+        |i| names[i].to_string(),
+        |i| {
+            let lasp = run_named(&cfg, names[i], scale, &Lasp::ladm()).cycles;
+            let coda = run_named(&cfg, names[i], scale, &Coda::flat()).cycles;
+            let kw = run_named(&cfg, names[i], scale, &KernelWide::new()).cycles;
+            (names[i], lasp, coda, kw)
+        },
+    );
     Dgx1 { rows }
 }
 
@@ -690,18 +758,23 @@ pub struct LintRow {
 pub fn lint(scale: Scale, threads: usize) -> Vec<LintRow> {
     use ladm_analyzer::Severity;
     let names: Vec<&'static str> = suite(scale).iter().map(|w| w.name).collect();
-    parallel_map(names.len(), threads, |i| {
-        let w = by_name(names[i], scale).expect("suite workload");
-        let report = ladm_analyzer::lint_workload(&w);
-        LintRow {
-            name: names[i],
-            errors: report.count(Severity::Error),
-            warnings: report.count(Severity::Warning),
-            notes: report.count(Severity::Note),
-            sites: report.sites_checked,
-            samples: report.samples_checked,
-        }
-    })
+    parallel_map_labeled(
+        names.len(),
+        threads,
+        |i| names[i].to_string(),
+        |i| {
+            let w = by_name(names[i], scale).expect("suite workload");
+            let report = ladm_analyzer::lint_workload(&w);
+            LintRow {
+                name: names[i],
+                errors: report.count(Severity::Error),
+                warnings: report.count(Severity::Warning),
+                notes: report.count(Severity::Note),
+                sites: report.sites_checked,
+                samples: report.samples_checked,
+            }
+        },
+    )
 }
 
 /// Formats the lint summary table.
@@ -786,6 +859,24 @@ mod tests {
         let s = fmt_fig11(&cases);
         assert!(s.contains("Random-loc"));
         assert!(s.contains("SQ-GEMM"));
+    }
+
+    #[test]
+    fn fig11_renders_na_for_dead_classes() {
+        let case = Fig11Case {
+            workload: "Synthetic",
+            policy: "RONCE",
+            traffic_share: [1.0, 0.0, 0.0],
+            hit_rate: [0.0, 0.0, 0.0],
+            accesses: [64, 0, 0],
+            total_hit_rate: 0.0,
+        };
+        let s = fmt_fig11(&[case]);
+        // LL was accessed and missed everything: 0.00. LR/RL were never
+        // accessed: n/a, with the counts spelled out.
+        assert!(s.contains("0.00"), "{s}");
+        assert!(s.contains("n/a"), "{s}");
+        assert!(s.contains("64/0/0"), "{s}");
     }
 
     #[test]

@@ -10,5 +10,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod trace;
 
 pub use harness::{bench_function, geomean, parallel_map, run_workload};
+pub use trace::{policy_by_name, trace_by_name, trace_workload, TracedRun};

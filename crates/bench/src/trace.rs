@@ -1,0 +1,145 @@
+//! Traced workload execution: runs a Table IV workload with a recording
+//! sink attached and packages the exporters (`repro --trace` and the
+//! `ladm-trace` binary sit on top of this).
+
+use ladm_core::policies::{BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Policy};
+use ladm_obs::{
+    chrome_trace, registry_from_events, CounterRegistry, Event, RecordingSink, TrafficMatrix,
+};
+use ladm_sim::{GpuSystem, KernelStats, SimConfig};
+use ladm_workloads::{by_name, Scale, Workload};
+use std::sync::Arc;
+
+/// Everything produced by one traced workload run.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// Workload name (Table IV spelling).
+    pub name: String,
+    /// Policy name the run executed under.
+    pub policy: String,
+    /// NUMA node count of the simulated machine.
+    pub nodes: usize,
+    /// Accumulated statistics — identical to an untraced run.
+    pub stats: KernelStats,
+    /// The recorded event stream, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl TracedRun {
+    /// The Chrome trace-event JSON document for this run.
+    pub fn chrome_json(&self) -> String {
+        chrome_trace(&self.events)
+    }
+
+    /// The requester→home traffic matrix for this run.
+    pub fn traffic_matrix(&self) -> TrafficMatrix {
+        TrafficMatrix::from_events(self.nodes, &self.events)
+    }
+
+    /// The standard counter set folded from this run's events.
+    pub fn counters(&self) -> CounterRegistry {
+        registry_from_events(&self.events)
+    }
+}
+
+/// Runs every kernel of `workload` back to back on a fresh machine with
+/// a recording sink attached, and returns the stats plus the recorded
+/// event stream.
+pub fn trace_workload(cfg: &SimConfig, workload: &Workload, policy: &dyn Policy) -> TracedRun {
+    let sink = Arc::new(RecordingSink::new());
+    let mut sys = GpuSystem::new(cfg.clone());
+    sys.set_sink(sink.clone());
+    let mut total = KernelStats::default();
+    for kernel in &workload.kernels {
+        let stats = sys.run(&**kernel, policy);
+        total.accumulate(&stats);
+    }
+    TracedRun {
+        name: workload.name.to_string(),
+        policy: policy.name().to_string(),
+        nodes: cfg.topology.num_nodes() as usize,
+        stats: total,
+        events: sink.take_events(),
+    }
+}
+
+/// Looks a workload up by name (case-insensitive, Table IV spelling)
+/// and traces it under `policy`. Returns `None` for an unknown name.
+pub fn trace_by_name(
+    name: &str,
+    scale: Scale,
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+) -> Option<TracedRun> {
+    by_name(name, scale).map(|w| trace_workload(cfg, &w, policy))
+}
+
+/// Resolves a policy by its CLI spelling (case-insensitive):
+/// `baseline-rr`, `batch-ft`, `kernel-wide`, `coda`, `h-coda`,
+/// `lasp-rtwice`, `lasp-ronce`, `ladm`.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn Policy>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "baseline-rr" | "baseline" => Box::new(BaselineRr::new()) as Box<dyn Policy>,
+        "batch-ft" | "batch+ft" => Box::new(BatchFt::new()),
+        "kernel-wide" => Box::new(KernelWide::new()),
+        "coda" => Box::new(Coda::flat()),
+        "h-coda" => Box::new(Coda::hierarchical()),
+        "lasp-rtwice" | "lasp+rtwice" => Box::new(Lasp::new(CacheMode::Rtwice)),
+        "lasp-ronce" | "lasp+ronce" => Box::new(Lasp::new(CacheMode::Ronce)),
+        "ladm" => Box::new(Lasp::ladm()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladm_obs::Json;
+
+    #[test]
+    fn traced_vecadd_produces_full_pipeline_events() {
+        let cfg = SimConfig::paper_multi_gpu();
+        let run = trace_by_name("vecadd", Scale::Test, &cfg, &Lasp::ladm())
+            .expect("vecadd exists (case-insensitive)");
+        assert_eq!(run.name, "VecAdd");
+        assert_eq!(run.policy, "LADM");
+        assert_eq!(run.nodes, 16);
+        assert!(run.stats.cycles > 0.0);
+        assert!(!run.events.is_empty());
+
+        let doc = Json::parse(&run.chrome_json()).expect("valid JSON");
+        assert!(doc.get("traceEvents").is_some());
+
+        let m = run.traffic_matrix();
+        assert!(m.total() > 0, "sectors must have been attributed");
+
+        let counters = run.counters();
+        assert!(counters.expose().contains("ladm_sectors_total"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_stats() {
+        let cfg = SimConfig::paper_multi_gpu();
+        let w = by_name("VecAdd", Scale::Test).unwrap();
+        let untraced = crate::harness::run_workload(&cfg, &w, &Lasp::ladm());
+        let traced = trace_workload(&cfg, &w, &Lasp::ladm());
+        assert_eq!(format!("{:?}", traced.stats), format!("{untraced:?}"));
+    }
+
+    #[test]
+    fn policy_names_resolve() {
+        for name in [
+            "baseline-rr",
+            "batch-ft",
+            "kernel-wide",
+            "coda",
+            "h-coda",
+            "lasp-rtwice",
+            "lasp-ronce",
+            "LADM",
+        ] {
+            assert!(policy_by_name(name).is_some(), "{name}");
+        }
+        assert!(policy_by_name("nope").is_none());
+    }
+}

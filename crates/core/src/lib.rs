@@ -61,7 +61,9 @@ pub mod topology;
 pub use analysis::{AccessClass, ClassifyTrace, GridShape, Motion, Sharing};
 pub use launch::{ArgStatic, KernelStatic, LaunchInfo};
 pub use plan::{ArgPlan, KernelPlan, PageMap, RemoteInsert, RrOrder, TbMap};
-pub use policies::{BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Manual, Policy};
+pub use policies::{
+    ArgDecision, BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Manual, Policy,
+};
 pub use runtime::{LadmRuntime, LaunchError};
 pub use table::{LocalityTable, MallocPc};
 pub use topology::{GpuId, NodeId, Topology};

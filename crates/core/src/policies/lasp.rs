@@ -14,7 +14,7 @@
 //! 4. selects the per-argument remote-insertion policy (RONCE only for
 //!    intra-thread-locality data under [`CacheMode::Crb`]).
 
-use super::{eq1_interleave_gran_pages, Policy};
+use super::{eq1_interleave_gran_pages, ArgDecision, Policy};
 use crate::analysis::{
     classify, coeff_poly, datablock_span_elems, row_pitch_elems, stride_elems, AccessClass, Motion,
     Sharing,
@@ -99,16 +99,101 @@ impl Policy for Lasp {
     fn plan(&self, launch: &LaunchInfo, topo: &Topology) -> KernelPlan {
         let env = launch.env();
         let views = classify_args(launch);
-        let schedule = select_schedule(launch, topo, &views, &env);
+        self.build_plan(launch, topo, &views, &env)
+    }
+
+    fn plan_explained(
+        &self,
+        launch: &LaunchInfo,
+        topo: &Topology,
+    ) -> (KernelPlan, Vec<ArgDecision>) {
+        let env = launch.env();
+        let views = classify_args(launch);
+        let winner = winner_index(&views);
+        let decisions = views
+            .iter()
+            .enumerate()
+            .map(|(i, view)| ArgDecision {
+                arg: i,
+                name: launch.kernel.args[i].name,
+                class: view.class.to_string(),
+                preference: preference_of(&view.class),
+                bytes: view.bytes,
+                winner: winner == Some(i),
+            })
+            .collect();
+        (self.build_plan(launch, topo, &views, &env), decisions)
+    }
+}
+
+impl Lasp {
+    /// Shared tail of [`Policy::plan`] / [`Policy::plan_explained`]:
+    /// schedule selection plus per-argument placement.
+    fn build_plan(
+        &self,
+        launch: &LaunchInfo,
+        topo: &Topology,
+        views: &[ArgView<'_>],
+        env: &Env,
+    ) -> KernelPlan {
+        let schedule = select_schedule(launch, topo, views, env);
         let args = views
             .iter()
             .map(|view| ArgPlan {
-                pages: place_arg(launch, topo, view, &schedule, &env),
+                pages: place_arg(launch, topo, view, &schedule, env),
                 remote_insert: self.remote_insert_for(&view.class),
             })
             .collect();
         KernelPlan { args, schedule }
     }
+}
+
+/// The scheduler each locality class votes for in the tie-break.
+fn preference_of(class: &AccessClass) -> &'static str {
+    match class {
+        AccessClass::Shared {
+            sharing: Sharing::GridRow,
+            ..
+        } => "row-binding",
+        AccessClass::Shared {
+            sharing: Sharing::GridCol,
+            ..
+        } => "col-binding",
+        AccessClass::NoLocality { .. } => "rr-batch",
+        AccessClass::IntraThread | AccessClass::Unclassified => "kernel-wide",
+    }
+}
+
+/// Index of the argument whose vote decided the schedule, mirroring
+/// [`select_schedule`]: the largest shared structure if any, else the
+/// dominant structure when it has no locality (the Spread fallback has
+/// no winner).
+fn winner_index(views: &[ArgView<'_>]) -> Option<usize> {
+    let shared = first_max_index(
+        views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.class.is_shared()),
+    );
+    if shared.is_some() {
+        return shared;
+    }
+    first_max_index(views.iter().enumerate())
+        .filter(|&i| matches!(views[i].class, AccessClass::NoLocality { .. }))
+}
+
+/// Index variant of [`first_max_by_bytes`]: earliest strict maximum.
+fn first_max_index<'a, 'b: 'a, I>(iter: I) -> Option<usize>
+where
+    I: Iterator<Item = (usize, &'a ArgView<'b>)>,
+{
+    let mut best: Option<(usize, u64)> = None;
+    for (i, view) in iter {
+        if best.is_none_or(|(_, b)| view.bytes > b) {
+            best = Some((i, view.bytes));
+        }
+    }
+    best.map(|(i, _)| i)
 }
 
 fn classify_args(launch: &LaunchInfo) -> Vec<ArgView<'_>> {

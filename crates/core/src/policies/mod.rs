@@ -31,6 +31,28 @@ use crate::plan::KernelPlan;
 use crate::topology::Topology;
 use std::fmt;
 
+/// Explanation of one argument's role in a policy's planning decision:
+/// how it classified, what scheduler it voted for, and whether it won
+/// the input-size-aware tie-break. Consumed by the observability layer
+/// (`ladm-obs`) when a trace sink is attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgDecision {
+    /// Argument index in declaration order.
+    pub arg: usize,
+    /// Argument name from the kernel signature.
+    pub name: &'static str,
+    /// Display form of the Table II access classification.
+    pub class: String,
+    /// Scheduler this structure voted for (`row-binding`,
+    /// `col-binding`, `rr-batch` or `kernel-wide`).
+    pub preference: &'static str,
+    /// Allocation size in bytes (the tie-break weight).
+    pub bytes: u64,
+    /// Whether this structure won the tie-break and dictated the
+    /// kernel-wide schedule.
+    pub winner: bool,
+}
+
 /// A NUMA page-placement + threadblock-scheduling + cache-insertion policy.
 ///
 /// Implementations must be pure: the same launch and topology always yield
@@ -42,6 +64,18 @@ pub trait Policy: fmt::Debug + Send + Sync {
 
     /// Computes the placement/scheduling/caching plan for one launch.
     fn plan(&self, launch: &LaunchInfo, topo: &Topology) -> KernelPlan;
+
+    /// As [`Policy::plan`], additionally explaining the per-argument
+    /// decision chain for tracing. The default returns no explanations;
+    /// policies with an interesting decision process (LASP) override it.
+    /// Must return exactly the plan [`Policy::plan`] would.
+    fn plan_explained(
+        &self,
+        launch: &LaunchInfo,
+        topo: &Topology,
+    ) -> (KernelPlan, Vec<ArgDecision>) {
+        (self.plan(launch, topo), Vec::new())
+    }
 }
 
 /// Equation 1: round-robin interleaving granularity in pages for a strided

@@ -14,9 +14,11 @@ use crate::plan::KernelPlan;
 use crate::policies::{CacheMode, Lasp, Policy};
 use crate::table::{LocalityTable, MallocPc};
 use crate::topology::Topology;
+use ladm_obs::{Event, TraceSink};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced by the runtime's launch path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +107,7 @@ pub struct LadmRuntime {
     kernels: Vec<(KernelStatic, Vec<MallocPc>)>,
     allocs: HashMap<MallocPc, ManagedAlloc>,
     next_addr: u64,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl LadmRuntime {
@@ -119,7 +122,23 @@ impl LadmRuntime {
             kernels: Vec::new(),
             allocs: HashMap::new(),
             next_addr: 4096,
+            sink: None,
         }
+    }
+
+    /// Attaches a trace sink: every subsequent [`LadmRuntime::launch`]
+    /// reports its classification outcome, per-structure scheduler
+    /// preference, tie-break winner and chosen placement to it. Pass a
+    /// sink whose `enabled()` is `false` (or call
+    /// [`LadmRuntime::clear_sink`]) to turn tracing off again; the
+    /// disabled path allocates nothing.
+    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches any attached trace sink.
+    pub fn clear_sink(&mut self) {
+        self.sink = None;
     }
 
     /// Selects a different cache-insertion mode (for the LASP+RTWICE /
@@ -206,7 +225,32 @@ impl LadmRuntime {
         for &(name, value) in params {
             launch = launch.with_param(name, value);
         }
-        let plan = self.lasp.plan(&launch, &self.topo);
+        let plan = match self.sink.as_deref().filter(|s| s.enabled()) {
+            Some(sink) => {
+                let (plan, decisions) = self.lasp.plan_explained(&launch, &self.topo);
+                sink.record(Event::KernelBegin {
+                    kernel: kernel_name.to_string(),
+                    policy: self.lasp.name().to_string(),
+                    grid,
+                    schedule: plan.schedule.to_string(),
+                });
+                for d in decisions {
+                    sink.record(Event::ArgDecision {
+                        kernel: kernel_name.to_string(),
+                        arg: d.arg,
+                        name: d.name.to_string(),
+                        class: d.class,
+                        preference: d.preference.to_string(),
+                        bytes: d.bytes,
+                        winner: d.winner,
+                        page_map: plan.args[d.arg].pages.to_string(),
+                        remote_insert: plan.args[d.arg].remote_insert.to_string(),
+                    });
+                }
+                plan
+            }
+            None => self.lasp.plan(&launch, &self.topo),
+        };
         Ok((launch, plan))
     }
 
@@ -296,6 +340,44 @@ mod tests {
             })
         );
         assert_eq!(rt.allocation(MallocPc(9)), None);
+    }
+
+    #[test]
+    fn traced_launch_reports_decisions_and_matches_untraced_plan() {
+        use ladm_obs::{Event, RecordingSink};
+        use std::sync::Arc;
+
+        let mut rt = LadmRuntime::new(Topology::paper_multi_gpu());
+        rt.compile(vecadd(), vec![MallocPc(0x400), MallocPc(0x404)]);
+        rt.malloc_managed(MallocPc(0x400), 1 << 20);
+        rt.malloc_managed(MallocPc(0x404), 1 << 20);
+        let (_, untraced) = rt.launch("vecadd", (2048, 1), (128, 1), &[]).unwrap();
+
+        let sink = Arc::new(RecordingSink::new());
+        rt.set_sink(sink.clone());
+        let (_, traced) = rt.launch("vecadd", (2048, 1), (128, 1), &[]).unwrap();
+        assert_eq!(traced, untraced, "tracing must not change the plan");
+
+        let events = sink.take_events();
+        assert_eq!(events.len(), 3, "one begin + one decision per arg");
+        assert_eq!(events[0].name(), "kernel_begin");
+        match &events[1] {
+            Event::ArgDecision {
+                name,
+                preference,
+                winner,
+                ..
+            } => {
+                assert_eq!(name, "a");
+                assert_eq!(preference, "rr-batch");
+                assert!(winner, "equal sizes tie-break to the first argument");
+            }
+            other => panic!("expected ArgDecision, got {other:?}"),
+        }
+
+        rt.clear_sink();
+        rt.launch("vecadd", (2048, 1), (128, 1), &[]).unwrap();
+        assert!(sink.is_empty(), "cleared sink must see nothing");
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! The page→chiplet traffic-matrix "heatmap": who asked which home
+//! node for how many bytes.
+//!
+//! This is the visual that explains Figures 9–11: a well-placed kernel
+//! has a heavy diagonal (local service) and light off-diagonal cells
+//! (fabric crossings). Rendered as aligned text for terminals and as
+//! JSON for downstream tooling.
+
+use crate::event::{Event, SectorRoute};
+use crate::json::escape;
+use std::fmt::Write as _;
+
+/// An n×n requester→home byte matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    nodes: usize,
+    /// Row-major: `bytes[requester * nodes + home]`.
+    bytes: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    /// Creates an all-zero matrix over `nodes` chiplets.
+    pub fn new(nodes: usize) -> Self {
+        TrafficMatrix {
+            nodes,
+            bytes: vec![0; nodes * nodes],
+        }
+    }
+
+    /// Folds a recorded event stream into a matrix. Only traffic that
+    /// left the SM counts: L1 hits are excluded, every other sector
+    /// service attributes its payload to `(requester, home)`.
+    pub fn from_events(nodes: usize, events: &[Event]) -> Self {
+        let mut m = TrafficMatrix::new(nodes);
+        for ev in events {
+            if let Event::Sector {
+                node,
+                home,
+                route,
+                bytes,
+                ..
+            } = ev
+            {
+                if *route != SectorRoute::L1Hit {
+                    m.add(*node as usize, *home as usize, u64::from(*bytes));
+                }
+            }
+        }
+        m
+    }
+
+    /// Adds `bytes` to the `(requester, home)` cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn add(&mut self, requester: usize, home: usize, bytes: u64) {
+        assert!(requester < self.nodes && home < self.nodes);
+        self.bytes[requester * self.nodes + home] += bytes;
+    }
+
+    /// The `(requester, home)` cell value.
+    pub fn get(&self, requester: usize, home: usize) -> u64 {
+        self.bytes[requester * self.nodes + home]
+    }
+
+    /// Number of chiplets (matrix dimension).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total bytes across all cells.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes served on the requester's own chiplet (the diagonal).
+    pub fn local_bytes(&self) -> u64 {
+        (0..self.nodes).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Fraction of all traffic served locally (1.0 for an empty
+    /// matrix: nothing crossed the fabric).
+    pub fn locality(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.local_bytes() as f64 / total as f64
+        }
+    }
+
+    /// Renders the matrix as an aligned text table: requesters as
+    /// rows, homes as columns, cells scaled to a common unit.
+    pub fn render_text(&self) -> String {
+        let max = self.bytes.iter().copied().max().unwrap_or(0);
+        let (unit, div) = scale_unit(max);
+        let cell = |v: u64| -> String {
+            if v == 0 {
+                ".".to_string()
+            } else {
+                format!("{:.1}", v as f64 / div)
+            }
+        };
+        let width = (0..self.nodes)
+            .flat_map(|r| (0..self.nodes).map(move |h| (r, h)))
+            .map(|(r, h)| cell(self.get(r, h)).len())
+            .chain(std::iter::once(format!("h{}", self.nodes - 1).len()))
+            .max()
+            .unwrap_or(1)
+            .max(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "traffic matrix (requester rows x home columns, {unit}):"
+        );
+        let _ = write!(out, "{:>6}", "");
+        for h in 0..self.nodes {
+            let _ = write!(out, " {:>width$}", format!("h{h}"));
+        }
+        out.push('\n');
+        for r in 0..self.nodes {
+            let _ = write!(out, "{:>6}", format!("r{r}"));
+            for h in 0..self.nodes {
+                let _ = write!(out, " {:>width$}", cell(self.get(r, h)));
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "local {:.1}% of {} bytes",
+            self.locality() * 100.0,
+            self.total()
+        );
+        out
+    }
+
+    /// Renders the matrix as a JSON object with `nodes`, `unit`
+    /// (always raw bytes), and row-major `bytes`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"nodes\":{},\"unit\":\"{}\",\"total\":{},\"local\":{},\"bytes\":[",
+            self.nodes,
+            escape("bytes"),
+            self.total(),
+            self.local_bytes()
+        );
+        for r in 0..self.nodes {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for h in 0..self.nodes {
+                if h > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", self.get(r, h));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Picks a display unit for the largest cell: `(label, divisor)`.
+fn scale_unit(max: u64) -> (&'static str, f64) {
+    if max >= 1 << 30 {
+        ("GiB", (1u64 << 30) as f64)
+    } else if max >= 1 << 20 {
+        ("MiB", (1u64 << 20) as f64)
+    } else if max >= 1 << 10 {
+        ("KiB", 1024.0)
+    } else {
+        ("bytes", 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn folds_sectors_and_excludes_l1() {
+        let ev = [
+            Event::Sector {
+                time: 0.0,
+                node: 0,
+                home: 0,
+                route: SectorRoute::L1Hit,
+                write: false,
+                page: 0,
+                bytes: 32,
+            },
+            Event::Sector {
+                time: 1.0,
+                node: 0,
+                home: 1,
+                route: SectorRoute::DramRemote,
+                write: false,
+                page: 0,
+                bytes: 32,
+            },
+            Event::Sector {
+                time: 2.0,
+                node: 1,
+                home: 1,
+                route: SectorRoute::L2LocalHit,
+                write: true,
+                page: 1,
+                bytes: 32,
+            },
+        ];
+        let m = TrafficMatrix::from_events(2, &ev);
+        assert_eq!(m.get(0, 1), 32);
+        assert_eq!(m.get(1, 1), 32);
+        assert_eq!(m.get(0, 0), 0, "L1 hits never leave the SM");
+        assert_eq!(m.total(), 64);
+        assert!((m.locality() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_render_is_aligned_and_labeled() {
+        let mut m = TrafficMatrix::new(2);
+        m.add(0, 1, 2048);
+        let text = m.render_text();
+        assert!(text.contains("KiB"));
+        assert!(text.contains("r0"));
+        assert!(text.contains("h1"));
+        assert!(text.contains("2.0"));
+    }
+
+    #[test]
+    fn json_render_parses() {
+        let mut m = TrafficMatrix::new(2);
+        m.add(1, 0, 7);
+        let doc = Json::parse(&m.to_json()).unwrap();
+        assert_eq!(doc.get("nodes").and_then(Json::as_f64), Some(2.0));
+        let rows = doc.get("bytes").and_then(Json::as_array).unwrap();
+        assert_eq!(rows[1].as_array().unwrap()[0].as_f64(), Some(7.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! The sink contract: how instrumented code hands events to observers.
+//!
+//! Instrumentation sites hold an `Option<Arc<dyn TraceSink>>`; the
+//! disabled path (`None`, or a sink whose [`TraceSink::enabled`] returns
+//! `false`) performs no allocation and no locking, so tracing costs
+//! nothing when off.
+
+use crate::event::Event;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Receiver of trace [`Event`]s.
+///
+/// Implementations must be thread-safe: the bench harness runs
+/// workloads on worker threads and a sink may be shared across them.
+/// `fmt::Debug` is a supertrait so simulator structs holding a sink can
+/// keep `#[derive(Debug)]`.
+pub trait TraceSink: fmt::Debug + Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: Event);
+
+    /// Whether instrumentation sites should bother constructing events.
+    ///
+    /// Sites check this *before* building an [`Event`] (which may
+    /// allocate strings), keeping the disabled path allocation-free.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that drops everything and reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that buffers every event in memory, in arrival order.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Drains the recorded events, leaving the sink empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap())
+    }
+
+    /// Number of events recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&self, event: Event) {
+        self.events.lock().unwrap().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn recording_sink_buffers_in_order() {
+        let s = RecordingSink::new();
+        assert!(s.is_empty());
+        s.record(Event::FirstTouch {
+            time: 1.0,
+            page: 7,
+            node: 2,
+        });
+        s.record(Event::KernelEnd {
+            kernel: "k".into(),
+            time: 9.0,
+        });
+        let ev = s.take_events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].name(), "first_touch");
+        assert_eq!(ev[1].name(), "kernel_end");
+        assert!(s.is_empty());
+    }
+}

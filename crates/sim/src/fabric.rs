@@ -10,6 +10,7 @@
 use crate::bw::TokenBucket;
 use crate::config::SimConfig;
 use ladm_core::topology::{NodeId, Topology};
+use ladm_obs::{Event, LinkLevel, TraceSink};
 
 /// Interconnect state and traffic counters.
 #[derive(Debug, Clone)]
@@ -49,6 +50,25 @@ impl Fabric {
 
     /// An SM↔L2 hop within chiplet `node` (either direction).
     pub fn sm_to_l2(&mut self, now: f64, node: NodeId, bytes: u64) -> f64 {
+        self.sm_to_l2_traced(now, node, bytes, None)
+    }
+
+    /// As [`Fabric::sm_to_l2`], reporting the crossbar claim to `sink`.
+    pub fn sm_to_l2_traced(
+        &mut self,
+        now: f64,
+        node: NodeId,
+        bytes: u64,
+        sink: Option<&dyn TraceSink>,
+    ) -> f64 {
+        if let Some(s) = sink {
+            s.record(Event::LinkTransfer {
+                time: now,
+                level: LinkLevel::Xbar,
+                index: node.0 as u16,
+                bytes: bytes as u32,
+            });
+        }
         self.xbar[node.0 as usize].claim(now, bytes) + self.xbar_latency as f64
     }
 
@@ -56,14 +76,38 @@ impl Fabric {
     /// time. Same-chiplet routing is free (the xbar hop is charged
     /// separately by the request path).
     pub fn route(&mut self, now: f64, from: NodeId, to: NodeId, bytes: u64) -> f64 {
+        self.route_traced(now, from, to, bytes, None)
+    }
+
+    /// As [`Fabric::route`], reporting every per-level link claim
+    /// (ring, switch egress/ingress) to `sink`.
+    pub fn route_traced(
+        &mut self,
+        now: f64,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        sink: Option<&dyn TraceSink>,
+    ) -> f64 {
         if from == to {
             return now;
         }
         let fg = self.topo.gpu_of(from).0 as usize;
         let tg = self.topo.gpu_of(to).0 as usize;
+        let link = |level: LinkLevel, index: usize, t: f64| {
+            if let Some(s) = sink {
+                s.record(Event::LinkTransfer {
+                    time: t,
+                    level,
+                    index: index as u16,
+                    bytes: bytes as u32,
+                });
+            }
+        };
         let mut t = now;
         if fg == tg {
             // On-package ring hop.
+            link(LinkLevel::Ring, fg, t);
             t = self.ring[fg].claim(t, bytes) + self.ring_latency as f64;
             self.inter_chiplet_bytes += bytes;
         } else {
@@ -71,11 +115,15 @@ impl Fabric {
             // chiplets), switch egress, switch ingress, ring to the home
             // chiplet.
             if self.topo.chiplets_per_gpu > 1 {
+                link(LinkLevel::Ring, fg, t);
                 t = self.ring[fg].claim(t, bytes) + self.ring_latency as f64;
             }
+            link(LinkLevel::SwitchOut, fg, t);
             t = self.switch_out[fg].claim(t, bytes) + self.switch_latency as f64;
+            link(LinkLevel::SwitchIn, tg, t);
             t = self.switch_in[tg].claim(t, bytes);
             if self.topo.chiplets_per_gpu > 1 {
+                link(LinkLevel::Ring, tg, t);
                 t = self.ring[tg].claim(t, bytes) + self.ring_latency as f64;
             }
             self.inter_gpu_bytes += bytes;

@@ -25,6 +25,16 @@ impl ClassStats {
             self.hits as f64 / self.accesses as f64
         }
     }
+
+    /// The hit rate for summary tables: `n/a` when the class was never
+    /// accessed, so a dead class cannot be mistaken for a 0 %-hit one.
+    pub fn hit_rate_str(&self) -> String {
+        if self.accesses == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.2}", self.hit_rate())
+        }
+    }
 }
 
 impl AddAssign for ClassStats {
@@ -156,10 +166,13 @@ impl fmt::Display for KernelStats {
         )?;
         write!(
             f,
-            "L2 hit: LL={:.2} LR={:.2} RL={:.2}; inter-gpu={}B inter-chiplet={}B faults={}",
-            self.l2_local_local.hit_rate(),
-            self.l2_local_remote.hit_rate(),
-            self.l2_remote_local.hit_rate(),
+            "L2 hit: LL={} LR={} RL={} (acc {}/{}/{}); inter-gpu={}B inter-chiplet={}B faults={}",
+            self.l2_local_local.hit_rate_str(),
+            self.l2_local_remote.hit_rate_str(),
+            self.l2_remote_local.hit_rate_str(),
+            self.l2_local_local.accesses,
+            self.l2_local_remote.accesses,
+            self.l2_remote_local.accesses,
             self.inter_gpu_bytes,
             self.inter_chiplet_bytes,
             self.page_faults
@@ -179,6 +192,34 @@ mod tests {
         };
         assert!((c.hit_rate() - 0.4).abs() < 1e-12);
         assert_eq!(ClassStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_str_distinguishes_dead_from_zero_hit() {
+        let dead = ClassStats::default();
+        let cold = ClassStats {
+            accesses: 10,
+            hits: 0,
+        };
+        assert_eq!(dead.hit_rate_str(), "n/a");
+        assert_eq!(cold.hit_rate_str(), "0.00");
+        assert_eq!(dead.hit_rate(), cold.hit_rate()); // the old ambiguity
+    }
+
+    #[test]
+    fn display_renders_na_for_unaccessed_classes() {
+        let s = KernelStats::default();
+        let text = s.to_string();
+        assert!(text.contains("LL=n/a"), "{text}");
+        assert!(text.contains("(acc 0/0/0)"), "{text}");
+        let hot = KernelStats {
+            l2_local_local: ClassStats {
+                accesses: 4,
+                hits: 2,
+            },
+            ..KernelStats::default()
+        };
+        assert!(hot.to_string().contains("LL=0.50"), "{hot}");
     }
 
     #[test]

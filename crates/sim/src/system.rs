@@ -21,8 +21,10 @@ use crate::stats::KernelStats;
 use ladm_core::plan::{KernelPlan, RemoteInsert};
 use ladm_core::policies::Policy;
 use ladm_core::topology::NodeId;
+use ladm_obs::{Event as TraceEvent, LinkLevel, SectorRoute, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Event-heap key with deterministic total order.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,6 +82,7 @@ pub struct GpuSystem {
     l2: Vec<SectoredCache>,
     dram: Vec<TokenBucket>,
     fabric: Fabric,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl GpuSystem {
@@ -101,6 +104,7 @@ impl GpuSystem {
             dram: (0..nodes).map(|_| TokenBucket::new(cfg.dram_bw)).collect(),
             fabric: Fabric::new(&cfg),
             cfg,
+            sink: None,
         }
     }
 
@@ -109,20 +113,68 @@ impl GpuSystem {
         &self.cfg
     }
 
+    /// Attaches a trace sink: subsequent [`GpuSystem::run`]s report the
+    /// planning decision chain, TB dispatch/retire, per-sector routes,
+    /// per-level link claims and first-touch resolutions to it. The
+    /// disabled path (no sink, or `enabled() == false`) allocates
+    /// nothing and leaves [`KernelStats`] bit-identical.
+    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches any attached trace sink.
+    pub fn clear_sink(&mut self) {
+        self.sink = None;
+    }
+
     /// Allocates, plans and executes `kernel` under `policy`, returning
     /// the run's statistics. Allocations are created fresh for the kernel
     /// (one per argument) and all caches are flushed first — the paper's
     /// kernel-boundary L2 invalidation.
     pub fn run(&mut self, kernel: &dyn KernelExec, policy: &dyn Policy) -> KernelStats {
         let launch = kernel.launch();
-        let plan = policy.plan(launch, &self.cfg.topology);
+        let sink_arc = self.sink.clone();
+        let sink = sink_arc.as_deref().filter(|s| s.enabled());
+        let plan = match sink {
+            Some(s) => {
+                let (plan, decisions) = policy.plan_explained(launch, &self.cfg.topology);
+                s.record(TraceEvent::KernelBegin {
+                    kernel: launch.kernel.name.to_string(),
+                    policy: policy.name().to_string(),
+                    grid: launch.grid,
+                    schedule: plan.schedule.to_string(),
+                });
+                for d in decisions {
+                    s.record(TraceEvent::ArgDecision {
+                        kernel: launch.kernel.name.to_string(),
+                        arg: d.arg,
+                        name: d.name.to_string(),
+                        class: d.class,
+                        preference: d.preference.to_string(),
+                        bytes: d.bytes,
+                        winner: d.winner,
+                        page_map: plan.args[d.arg].pages.to_string(),
+                        remote_insert: plan.args[d.arg].remote_insert.to_string(),
+                    });
+                }
+                plan
+            }
+            None => policy.plan(launch, &self.cfg.topology),
+        };
         self.mem = AddressSpace::new(self.cfg.page_bytes);
         for (i, arg) in launch.kernel.args.iter().enumerate() {
             self.mem.alloc(launch.arg_bytes(i).max(1), arg.elem_bytes);
         }
         self.mem.apply_plan(&plan);
         self.flush();
-        self.execute(kernel, &plan)
+        let stats = self.execute(kernel, &plan);
+        if let Some(s) = sink {
+            s.record(TraceEvent::KernelEnd {
+                kernel: launch.kernel.name.to_string(),
+                time: stats.cycles,
+            });
+        }
+        stats
     }
 
     /// Flushes all caches, fabric queues and DRAM queues (kernel
@@ -148,6 +200,10 @@ impl GpuSystem {
     /// Core engine loop.
     fn execute(&mut self, kernel: &dyn KernelExec, plan: &KernelPlan) -> KernelStats {
         let launch = kernel.launch();
+        // The Arc is cloned into a local so `&dyn TraceSink` borrows the
+        // local, not `self` (route_sector needs `&mut self`).
+        let sink_arc = self.sink.clone();
+        let sink = sink_arc.as_deref().filter(|s| s.enabled());
         let cfg = self.cfg.clone();
         let topo = cfg.topology;
         let (gdx, gdy) = launch.grid;
@@ -239,6 +295,15 @@ impl GpuSystem {
                     }
                 };
                 stats.threadblocks += 1;
+                if let Some(s) = sink {
+                    s.record(TraceEvent::TbDispatch {
+                        time: now,
+                        bx,
+                        by,
+                        node: node as u16,
+                        sm,
+                    });
+                }
                 for w in 0..warps_per_tb {
                     let ctx = WarpCtx {
                         bx,
@@ -300,6 +365,15 @@ impl GpuSystem {
                     let s = &mut sms[ctx.sm as usize];
                     s.free_tb_slots += 1;
                     s.free_warps += warps_per_tb;
+                    if let Some(s) = sink {
+                        s.record(TraceEvent::TbRetire {
+                            time: now,
+                            bx: ctx.bx,
+                            by: ctx.by,
+                            node: node as u16,
+                            sm: ctx.sm,
+                        });
+                    }
                     dispatch(
                         node,
                         now,
@@ -352,7 +426,7 @@ impl GpuSystem {
             // Route every sector; the warp blocks on the slowest.
             let mut done = issue + compute_cycles;
             for &(sector, write) in &sector_buf {
-                let t = self.route_sector(issue, ctx.sm, sector, write, &mut stats);
+                let t = self.route_sector(issue, ctx.sm, sector, write, &mut stats, sink);
                 done = done.max(t);
             }
 
@@ -378,7 +452,9 @@ impl GpuSystem {
     }
 
     /// Drives one 32 B sector through the hierarchy starting at `t`;
-    /// returns its completion time.
+    /// returns its completion time. When `sink` is present, the terminal
+    /// service point is reported as one [`ladm_obs::Event::Sector`]
+    /// (plus first-touch and DRAM-channel claims along the way).
     fn route_sector(
         &mut self,
         t: f64,
@@ -386,6 +462,7 @@ impl GpuSystem {
         addr: u64,
         write: bool,
         stats: &mut KernelStats,
+        sink: Option<&dyn TraceSink>,
     ) -> f64 {
         let cfg = &self.cfg;
         let topo = cfg.topology;
@@ -393,6 +470,33 @@ impl GpuSystem {
         let sector = u64::from(cfg.l1.sector_bytes);
         let l1_lat = cfg.l1.latency as f64;
         let l2_lat = cfg.l2.latency as f64;
+        // Event context: the issue time, page and payload of this sector.
+        let issue_t = t;
+        let page = addr / cfg.page_bytes;
+        let sector_u32 = cfg.l1.sector_bytes;
+        let emit = |route: SectorRoute, home: NodeId| {
+            if let Some(s) = sink {
+                s.record(TraceEvent::Sector {
+                    time: issue_t,
+                    node: node.0 as u16,
+                    home: home.0 as u16,
+                    route,
+                    write,
+                    page,
+                    bytes: sector_u32,
+                });
+            }
+        };
+        let emit_dram = |at: NodeId, time: f64| {
+            if let Some(s) = sink {
+                s.record(TraceEvent::LinkTransfer {
+                    time,
+                    level: LinkLevel::Dram,
+                    index: at.0 as u16,
+                    bytes: sector_u32,
+                });
+            }
+        };
 
         // L1: write-through, no write-allocate.
         if write {
@@ -402,6 +506,7 @@ impl GpuSystem {
             match self.l1[sm as usize].access(addr) {
                 Lookup::Hit => {
                     stats.l1_hits += 1;
+                    emit(SectorRoute::L1Hit, node);
                     return t + l1_lat;
                 }
                 _ => stats.l1_misses += 1,
@@ -409,11 +514,18 @@ impl GpuSystem {
         }
 
         // SM -> L2 crossbar hop (charged once with the data payload).
-        let mut t = self.fabric.sm_to_l2(t + l1_lat, node, sector);
+        let mut t = self.fabric.sm_to_l2_traced(t + l1_lat, node, sector, sink);
 
         let home = self.mem.home_of(addr, node, &topo);
         if home.faulted {
             t += cfg.page_fault_cycles as f64;
+            if let Some(s) = sink {
+                s.record(TraceEvent::FirstTouch {
+                    time: issue_t,
+                    page,
+                    node: home.node.0 as u16,
+                });
+            }
         }
 
         if home.node == node {
@@ -422,10 +534,13 @@ impl GpuSystem {
             match self.l2[node.0 as usize].access(addr) {
                 Lookup::Hit => {
                     stats.l2_local_local.hits += 1;
+                    emit(SectorRoute::L2LocalHit, home.node);
                     t + l2_lat
                 }
                 _ => {
                     stats.dram_sectors += 1;
+                    emit(SectorRoute::DramLocal, home.node);
+                    emit_dram(node, t + l2_lat);
                     let dram_done = self.dram[node.0 as usize].claim(t + l2_lat, sector);
                     if write {
                         // Posted write: bandwidth charged, latency hidden.
@@ -450,9 +565,11 @@ impl GpuSystem {
                     .mem
                     .record_remote_access(addr, node, cfg.migration_threshold)
             {
+                emit(SectorRoute::Migrated, home.node);
                 let t = self
                     .fabric
-                    .route(t + l2_lat, home.node, node, cfg.page_bytes);
+                    .route_traced(t + l2_lat, home.node, node, cfg.page_bytes, sink);
+                emit_dram(node, t);
                 let t = self.dram[node.0 as usize].claim(t, sector) + cfg.dram_latency as f64;
                 self.l2[node.0 as usize].fill(addr);
                 if !write {
@@ -469,16 +586,21 @@ impl GpuSystem {
                 // Write data travels to the home node; the local copy (if
                 // any) is invalidated. Acks are free.
                 self.l2[node.0 as usize].invalidate(addr);
-                let t = self.fabric.route(t + l2_lat, node, home.node, sector);
+                let t = self
+                    .fabric
+                    .route_traced(t + l2_lat, node, home.node, sector, sink);
                 stats.l2_remote_local.accesses += 1;
                 let home_l2 = &mut self.l2[home.node.0 as usize];
                 if home_l2.probe(addr) == Lookup::Hit {
                     stats.l2_remote_local.hits += 1;
                     home_l2.fill(addr);
+                    emit(SectorRoute::L2HomeHit, home.node);
                     t + l2_lat
                 } else {
                     home_l2.fill(addr);
                     stats.dram_sectors += 1;
+                    emit(SectorRoute::DramRemote, home.node);
+                    emit_dram(home.node, t + l2_lat);
                     // Posted write: bandwidth charged, latency hidden.
                     self.dram[home.node.0 as usize].claim(t + l2_lat, sector)
                 }
@@ -489,6 +611,7 @@ impl GpuSystem {
                     stats.l2_local_remote.accesses += 1;
                     if self.l2[node.0 as usize].probe(addr) == Lookup::Hit {
                         stats.l2_local_remote.hits += 1;
+                        emit(SectorRoute::L2RemoteCachedHit, home.node);
                         return t + l2_lat;
                     }
                 }
@@ -499,7 +622,9 @@ impl GpuSystem {
                     stats.sectors_offgpu += 1;
                 }
                 // Request header to the home node.
-                let mut t = self.fabric.route(t + l2_lat, node, home.node, 8);
+                let mut t = self
+                    .fabric
+                    .route_traced(t + l2_lat, node, home.node, 8, sink);
                 // REMOTE-LOCAL at the home L2.
                 stats.l2_remote_local.accesses += 1;
                 let insert = self.mem.remote_insert_of(addr);
@@ -507,10 +632,13 @@ impl GpuSystem {
                 match home_l2.probe(addr) {
                     Lookup::Hit => {
                         stats.l2_remote_local.hits += 1;
+                        emit(SectorRoute::L2HomeHit, home.node);
                         t += l2_lat;
                     }
                     _ => {
                         stats.dram_sectors += 1;
+                        emit(SectorRoute::DramRemote, home.node);
+                        emit_dram(home.node, t + l2_lat);
                         t = self.dram[home.node.0 as usize].claim(t + l2_lat, sector)
                             + cfg.dram_latency as f64;
                         if insert == RemoteInsert::Twice {
@@ -520,7 +648,7 @@ impl GpuSystem {
                 }
                 // Data reply to the requester; cached locally (remote
                 // caching) and in the L1.
-                let t = self.fabric.route(t, home.node, node, sector);
+                let t = self.fabric.route_traced(t, home.node, node, sector, sink);
                 if cfg.remote_caching {
                     self.l2[node.0 as usize].fill(addr);
                 }
@@ -674,6 +802,51 @@ mod tests {
         let lookups = stats.l2_local_local.accesses + stats.l2_local_remote.accesses;
         // Writes to remote homes skip the LOCAL-REMOTE lookup.
         assert!(lookups <= stats.l1_misses);
+    }
+
+    #[test]
+    fn tracing_records_pipeline_events_without_changing_stats() {
+        use ladm_obs::{Event, RecordingSink};
+
+        let kernel = VecAdd::new(64, 128);
+        let mut sys = GpuSystem::new(SimConfig::paper_multi_gpu());
+        let baseline = sys.run(&kernel, &Lasp::ladm());
+
+        let sink = Arc::new(RecordingSink::new());
+        sys.set_sink(sink.clone());
+        let traced = sys.run(&kernel, &Lasp::ladm());
+        assert_eq!(
+            format!("{traced:?}"),
+            format!("{baseline:?}"),
+            "tracing must leave KernelStats bit-identical"
+        );
+
+        let events = sink.take_events();
+        assert_eq!(events[0].name(), "kernel_begin");
+        assert_eq!(events.last().unwrap().name(), "kernel_end");
+        let count = |n: &str| events.iter().filter(|e| e.name() == n).count();
+        assert_eq!(count("arg_decision"), 3, "one decision per argument");
+        assert_eq!(count("tb_dispatch"), 64);
+        assert_eq!(count("tb_retire"), 64);
+        assert!(count("sector") > 0, "sector routes must be reported");
+        assert!(count("link_transfer") > 0, "link claims must be reported");
+        // Dispatch/retire pair up on the same (bx, node, sm).
+        let dispatched: Vec<(u32, u16, u32)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::TbDispatch { bx, node, sm, .. } => Some((*bx, *node, *sm)),
+                _ => None,
+            })
+            .collect();
+        for e in &events {
+            if let Event::TbRetire { bx, node, sm, .. } = e {
+                assert!(dispatched.contains(&(*bx, *node, *sm)));
+            }
+        }
+
+        sys.clear_sink();
+        sys.run(&kernel, &Lasp::ladm());
+        assert!(sink.is_empty(), "cleared sink must see nothing");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //!   CRB cache policy and the baseline policies,
 //! * [`sim`] (`ladm-sim`) — the hierarchical NUMA multi-GPU simulator,
 //! * [`workloads`] (`ladm-workloads`) — the 27-benchmark evaluation suite,
-//! * [`analyzer`] (`ladm-analyzer`) — the locality linter (`ladm-lint`).
+//! * [`analyzer`] (`ladm-analyzer`) — the locality linter (`ladm-lint`),
+//! * [`obs`] (`ladm-obs`) — tracing sinks, Chrome-trace/heatmap
+//!   exporters and the counter registry.
 //!
 //! See the repository `examples/` directory for runnable end-to-end
 //! scenarios, starting with `quickstart.rs`.
@@ -17,6 +19,7 @@
 
 pub use ladm_analyzer as analyzer;
 pub use ladm_core as core;
+pub use ladm_obs as obs;
 pub use ladm_sim as sim;
 pub use ladm_workloads as workloads;
 

@@ -1,0 +1,95 @@
+//! Golden-file test for the Chrome trace exporter: a fixed VecAdd run
+//! must keep producing the same event sequence. The fixture stores one
+//! `ph name pid` line per trace event in document order; regenerate it
+//! after an intentional exporter change with
+//! `LADM_UPDATE_GOLDEN=1 cargo test --test trace_golden`.
+
+use ladm::core::policies::Lasp;
+use ladm::obs::{Json, RecordingSink};
+use ladm::sim::{GpuSystem, SimConfig};
+use ladm::workloads::{by_name, Scale};
+use std::sync::Arc;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/trace_vecadd_events.txt"
+);
+
+/// Runs VecAdd (Test scale, deterministic) once with a recording sink
+/// and returns the rendered Chrome trace JSON plus the run's stats.
+fn traced_vecadd() -> (String, ladm::sim::KernelStats) {
+    let cfg = SimConfig::paper_multi_gpu();
+    let w = by_name("VecAdd", Scale::Test).expect("vecadd exists");
+    let sink = Arc::new(RecordingSink::new());
+    let mut sys = GpuSystem::new(cfg);
+    sys.set_sink(sink.clone());
+    let mut total = ladm::sim::KernelStats::default();
+    for kernel in &w.kernels {
+        total.accumulate(&sys.run(&**kernel, &Lasp::ladm()));
+    }
+    (ladm::obs::chrome_trace(&sink.take_events()), total)
+}
+
+/// Reduces a Chrome trace document to the golden line format.
+fn event_lines(text: &str) -> Vec<String> {
+    let doc = Json::parse(text).expect("chrome trace must parse");
+    doc.get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array")
+        .iter()
+        .map(|ev| {
+            format!(
+                "{} {} {}",
+                ev.get("ph").and_then(Json::as_str).expect("ph"),
+                ev.get("name").and_then(Json::as_str).expect("name"),
+                ev.get("pid").and_then(Json::as_f64).expect("pid")
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn chrome_trace_matches_golden_fixture() {
+    let (text, _) = traced_vecadd();
+    let got = event_lines(&text).join("\n") + "\n";
+    if std::env::var_os("LADM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &got).expect("fixture must be writable");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run with LADM_UPDATE_GOLDEN=1 to create it");
+    assert!(
+        got == want,
+        "chrome trace event sequence changed ({} events, fixture has {});\n\
+         if intentional, regenerate with LADM_UPDATE_GOLDEN=1 cargo test --test trace_golden",
+        got.lines().count(),
+        want.lines().count()
+    );
+}
+
+#[test]
+fn chrome_trace_is_deterministic() {
+    let (a, _) = traced_vecadd();
+    let (b, _) = traced_vecadd();
+    assert_eq!(a, b, "two identical runs must render byte-identical JSON");
+}
+
+#[test]
+fn tracing_leaves_kernel_stats_unchanged() {
+    let cfg = SimConfig::paper_multi_gpu();
+    let w = by_name("VecAdd", Scale::Test).expect("vecadd exists");
+    let policy = Lasp::ladm();
+
+    let mut plain = GpuSystem::new(cfg.clone());
+    let mut untraced = ladm::sim::KernelStats::default();
+    for kernel in &w.kernels {
+        untraced.accumulate(&plain.run(&**kernel, &policy));
+    }
+
+    let (_, traced) = traced_vecadd();
+    assert_eq!(
+        format!("{traced:?}"),
+        format!("{untraced:?}"),
+        "attaching a sink must not perturb simulation results"
+    );
+}
