@@ -43,51 +43,58 @@ where
     L: Fn(usize) -> String + Sync,
 {
     let threads = threads.max(1).min(n.max(1));
-    let results: std::sync::Mutex<Vec<Option<T>>> =
-        std::sync::Mutex::new((0..n).map(|_| None).collect());
-    let panics: std::sync::Mutex<Vec<(usize, String)>> = std::sync::Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
-                    Ok(value) => {
-                        results.lock().expect("results lock is never poisoned")[i] = Some(value);
+    // Each worker accumulates `(index, outcome)` pairs in a private Vec
+    // handed back through its join handle — no shared lock on the result
+    // path (one mutex round-trip per job serializes short jobs).
+    let mut outcomes: Vec<(usize, Result<T, String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Result<T, String>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+                            .map_err(|payload| {
+                                // `&*payload`, not `&payload`: a
+                                // `&Box<dyn Any>` would itself coerce to
+                                // `&dyn Any` and the downcasts below
+                                // would always miss.
+                                let msg = panic_message(&*payload);
+                                format!("{} panicked: {msg}", label(i))
+                            });
+                        local.push((i, out));
                     }
-                    Err(payload) => {
-                        // `&*payload`, not `&payload`: a `&Box<dyn Any>`
-                        // would itself coerce to `&dyn Any` and the
-                        // downcasts below would always miss.
-                        let msg = panic_message(&*payload);
-                        panics
-                            .lock()
-                            .expect("panics lock is never poisoned")
-                            .push((i, format!("{} panicked: {msg}", label(i))));
-                    }
-                }
-            });
-        }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("workers only panic inside catch_unwind"))
+            .collect()
     });
-    let mut failed = panics.into_inner().expect("all workers joined");
+    outcomes.sort_by_key(|&(i, _)| i);
+    let mut results = Vec::with_capacity(n);
+    let mut failed: Vec<String> = Vec::new();
+    for (_, out) in outcomes {
+        match out {
+            Ok(value) => results.push(value),
+            Err(msg) => failed.push(msg),
+        }
+    }
     if !failed.is_empty() {
-        failed.sort_by_key(|&(i, _)| i);
-        let lines: Vec<String> = failed.into_iter().map(|(_, m)| m).collect();
         panic!(
             "parallel_map: {} of {n} job(s) panicked:\n  {}",
-            lines.len(),
-            lines.join("\n  ")
+            failed.len(),
+            failed.join("\n  ")
         );
     }
+    assert_eq!(results.len(), n, "every job index was executed");
     results
-        .into_inner()
-        .expect("all workers joined")
-        .into_iter()
-        .map(|r| r.expect("every job index was executed"))
-        .collect()
 }
 
 /// Best-effort extraction of a panic payload's message (`&str` and
@@ -103,16 +110,48 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Wall-time summary returned by [`bench_function`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchSummary {
+    /// Fastest timed sample, in seconds.
+    pub min: f64,
+    /// Arithmetic mean over the timed samples, in seconds.
+    pub mean: f64,
+    /// Number of timed samples (warm-up excluded).
+    pub samples: usize,
+}
+
+/// Default sample count when `LADM_BENCH_SAMPLES` is unset.
+const DEFAULT_SAMPLES: usize = 5;
+
+/// Parses an `LADM_BENCH_SAMPLES` override. `Err` carries the warning to
+/// print; the caller falls back to [`DEFAULT_SAMPLES`].
+fn parse_bench_samples(raw: Option<&str>) -> Result<usize, String> {
+    match raw {
+        None => Ok(DEFAULT_SAMPLES),
+        Some(v) => v.trim().parse::<usize>().map(|n| n.max(1)).map_err(|e| {
+            format!(
+                "ignoring unparsable LADM_BENCH_SAMPLES={v:?} ({e}); \
+                 using the default of {DEFAULT_SAMPLES}"
+            )
+        }),
+    }
+}
+
 /// Times `f` and prints a one-line summary, standing in for the
 /// criterion harness (the workspace builds with no registry
 /// dependencies). One warm-up call, then `LADM_BENCH_SAMPLES` timed
-/// samples (default 5); reports min and mean wall time.
-pub fn bench_function<F: FnMut()>(name: &str, mut f: F) {
-    let samples: usize = std::env::var("LADM_BENCH_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5)
-        .max(1);
+/// samples (default 5; an unparsable value warns on stderr instead of
+/// being silently ignored); reports min and mean wall time and returns
+/// them so callers can serialize instead of re-timing.
+pub fn bench_function<F: FnMut()>(name: &str, mut f: F) -> BenchSummary {
+    let samples = match parse_bench_samples(std::env::var("LADM_BENCH_SAMPLES").ok().as_deref()) {
+        Ok(n) => n,
+        Err(warning) => {
+            eprintln!("warning: {warning}");
+            DEFAULT_SAMPLES
+        }
+    };
     f(); // warm-up
     let mut best = f64::INFINITY;
     let mut sum = 0.0;
@@ -123,10 +162,16 @@ pub fn bench_function<F: FnMut()>(name: &str, mut f: F) {
         best = best.min(dt);
         sum += dt;
     }
+    let summary = BenchSummary {
+        min: best,
+        mean: sum / samples as f64,
+        samples,
+    };
     println!(
-        "bench {name:<40} min {best:>10.6}s  mean {:>10.6}s  ({samples} samples)",
-        sum / samples as f64
+        "bench {name:<40} min {:>10.6}s  mean {:>10.6}s  ({samples} samples)",
+        summary.min, summary.mean
     );
+    summary
 }
 
 /// Geometric mean of strictly positive values; 0.0 for an empty slice.
@@ -216,6 +261,29 @@ mod tests {
         let payload = caught.expect_err("the job panic must propagate");
         let msg = payload.downcast_ref::<String>().expect("String payload");
         assert!(msg.contains("job 1 panicked"), "{msg}");
+    }
+
+    #[test]
+    fn bench_samples_parse_or_warn() {
+        assert_eq!(parse_bench_samples(None), Ok(DEFAULT_SAMPLES));
+        assert_eq!(parse_bench_samples(Some("12")), Ok(12));
+        assert_eq!(parse_bench_samples(Some(" 3 ")), Ok(3));
+        assert_eq!(parse_bench_samples(Some("0")), Ok(1), "clamped to 1");
+        let err = parse_bench_samples(Some("fast")).expect_err("typo must warn");
+        assert!(err.contains("LADM_BENCH_SAMPLES=\"fast\""), "{err}");
+        assert!(err.contains("default of 5"), "{err}");
+        assert!(parse_bench_samples(Some("-3")).is_err());
+    }
+
+    #[test]
+    fn bench_function_returns_sample_summary() {
+        let mut calls = 0u32;
+        let summary = bench_function("unit-test", || calls += 1);
+        // One warm-up plus `samples` timed calls.
+        assert_eq!(u64::from(calls), summary.samples as u64 + 1);
+        assert!(summary.samples >= 1);
+        assert!(summary.min >= 0.0);
+        assert!(summary.mean >= summary.min);
     }
 
     #[test]

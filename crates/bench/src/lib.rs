@@ -10,7 +10,8 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod report;
 pub mod trace;
 
-pub use harness::{bench_function, geomean, parallel_map, run_workload};
+pub use harness::{bench_function, geomean, parallel_map, run_workload, BenchSummary};
 pub use trace::{policy_by_name, trace_by_name, trace_workload, TracedRun};

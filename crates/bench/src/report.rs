@@ -1,0 +1,258 @@
+//! Machine-readable benchmark report (`BENCH.json`).
+//!
+//! [`render`] serializes a [`BenchReport`] with the same dependency-free
+//! conventions as the Chrome-trace exporter (`ladm_obs::json::escape` /
+//! `number`), and [`validate`] re-parses a file with the in-tree JSON
+//! parser and checks the schema invariants — the CI smoke job runs both
+//! halves against each other so an emitter regression cannot land
+//! silently.
+
+use crate::harness::BenchSummary;
+use ladm_obs::json::{escape, number, Json};
+use ladm_sim::KernelStats;
+
+/// Schema tag written into every report; bump when fields change shape.
+pub const SCHEMA: &str = "ladm-bench-v1";
+
+/// One timed `(workload, policy, scale)` cell.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Table IV workload name.
+    pub workload: String,
+    /// Policy name as accepted by `policy_by_name`.
+    pub policy: String,
+    /// Input scale the cell ran at (`test` or `bench`).
+    pub scale: String,
+    /// Wall-time summary from [`crate::bench_function`].
+    pub wall: BenchSummary,
+    /// Simulated completion time in core cycles.
+    pub sim_cycles: f64,
+    /// Sectors routed through the memory hierarchy (L1 hits + misses).
+    pub sectors: u64,
+}
+
+impl BenchCell {
+    /// Builds a cell from a run's accumulated statistics.
+    pub fn new(
+        workload: &str,
+        policy: &str,
+        scale: &str,
+        wall: BenchSummary,
+        stats: &KernelStats,
+    ) -> Self {
+        BenchCell {
+            workload: workload.to_string(),
+            policy: policy.to_string(),
+            scale: scale.to_string(),
+            wall,
+            sim_cycles: stats.cycles,
+            sectors: stats.l1_hits + stats.l1_misses,
+        }
+    }
+
+    /// Simulation throughput: sectors routed per wall-clock second of
+    /// the fastest sample. The engine-speed headline number.
+    pub fn sectors_per_sec(&self) -> f64 {
+        if self.wall.min > 0.0 {
+            self.sectors as f64 / self.wall.min
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A full report: provenance plus one entry per timed cell.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `git rev-parse --short HEAD`, or `"unknown"` outside a checkout.
+    pub git_rev: String,
+    /// Timed samples per cell (`LADM_BENCH_SAMPLES`).
+    pub samples: usize,
+    /// Timed cells, in run order.
+    pub cells: Vec<BenchCell>,
+}
+
+/// Renders a report as pretty-printed JSON. Pure function of its input —
+/// unit-testable without touching the filesystem or the clock.
+pub fn render(report: &BenchReport) -> String {
+    let mut out = String::with_capacity(256 + report.cells.len() * 256);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", escape(SCHEMA)));
+    out.push_str(&format!(
+        "  \"git_rev\": \"{}\",\n",
+        escape(&report.git_rev)
+    ));
+    out.push_str(&format!("  \"samples\": {},\n", report.samples));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in report.cells.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": \"{}\", ", escape(&cell.workload)));
+        out.push_str(&format!("\"policy\": \"{}\", ", escape(&cell.policy)));
+        out.push_str(&format!("\"scale\": \"{}\", ", escape(&cell.scale)));
+        out.push_str(&format!("\"wall_min_s\": {}, ", number(cell.wall.min)));
+        out.push_str(&format!("\"wall_mean_s\": {}, ", number(cell.wall.mean)));
+        out.push_str(&format!("\"sim_cycles\": {}, ", number(cell.sim_cycles)));
+        out.push_str(&format!("\"sectors\": {}, ", cell.sectors));
+        out.push_str(&format!(
+            "\"sectors_per_sec\": {}",
+            number(cell.sectors_per_sec())
+        ));
+        out.push_str(if i + 1 == report.cells.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses `text` with the in-tree JSON parser and checks the
+/// `ladm-bench-v1` invariants: schema tag, non-empty `git_rev`, positive
+/// `samples`, and every cell carrying the full field set with
+/// non-negative wall times and `wall_min_s <= wall_mean_s`. Returns the
+/// cell count.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing 'schema'")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let rev = doc
+        .get("git_rev")
+        .and_then(Json::as_str)
+        .ok_or("missing 'git_rev'")?;
+    if rev.is_empty() {
+        return Err("empty 'git_rev'".to_string());
+    }
+    let samples = doc
+        .get("samples")
+        .and_then(Json::as_f64)
+        .ok_or("missing 'samples'")?;
+    if samples < 1.0 {
+        return Err(format!("samples {samples} < 1"));
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or("missing 'cells' array")?;
+    for (i, cell) in cells.iter().enumerate() {
+        for key in ["workload", "policy", "scale"] {
+            cell.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("cell {i}: missing string '{key}'"))?;
+        }
+        let num = |key: &str| {
+            cell.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("cell {i}: missing number '{key}'"))
+        };
+        let min = num("wall_min_s")?;
+        let mean = num("wall_mean_s")?;
+        num("sim_cycles")?;
+        num("sectors")?;
+        num("sectors_per_sec")?;
+        if min < 0.0 || mean < 0.0 {
+            return Err(format!("cell {i}: negative wall time"));
+        }
+        if min > mean + 1e-12 {
+            return Err(format!("cell {i}: wall_min_s {min} > wall_mean_s {mean}"));
+        }
+    }
+    Ok(cells.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let stats = KernelStats {
+            cycles: 1234.5,
+            l1_hits: 600,
+            l1_misses: 400,
+            ..Default::default()
+        };
+        BenchReport {
+            git_rev: "abc1234".to_string(),
+            samples: 5,
+            cells: vec![
+                BenchCell::new(
+                    "VecAdd",
+                    "ladm",
+                    "test",
+                    BenchSummary {
+                        min: 0.002,
+                        mean: 0.0025,
+                        samples: 5,
+                    },
+                    &stats,
+                ),
+                BenchCell::new(
+                    "SQ-GEMM",
+                    "baseline-rr",
+                    "bench",
+                    BenchSummary {
+                        min: 0.1,
+                        mean: 0.11,
+                        samples: 5,
+                    },
+                    &stats,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_roundtrips_through_validate() {
+        let text = render(&sample_report());
+        assert_eq!(validate(&text), Ok(2));
+        let doc = Json::parse(&text).expect("render emits parsable JSON");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let cells = doc.get("cells").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            cells[0].get("workload").and_then(Json::as_str),
+            Some("VecAdd")
+        );
+        assert_eq!(cells[0].get("sectors").and_then(Json::as_f64), Some(1000.0));
+    }
+
+    #[test]
+    fn sectors_per_sec_uses_fastest_sample() {
+        let report = sample_report();
+        let cell = &report.cells[0];
+        assert!((cell.sectors_per_sec() - 1000.0 / 0.002).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").unwrap_err().contains("schema"));
+        let wrong_schema = r#"{"schema": "other", "git_rev": "x", "samples": 1, "cells": []}"#;
+        assert!(validate(wrong_schema).unwrap_err().contains("expected"));
+        let missing_field = format!(
+            r#"{{"schema": "{SCHEMA}", "git_rev": "x", "samples": 1,
+                "cells": [{{"workload": "w", "policy": "p", "scale": "s"}}]}}"#
+        );
+        assert!(validate(&missing_field).unwrap_err().contains("wall_min_s"));
+        let inverted = format!(
+            r#"{{"schema": "{SCHEMA}", "git_rev": "x", "samples": 1,
+                "cells": [{{"workload": "w", "policy": "p", "scale": "s",
+                 "wall_min_s": 2.0, "wall_mean_s": 1.0, "sim_cycles": 1,
+                 "sectors": 1, "sectors_per_sec": 1}}]}}"#
+        );
+        assert!(validate(&inverted).unwrap_err().contains("wall_min_s"));
+    }
+
+    #[test]
+    fn render_escapes_strings() {
+        let mut report = sample_report();
+        report.git_rev = "a\"b".to_string();
+        let text = render(&report);
+        let doc = Json::parse(&text).expect("escaped output parses");
+        assert_eq!(doc.get("git_rev").and_then(Json::as_str), Some("a\"b"));
+    }
+}

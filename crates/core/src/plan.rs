@@ -86,7 +86,35 @@ pub enum PageMap {
     },
 }
 
+/// Page-granularity classification of one page of one allocation, used to
+/// precompute flat page→home tables (one entry per device page) instead of
+/// re-matching on the [`PageMap`] variant for every access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageHomeKind {
+    /// The page statically lives on this node.
+    Node(NodeId),
+    /// Placement is deferred to the first toucher (machine-resolved).
+    FirstTouch,
+    /// The page is striped below page granularity; each address must be
+    /// resolved through [`PageMap::node_of`].
+    SubPage,
+}
+
 impl PageMap {
+    /// Classifies `page` (index relative to the allocation base) for
+    /// flat-table precomputation: either its static home node or the
+    /// sentinel telling the machine how to resolve accesses to it.
+    pub fn page_home(&self, page: u64, topo: &Topology) -> PageHomeKind {
+        match self {
+            PageMap::FirstTouch => PageHomeKind::FirstTouch,
+            PageMap::SubPageInterleave { .. } => PageHomeKind::SubPage,
+            _ => PageHomeKind::Node(
+                self.node_of_page(page, topo)
+                    .expect("static maps resolve at page granularity"),
+            ),
+        }
+    }
+
     /// Resolves the home node of `page` (index relative to the allocation
     /// base). Returns `None` for [`PageMap::FirstTouch`] (only the running
     /// machine can resolve it) and for [`PageMap::SubPageInterleave`]
@@ -373,6 +401,45 @@ mod tests {
             let pg_node = pages.node_of_page(page, &t).unwrap();
             let diff = (i64::from(tb_node.0) - i64::from(pg_node.0)).abs();
             assert!(diff <= 1, "tb {lin}: {tb_node} vs {pg_node}");
+        }
+    }
+
+    #[test]
+    fn page_home_classifies_every_variant() {
+        let t = topo();
+        assert_eq!(
+            PageMap::Fixed(NodeId(3)).page_home(9, &t),
+            PageHomeKind::Node(NodeId(3))
+        );
+        assert_eq!(
+            PageMap::FirstTouch.page_home(0, &t),
+            PageHomeKind::FirstTouch
+        );
+        assert_eq!(
+            PageMap::SubPageInterleave {
+                gran_bytes: 256,
+                order: RrOrder::Hierarchical,
+            }
+            .page_home(0, &t),
+            PageHomeKind::SubPage
+        );
+        // The static variants agree with node_of_page on every page.
+        let maps = [
+            PageMap::Interleave {
+                gran_pages: 2,
+                order: RrOrder::GpuMajor,
+            },
+            PageMap::Chunk { pages_per_node: 4 },
+            PageMap::Spread { total_pages: 100 },
+        ];
+        for map in maps {
+            for page in [0u64, 1, 17, 99, 400] {
+                assert_eq!(
+                    map.page_home(page, &t),
+                    PageHomeKind::Node(map.node_of_page(page, &t).unwrap()),
+                    "{map}"
+                );
+            }
         }
     }
 

@@ -42,6 +42,17 @@ pub struct TokenBucket {
     capacity_per_bin: f64,
     /// Remaining capacity of bins `[first_bin, first_bin + len)`.
     bins: VecDeque<f64>,
+    /// Skip pointers over drained bins, parallel to `bins`: when
+    /// `bins[i] == 0`, `skip[i]` bins starting at `i` are known to be
+    /// zero and a claim can jump over all of them at once (0 = no
+    /// information, probe the bin). Capacity only ever decreases, so a
+    /// recorded zero-run stays valid forever; with path compression on
+    /// every walk, claims are amortized O(1) instead of O(backlog) on a
+    /// saturated link.
+    skip: VecDeque<u32>,
+    /// Scratch for the bins visited by the current walk (compressed at
+    /// the end); retained to avoid a per-claim allocation.
+    walked: Vec<u64>,
     first_bin: u64,
     /// Every bin below this index is fully drained — claims can skip
     /// straight past the backlog instead of scanning it.
@@ -65,6 +76,8 @@ impl TokenBucket {
             bytes_per_cycle,
             capacity_per_bin: bytes_per_cycle * BIN_CYCLES,
             bins: VecDeque::new(),
+            skip: VecDeque::new(),
+            walked: Vec::new(),
             first_bin: 0,
             drained_below: 0,
             busy_bytes: 0.0,
@@ -86,35 +99,61 @@ impl TokenBucket {
             .max(self.drained_below);
         let mut remaining = bytes as f64;
         let per_bin = self.capacity_per_bin;
-        loop {
-            let cap = self.bin_mut(bin);
+        self.walked.clear();
+        let served_in = loop {
+            let idx = self.bin_idx(bin);
+            if self.bins[idx] == 0.0 {
+                // Known-zero run: jump over it. A drained bin contributes
+                // nothing to `remaining`, so skipping it is exact.
+                self.walked.push(bin);
+                bin += u64::from(self.skip[idx].max(1));
+                continue;
+            }
+            let cap = &mut self.bins[idx];
             if *cap >= remaining {
                 *cap -= remaining;
                 let left = *cap;
-                let fill = 1.0 - left / per_bin;
-                if left == 0.0 && bin == self.drained_below {
-                    self.drained_below = bin + 1;
+                if left == 0.0 {
+                    self.skip[idx] = 1;
+                    if bin == self.drained_below {
+                        self.drained_below = bin + 1;
+                    }
                 }
+                let fill = 1.0 - left / per_bin;
                 let depart_bin = (bin as f64 + fill) * BIN_CYCLES;
-                self.prune(bin);
-                return depart_bin.max(now + bytes as f64 / self.bytes_per_cycle);
+                break depart_bin.max(now + bytes as f64 / self.bytes_per_cycle);
             }
             remaining -= *cap;
             *cap = 0.0;
+            self.skip[idx] = 1;
             if bin == self.drained_below {
                 self.drained_below = bin + 1;
             }
+            self.walked.push(bin);
             bin += 1;
+        };
+        // Path compression: every zero bin visited on this walk jumps
+        // straight to the bin that finally had capacity.
+        for i in 0..self.walked.len() {
+            let b = self.walked[i];
+            if b >= self.first_bin {
+                let idx = (b - self.first_bin) as usize;
+                self.skip[idx] = (bin - b).min(u64::from(u32::MAX)) as u32;
+            }
         }
+        self.prune(bin);
+        served_in
     }
 
-    fn bin_mut(&mut self, bin: u64) -> &mut f64 {
+    /// Index of `bin` in the ledger, growing it with full bins as needed.
+    fn bin_idx(&mut self, bin: u64) -> usize {
         debug_assert!(bin >= self.first_bin);
         let idx = (bin - self.first_bin) as usize;
         if idx >= self.bins.len() {
             self.bins.resize(idx + 1, self.capacity_per_bin);
+            self.skip.resize(idx + 1, 0);
         }
-        &mut self.bins[idx]
+        idx
     }
 
     /// Drops bins far behind the newest referenced bin; later claims that
@@ -124,6 +163,7 @@ impl TokenBucket {
         let horizon = newest.saturating_sub(RETAIN_BINS as u64);
         while self.first_bin < horizon && !self.bins.is_empty() {
             self.bins.pop_front();
+            self.skip.pop_front();
             self.first_bin += 1;
         }
     }
@@ -150,6 +190,7 @@ impl TokenBucket {
     /// Resets ledger state and counters (kernel boundary).
     pub fn reset(&mut self) {
         self.bins.clear();
+        self.skip.clear();
         self.first_bin = 0;
         self.drained_below = 0;
         self.busy_bytes = 0.0;

@@ -4,8 +4,22 @@
 //! a lookup can hit the line but miss the sector, which costs a 32 B fill
 //! without a full-line eviction — the behaviour behind the paper's
 //! "L2 sector misses per kilo warp instruction" metric.
+//!
+//! Storage is struct-of-arrays, and each way's tag and sector-presence
+//! bits are packed into a single `u64` (`sectors << 56 | line`), so the
+//! associative scan of a 16-way set reads two host cache lines of metadata
+//! total; LRU stamps live in a parallel vector touched only on hits and
+//! victim selection. A way is *valid* iff its sector mask is non-zero (a
+//! resident line always holds at least the sector that allocated it).
 
 use crate::config::CacheConfig;
+
+/// Low 56 bits of a packed way: the line number. The high 8 bits hold the
+/// sector-presence mask.
+const LINE_MASK: u64 = (1 << 56) - 1;
+
+/// Bit position of the sector mask within a packed way.
+const SECTOR_SHIFT: u32 = 56;
 
 /// Result of a cache probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,21 +31,6 @@ pub enum Lookup {
     /// Line absent (allocation + possible eviction).
     LineMiss,
 }
-
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    tag: u64,
-    sectors: u8,
-    lru: u64,
-    valid: bool,
-}
-
-const INVALID: Way = Way {
-    tag: 0,
-    sectors: 0,
-    lru: 0,
-    valid: false,
-};
 
 /// A sectored set-associative cache.
 ///
@@ -50,7 +49,11 @@ const INVALID: Way = Way {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SectoredCache {
-    ways: Vec<Way>,
+    /// Packed ways: `sector_mask << 56 | line`. Zero sector mask ⇔
+    /// invalid way.
+    meta: Vec<u64>,
+    /// LRU stamps, parallel to `meta`.
+    lru: Vec<u64>,
     assoc: usize,
     set_mask: u64,
     line_shift: u32,
@@ -59,14 +62,31 @@ pub struct SectoredCache {
     hits: u64,
     sector_misses: u64,
     line_misses: u64,
+    /// Way index of the most recently touched line. Streaming warps
+    /// re-touch the same line sector after sector, so a single tag check
+    /// here skips the associative scan most of the time. Pure
+    /// memoization: every state transition (clock, LRU, counters) is
+    /// identical to the scanning path.
+    mru: usize,
 }
 
 impl SectoredCache {
     /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a line holds more than 8 sectors (the packed layout
+    /// keeps the presence mask in 8 bits).
     pub fn new(config: &CacheConfig) -> Self {
         let sets = config.num_sets() as usize;
+        let slots = sets * config.assoc as usize;
+        assert!(
+            config.line_bytes / config.sector_bytes <= 8,
+            "packed way layout supports at most 8 sectors per line"
+        );
         SectoredCache {
-            ways: vec![INVALID; sets * config.assoc as usize],
+            meta: vec![0; slots],
+            lru: vec![0; slots],
             assoc: config.assoc as usize,
             set_mask: sets as u64 - 1,
             line_shift: config.line_bytes.trailing_zeros(),
@@ -75,22 +95,32 @@ impl SectoredCache {
             hits: 0,
             sector_misses: 0,
             line_misses: 0,
+            mru: 0,
         }
     }
 
     fn line_of(&self, addr: u64) -> u64 {
-        addr >> self.line_shift
+        (addr >> self.line_shift) & LINE_MASK
     }
 
-    fn sector_bit(&self, addr: u64) -> u8 {
+    /// The requested sector's presence bit, in packed (high-byte)
+    /// position.
+    fn sector_bit(&self, addr: u64) -> u64 {
         let sector_in_line =
             (addr >> self.sector_shift) & ((1 << (self.line_shift - self.sector_shift)) - 1);
-        1u8 << sector_in_line
+        1u64 << (SECTOR_SHIFT + sector_in_line as u32)
     }
 
     fn set_range(&self, line: u64) -> std::ops::Range<usize> {
         let set = (line & self.set_mask) as usize;
         set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Whether way `idx` currently holds `line` (valid + tag match).
+    #[inline]
+    fn holds(&self, idx: usize, line: u64) -> bool {
+        let m = self.meta[idx];
+        m & LINE_MASK == line && m >> SECTOR_SHIFT != 0
     }
 
     /// Probes for the sector containing `addr` **without** modifying
@@ -99,11 +129,22 @@ impl SectoredCache {
         self.clock += 1;
         let line = self.line_of(addr);
         let bit = self.sector_bit(addr);
-        let range = self.set_range(line);
-        for way in &mut self.ways[range] {
-            if way.valid && way.tag == line {
-                if way.sectors & bit != 0 {
-                    way.lru = self.clock;
+        // Fast path: tags are full line numbers, so an MRU tag match is
+        // always the right way in the right set.
+        let clock = self.clock;
+        let mru = self.mru;
+        if mru < self.meta.len() && self.holds(mru, line) {
+            if self.meta[mru] & bit != 0 {
+                self.lru[mru] = clock;
+                return Lookup::Hit;
+            }
+            return Lookup::SectorMiss;
+        }
+        for i in self.set_range(line) {
+            if self.holds(i, line) {
+                self.mru = i;
+                if self.meta[i] & bit != 0 {
+                    self.lru[i] = clock;
                     return Lookup::Hit;
                 }
                 return Lookup::SectorMiss;
@@ -115,60 +156,120 @@ impl SectoredCache {
     /// Accesses the sector containing `addr`: on a miss the sector is
     /// filled (allocating/evicting a line as needed). Statistics are
     /// updated. This models a read with allocate-on-miss.
+    ///
+    /// Fused single-scan equivalent of `probe` + `fill`: one pass finds
+    /// the resident line *and* the eviction victim, instead of probing,
+    /// re-scanning for the line, and scanning a third time for the
+    /// victim. Every state transition (clock advance, LRU stamp, victim
+    /// choice, MRU memo) is identical to the split path.
     pub fn access(&mut self, addr: u64) -> Lookup {
-        let result = self.probe(addr);
-        match result {
-            Lookup::Hit => self.hits += 1,
-            Lookup::SectorMiss => {
-                self.sector_misses += 1;
-                self.fill(addr);
+        let line = self.line_of(addr);
+        let bit = self.sector_bit(addr);
+
+        let mru = self.mru;
+        if mru < self.meta.len() && self.holds(mru, line) {
+            return self.touch(mru, bit);
+        }
+        let mut found = usize::MAX;
+        // Victim key mirrors the fill path's selection: invalid ways
+        // sort before valid ones, then oldest LRU, first minimum wins.
+        let mut victim = usize::MAX;
+        let mut victim_key = (2u8, u64::MAX);
+        for i in self.set_range(line) {
+            if self.holds(i, line) {
+                found = i;
+                break;
             }
-            Lookup::LineMiss => {
-                self.line_misses += 1;
-                self.fill(addr);
+            let key = if self.meta[i] >> SECTOR_SHIFT != 0 {
+                (1, self.lru[i])
+            } else {
+                (0, 0)
+            };
+            if key < victim_key {
+                victim_key = key;
+                victim = i;
             }
         }
-        result
+        if found != usize::MAX {
+            self.mru = found;
+            return self.touch(found, bit);
+        }
+        // Line miss: the split path advanced the clock once in the probe
+        // and once in the fill.
+        self.clock += 2;
+        self.line_misses += 1;
+        self.meta[victim] = bit | line;
+        self.lru[victim] = self.clock;
+        self.mru = victim;
+        Lookup::LineMiss
+    }
+
+    /// Hit-or-sector-miss completion for a resident line found by
+    /// [`SectoredCache::access`]; replicates probe-then-fill clock and
+    /// LRU updates exactly.
+    fn touch(&mut self, idx: usize, bit: u64) -> Lookup {
+        if self.meta[idx] & bit != 0 {
+            self.clock += 1;
+            self.lru[idx] = self.clock;
+            self.hits += 1;
+            Lookup::Hit
+        } else {
+            self.clock += 2;
+            self.meta[idx] |= bit;
+            self.lru[idx] = self.clock;
+            self.sector_misses += 1;
+            Lookup::SectorMiss
+        }
     }
 
     /// Inserts the sector containing `addr` (fill path / write-allocate).
+    /// Single scan: finds the resident line and tracks the eviction
+    /// victim in one pass (same victim ordering as the access path).
     pub fn fill(&mut self, addr: u64) {
         self.clock += 1;
         let line = self.line_of(addr);
         let bit = self.sector_bit(addr);
-        let range = self.set_range(line);
         let clock = self.clock;
 
-        // Existing line: set the sector bit.
-        for way in &mut self.ways[range.clone()] {
-            if way.valid && way.tag == line {
-                way.sectors |= bit;
-                way.lru = clock;
+        // Fast path: the MRU way already holds the line.
+        let mru = self.mru;
+        if mru < self.meta.len() && self.holds(mru, line) {
+            self.meta[mru] |= bit;
+            self.lru[mru] = clock;
+            return;
+        }
+        let mut victim = usize::MAX;
+        let mut victim_key = (2u8, u64::MAX);
+        for i in self.set_range(line) {
+            // Existing line: set the sector bit.
+            if self.holds(i, line) {
+                self.meta[i] |= bit;
+                self.lru[i] = clock;
+                self.mru = i;
                 return;
             }
+            // Prefer an invalid way, else true-LRU; first minimum wins.
+            let key = if self.meta[i] >> SECTOR_SHIFT != 0 {
+                (1, self.lru[i])
+            } else {
+                (0, 0)
+            };
+            if key < victim_key {
+                victim_key = key;
+                victim = i;
+            }
         }
-        // Allocate: prefer an invalid way, else evict true-LRU.
-        let set = &mut self.ways[range];
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| if w.valid { (1, w.lru) } else { (0, 0) })
-            .expect("associativity is at least one");
-        *victim = Way {
-            tag: line,
-            sectors: bit,
-            lru: clock,
-            valid: true,
-        };
+        self.meta[victim] = bit | line;
+        self.lru[victim] = clock;
+        self.mru = victim;
     }
 
     /// Invalidates the line containing `addr` if present.
     pub fn invalidate(&mut self, addr: u64) {
         let line = self.line_of(addr);
-        let range = self.set_range(line);
-        for way in &mut self.ways[range] {
-            if way.valid && way.tag == line {
-                way.valid = false;
-                way.sectors = 0;
+        for i in self.set_range(line) {
+            if self.holds(i, line) {
+                self.meta[i] &= LINE_MASK;
                 return;
             }
         }
@@ -177,9 +278,8 @@ impl SectoredCache {
     /// Invalidates the entire cache (kernel-boundary coherence flush).
     /// Statistics are preserved.
     pub fn flush(&mut self) {
-        for way in &mut self.ways {
-            *way = INVALID;
-        }
+        self.meta.fill(0);
+        self.lru.fill(0);
     }
 
     /// Sector hits since construction.
@@ -292,11 +392,47 @@ mod tests {
     }
 
     #[test]
+    fn mru_memo_survives_interleaving_and_invalidation() {
+        let mut c = tiny();
+        c.access(0x0000); // line 0 -> MRU
+        c.access(0x0100); // line 2, same set -> MRU moves
+        assert_eq!(c.access(0x0020), Lookup::SectorMiss); // line 0 via scan
+        assert_eq!(c.access(0x0020), Lookup::Hit); // now via MRU fast path
+        c.invalidate(0x0020); // invalidate the MRU line itself
+        assert_eq!(c.access(0x0000), Lookup::LineMiss);
+        assert_eq!(c.access(0x0100), Lookup::Hit);
+        c.flush();
+        assert_eq!(c.access(0x0100), Lookup::LineMiss);
+    }
+
+    #[test]
     fn distinct_tags_in_same_set_coexist_up_to_assoc() {
         let mut c = tiny();
         c.access(0x0000);
         c.access(0x0100);
         assert_eq!(c.access(0x0000), Lookup::Hit);
+        assert_eq!(c.access(0x0100), Lookup::Hit);
+    }
+
+    /// A freshly built cache must not treat slot-0 tag garbage as a
+    /// resident line 0 (validity is carried by the sector mask).
+    #[test]
+    fn zero_line_does_not_alias_empty_slots() {
+        let mut c = tiny();
+        assert_eq!(c.probe(0x0000), Lookup::LineMiss);
+        assert_eq!(c.access(0x0000), Lookup::LineMiss);
+        assert_eq!(c.access(0x0000), Lookup::Hit);
+    }
+
+    /// An invalidated way remembers nothing: refilling a different line
+    /// into it must not resurrect the stale tag.
+    #[test]
+    fn invalidated_way_is_reusable() {
+        let mut c = tiny();
+        c.access(0x0000);
+        c.invalidate(0x0000);
+        c.access(0x0100); // same set, different line; takes the freed way
+        assert_eq!(c.access(0x0000), Lookup::LineMiss);
         assert_eq!(c.access(0x0100), Lookup::Hit);
     }
 }

@@ -63,6 +63,15 @@ pub trait KernelExec: Send + Sync {
     /// at loop iteration `iter` to `out` (which arrives cleared).
     fn warp_accesses(&self, tb: (u32, u32), warp: u32, iter: u32, out: &mut Vec<ThreadAccess>);
 
+    /// Whether the access pattern is independent of `iter`: the same
+    /// `(tb, warp)` must yield the same accesses on every loop iteration.
+    /// When `true`, the engine generates each warp's coalesced sectors
+    /// once and replays them on later trips. Default: `false` (always
+    /// regenerate) — only return `true` when it provably holds.
+    fn iter_invariant(&self) -> bool {
+        false
+    }
+
     /// Overrides the page size the launch descriptor advertises to
     /// policies (used by page-size ablation studies). Default: no-op.
     fn set_page_bytes(&mut self, _page_bytes: u64) {}

@@ -73,6 +73,10 @@ struct SmState {
     next_issue: f64,
 }
 
+/// A warp slot's cached `(instruction count, coalesced sectors)` for
+/// iteration-invariant replay; `None` until the first trip generates it.
+type CachedIteration = Option<(u64, Vec<(u64, bool)>)>;
+
 /// The simulated hierarchical multi-GPU machine.
 #[derive(Debug)]
 pub struct GpuSystem {
@@ -165,7 +169,7 @@ impl GpuSystem {
         for (i, arg) in launch.kernel.args.iter().enumerate() {
             self.mem.alloc(launch.arg_bytes(i).max(1), arg.elem_bytes);
         }
-        self.mem.apply_plan(&plan);
+        self.mem.apply_plan(&plan, &self.cfg.topology);
         self.flush();
         let stats = self.execute(kernel, &plan);
         if let Some(s) = sink {
@@ -204,15 +208,29 @@ impl GpuSystem {
         // local, not `self` (route_sector needs `&mut self`).
         let sink_arc = self.sink.clone();
         let sink = sink_arc.as_deref().filter(|s| s.enabled());
-        let cfg = self.cfg.clone();
-        let topo = cfg.topology;
+        // Hoisted scalar copies of the configuration — the engine loop
+        // never clones `SimConfig` or chases `self.cfg` per event.
+        let topo = self.cfg.topology;
+        let warp_size = self.cfg.warp_size;
+        let sms_per_chiplet = self.cfg.sms_per_chiplet;
         let (gdx, gdy) = launch.grid;
         let threads_per_tb = launch.threads_per_tb() as u32;
-        let warps_per_tb = threads_per_tb.div_ceil(cfg.warp_size).max(1);
+        let warps_per_tb = threads_per_tb.div_ceil(warp_size).max(1);
         let trips = kernel.trips().max(1);
         let compute_cycles =
-            (cfg.base_compute_cycles * u64::from(kernel.compute_intensity().max(1))) as f64;
-        let issue_cost = 1.0 / cfg.issue_per_cycle;
+            (self.cfg.base_compute_cycles * u64::from(kernel.compute_intensity().max(1))) as f64;
+        let issue_cost = 1.0 / self.cfg.issue_per_cycle;
+
+        // Per-allocation (base, elems, elem_bytes) so coalescing resolves
+        // addresses from a local table instead of re-deriving the extent
+        // per thread access through `AddressSpace::addr_of`.
+        let addr_tab: Vec<(u64, u64, u64)> = self
+            .mem
+            .allocations()
+            .iter()
+            .map(|a| (a.base, a.elems, u64::from(a.elem_bytes)))
+            .collect();
+        let sector_mask = !(u64::from(self.cfg.l1.sector_bytes) - 1);
 
         // Threadblock queues per node, in dispatch (linear) order.
         let mut queues: Vec<VecDeque<(u32, u32)>> =
@@ -224,17 +242,18 @@ impl GpuSystem {
             }
         }
 
-        let tb_slots_per_sm = cfg
+        let tb_slots_per_sm = self
+            .cfg
             .max_tbs_per_sm
-            .min(cfg.warps_per_sm / warps_per_tb)
+            .min(self.cfg.warps_per_sm / warps_per_tb)
             .max(1);
         let mut sms = vec![
             SmState {
                 free_tb_slots: tb_slots_per_sm,
-                free_warps: cfg.warps_per_sm.max(warps_per_tb),
+                free_warps: self.cfg.warps_per_sm.max(warps_per_tb),
                 next_issue: 0.0,
             };
-            cfg.total_sms() as usize
+            self.cfg.total_sms() as usize
         ];
 
         let mut warps: Vec<WarpCtx> = Vec::new();
@@ -248,90 +267,107 @@ impl GpuSystem {
         let mut sector_buf: Vec<(u64, bool)> = Vec::with_capacity(64);
         let mut max_time: f64 = 0.0;
 
+        // Pre-sized off-node attribution: the per-sector hot path indexes
+        // directly; `remote_args` tracks 1 + the highest argument that saw
+        // off-node traffic so the vector can be truncated at the end to
+        // the exact length the lazily-grown version would have had.
+        stats.offnode_by_arg = vec![0; addr_tab.len()];
+        let mut remote_args: usize = 0;
+
+        // When the kernel's access pattern does not depend on the loop
+        // iteration, each warp's coalesced sector list is generated once
+        // and replayed on later trips (per warp slot; reset on dispatch).
+        let iter_invariant = trips > 1 && kernel.iter_invariant();
+        let mut warp_cache: Vec<CachedIteration> = Vec::new();
+
         // Dispatches threadblocks from `node`'s queue onto its SMs.
-        let dispatch = |node: u32,
-                        now: f64,
-                        queues: &mut Vec<VecDeque<(u32, u32)>>,
-                        sms: &mut Vec<SmState>,
-                        warps: &mut Vec<WarpCtx>,
-                        free_warp_slots: &mut Vec<u32>,
-                        tbs: &mut Vec<TbCtx>,
-                        free_tb_slots: &mut Vec<u32>,
-                        heap: &mut BinaryHeap<Reverse<Event>>,
-                        seq: &mut u64,
-                        stats: &mut KernelStats| {
-            let sm_base = node * cfg.sms_per_chiplet;
-            'outer: while !queues[node as usize].is_empty() {
-                // First SM on the node with room for a whole block.
-                let mut chosen = None;
-                for i in 0..cfg.sms_per_chiplet {
-                    let sm = sm_base + i;
-                    let s = &sms[sm as usize];
-                    if s.free_tb_slots > 0 && s.free_warps >= warps_per_tb {
-                        chosen = Some(sm);
-                        break;
+        let dispatch =
+            |node: u32,
+             now: f64,
+             queues: &mut Vec<VecDeque<(u32, u32)>>,
+             sms: &mut Vec<SmState>,
+             warps: &mut Vec<WarpCtx>,
+             free_warp_slots: &mut Vec<u32>,
+             tbs: &mut Vec<TbCtx>,
+             free_tb_slots: &mut Vec<u32>,
+             heap: &mut BinaryHeap<Reverse<Event>>,
+             seq: &mut u64,
+             stats: &mut KernelStats,
+             warp_cache: &mut Vec<CachedIteration>| {
+                let sm_base = node * sms_per_chiplet;
+                'outer: while !queues[node as usize].is_empty() {
+                    // First SM on the node with room for a whole block.
+                    let mut chosen = None;
+                    for i in 0..sms_per_chiplet {
+                        let sm = sm_base + i;
+                        let s = &sms[sm as usize];
+                        if s.free_tb_slots > 0 && s.free_warps >= warps_per_tb {
+                            chosen = Some(sm);
+                            break;
+                        }
                     }
-                }
-                let Some(sm) = chosen else { break 'outer };
-                let (bx, by) = queues[node as usize]
-                    .pop_front()
-                    .expect("checked non-empty");
-                sms[sm as usize].free_tb_slots -= 1;
-                sms[sm as usize].free_warps -= warps_per_tb;
-                let tb_idx = match free_tb_slots.pop() {
-                    Some(i) => {
-                        tbs[i as usize] = TbCtx {
-                            live_warps: warps_per_tb,
-                            node,
-                        };
-                        i
-                    }
-                    None => {
-                        tbs.push(TbCtx {
-                            live_warps: warps_per_tb,
-                            node,
-                        });
-                        (tbs.len() - 1) as u32
-                    }
-                };
-                stats.threadblocks += 1;
-                if let Some(s) = sink {
-                    s.record(TraceEvent::TbDispatch {
-                        time: now,
-                        bx,
-                        by,
-                        node: node as u16,
-                        sm,
-                    });
-                }
-                for w in 0..warps_per_tb {
-                    let ctx = WarpCtx {
-                        bx,
-                        by,
-                        warp: w,
-                        iter: 0,
-                        sm,
-                        tb: tb_idx,
-                    };
-                    let warp_idx = match free_warp_slots.pop() {
+                    let Some(sm) = chosen else { break 'outer };
+                    let (bx, by) = queues[node as usize]
+                        .pop_front()
+                        .expect("checked non-empty");
+                    sms[sm as usize].free_tb_slots -= 1;
+                    sms[sm as usize].free_warps -= warps_per_tb;
+                    let tb_idx = match free_tb_slots.pop() {
                         Some(i) => {
-                            warps[i as usize] = ctx;
+                            tbs[i as usize] = TbCtx {
+                                live_warps: warps_per_tb,
+                                node,
+                            };
                             i
                         }
                         None => {
-                            warps.push(ctx);
-                            (warps.len() - 1) as u32
+                            tbs.push(TbCtx {
+                                live_warps: warps_per_tb,
+                                node,
+                            });
+                            (tbs.len() - 1) as u32
                         }
                     };
-                    *seq += 1;
-                    heap.push(Reverse(Event {
-                        time: now,
-                        seq: *seq,
-                        warp: warp_idx,
-                    }));
+                    stats.threadblocks += 1;
+                    if let Some(s) = sink {
+                        s.record(TraceEvent::TbDispatch {
+                            time: now,
+                            bx,
+                            by,
+                            node: node as u16,
+                            sm,
+                        });
+                    }
+                    for w in 0..warps_per_tb {
+                        let ctx = WarpCtx {
+                            bx,
+                            by,
+                            warp: w,
+                            iter: 0,
+                            sm,
+                            tb: tb_idx,
+                        };
+                        let warp_idx = match free_warp_slots.pop() {
+                            Some(i) => {
+                                warps[i as usize] = ctx;
+                                warp_cache[i as usize] = None;
+                                i
+                            }
+                            None => {
+                                warps.push(ctx);
+                                warp_cache.push(None);
+                                (warps.len() - 1) as u32
+                            }
+                        };
+                        *seq += 1;
+                        heap.push(Reverse(Event {
+                            time: now,
+                            seq: *seq,
+                            warp: warp_idx,
+                        }));
+                    }
                 }
-            }
-        };
+            };
 
         for node in 0..topo.num_nodes() {
             dispatch(
@@ -346,8 +382,54 @@ impl GpuSystem {
                 &mut heap,
                 &mut seq,
                 &mut stats,
+                &mut warp_cache,
             );
         }
+
+        // Generates one warp iteration's accesses and coalesces them into
+        // sorted, deduplicated sectors; returns the instruction count.
+        let gen = |ctx: WarpCtx,
+                   access_buf: &mut Vec<ThreadAccess>,
+                   sector_buf: &mut Vec<(u64, bool)>|
+         -> u64 {
+            access_buf.clear();
+            kernel.warp_accesses((ctx.bx, ctx.by), ctx.warp, ctx.iter, access_buf);
+            sector_buf.clear();
+            // Adjacent-duplicate suppression: consecutive threads of a
+            // coalesced site map to long runs of the same sector, and a
+            // run collapses to one entry under sort + dedup anyway (the
+            // write flag is constant within a site, so OR-merging is a
+            // no-op). Skipping repeats up front shrinks the sort input
+            // several-fold without changing its outcome.
+            let mut last = (u64::MAX, false);
+            for a in access_buf.iter() {
+                let (base, elems, elem_bytes) = addr_tab[usize::from(a.arg)];
+                // In-bounds indices (the overwhelmingly common case) skip
+                // the u64 division of the wrap-around modulo.
+                let idx = if a.idx < elems { a.idx } else { a.idx % elems };
+                let addr = base + idx * elem_bytes;
+                let entry = (addr & sector_mask, a.write);
+                if entry != last {
+                    sector_buf.push(entry);
+                    last = entry;
+                }
+            }
+            sector_buf.sort_unstable();
+            sector_buf.dedup_by(|next, prev| {
+                if next.0 == prev.0 {
+                    prev.1 |= next.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            // Issue cost: one compute instruction plus one memory
+            // instruction per (approximate) access site.
+            let mem_instrs = (access_buf.len() as u64)
+                .div_ceil(u64::from(warp_size))
+                .max(u64::from(!access_buf.is_empty()));
+            1 + mem_instrs
+        };
 
         while let Some(Reverse(ev)) = heap.pop() {
             let now = ev.time;
@@ -386,47 +468,44 @@ impl GpuSystem {
                         &mut heap,
                         &mut seq,
                         &mut stats,
+                        &mut warp_cache,
                     );
                 }
                 continue;
             }
 
-            // Generate this iteration's accesses.
-            access_buf.clear();
-            kernel.warp_accesses((ctx.bx, ctx.by), ctx.warp, ctx.iter, &mut access_buf);
+            // Generate this iteration's accesses — or replay the warp's
+            // cached sector list when the pattern is iteration-invariant.
+            let (instrs, sectors): (u64, &[(u64, bool)]) = if iter_invariant {
+                let slot = &mut warp_cache[ev.warp as usize];
+                if slot.is_none() {
+                    let instrs = gen(ctx, &mut access_buf, &mut sector_buf);
+                    *slot = Some((instrs, sector_buf.clone()));
+                }
+                let cached = slot.as_ref().expect("slot was just filled");
+                (cached.0, &cached.1)
+            } else {
+                let instrs = gen(ctx, &mut access_buf, &mut sector_buf);
+                (instrs, &sector_buf)
+            };
 
-            // Issue cost: one compute instruction plus one memory
-            // instruction per (approximate) access site.
-            let mem_instrs = (access_buf.len() as u64)
-                .div_ceil(u64::from(cfg.warp_size))
-                .max(u64::from(!access_buf.is_empty()));
-            let instrs = 1 + mem_instrs;
             stats.warp_instructions += instrs;
             let sm_state = &mut sms[ctx.sm as usize];
             let issue = now.max(sm_state.next_issue);
             sm_state.next_issue = issue + issue_cost * instrs as f64;
 
-            // Coalesce to sectors.
-            sector_buf.clear();
-            for a in &access_buf {
-                let addr = self.mem.addr_of(usize::from(a.arg), a.idx);
-                let sector = addr & !(u64::from(cfg.l1.sector_bytes) - 1);
-                sector_buf.push((sector, a.write));
-            }
-            sector_buf.sort_unstable();
-            sector_buf.dedup_by(|next, prev| {
-                if next.0 == prev.0 {
-                    prev.1 |= next.1;
-                    true
-                } else {
-                    false
-                }
-            });
-
             // Route every sector; the warp blocks on the slowest.
             let mut done = issue + compute_cycles;
-            for &(sector, write) in &sector_buf {
-                let t = self.route_sector(issue, ctx.sm, sector, write, &mut stats, sink);
+            for &(sector, write) in sectors {
+                let t = self.route_sector(
+                    issue,
+                    ctx.sm,
+                    sector,
+                    write,
+                    &mut stats,
+                    &mut remote_args,
+                    sink,
+                );
                 done = done.max(t);
             }
 
@@ -443,6 +522,10 @@ impl GpuSystem {
             debug_assert!(q.is_empty(), "all threadblocks must have run");
         }
 
+        // Match the lazily-grown attribution vector of the reference
+        // engine: report only up to the highest arg with off-node traffic.
+        stats.offnode_by_arg.truncate(remote_args);
+
         stats.cycles = max_time;
         stats.inter_chiplet_bytes = self.fabric.inter_chiplet_bytes();
         stats.inter_gpu_bytes = self.fabric.inter_gpu_bytes();
@@ -452,9 +535,13 @@ impl GpuSystem {
     }
 
     /// Drives one 32 B sector through the hierarchy starting at `t`;
-    /// returns its completion time. When `sink` is present, the terminal
-    /// service point is reported as one [`ladm_obs::Event::Sector`]
-    /// (plus first-touch and DRAM-channel claims along the way).
+    /// returns its completion time. `remote_args` is raised to
+    /// `1 + arg` for every sector whose home is off-node (the caller
+    /// truncates the pre-sized `offnode_by_arg` to it). When `sink` is
+    /// present, the terminal service point is reported as one
+    /// [`ladm_obs::Event::Sector`] (plus first-touch and DRAM-channel
+    /// claims along the way).
+    #[allow(clippy::too_many_arguments)]
     fn route_sector(
         &mut self,
         t: f64,
@@ -462,6 +549,7 @@ impl GpuSystem {
         addr: u64,
         write: bool,
         stats: &mut KernelStats,
+        remote_args: &mut usize,
         sink: Option<&dyn TraceSink>,
     ) -> f64 {
         let cfg = &self.cfg;
@@ -516,7 +604,9 @@ impl GpuSystem {
         // SM -> L2 crossbar hop (charged once with the data payload).
         let mut t = self.fabric.sm_to_l2_traced(t + l1_lat, node, sector, sink);
 
-        let home = self.mem.home_of(addr, node, &topo);
+        // Single flat-table lookup: home node, owning arg and insertion
+        // policy in one step (no hash probes, no binary search).
+        let home = self.mem.resolve(addr, node, &topo);
         if home.faulted {
             t += cfg.page_fault_cycles as f64;
             if let Some(s) = sink {
@@ -552,10 +642,8 @@ impl GpuSystem {
             }
         } else {
             let offgpu = !topo.same_gpu(home.node, node);
-            let arg = self.mem.alloc_of_addr(addr).0;
-            if stats.offnode_by_arg.len() <= arg {
-                stats.offnode_by_arg.resize(arg + 1, 0);
-            }
+            let arg = home.arg as usize;
+            *remote_args = (*remote_args).max(arg + 1);
             // Reactive migration (opt-in): enough consecutive accesses
             // from this node pull the whole page across the fabric; the
             // triggering request stalls for the transfer and is then
@@ -627,7 +715,7 @@ impl GpuSystem {
                     .route_traced(t + l2_lat, node, home.node, 8, sink);
                 // REMOTE-LOCAL at the home L2.
                 stats.l2_remote_local.accesses += 1;
-                let insert = self.mem.remote_insert_of(addr);
+                let insert = home.remote_insert;
                 let home_l2 = &mut self.l2[home.node.0 as usize];
                 match home_l2.probe(addr) {
                     Lookup::Hit => {

@@ -172,7 +172,7 @@ fn address_space_resolution() {
                 .collect(),
             schedule: TbMap::Spread { total: 1 },
         };
-        mem.apply_plan(&plan);
+        mem.apply_plan(&plan, &topo);
         for (i, &len) in lens.iter().enumerate() {
             let addr = mem.addr_of(i, probe % (len / 4).max(1));
             let h1 = mem.home_of(addr, NodeId(3), &topo);

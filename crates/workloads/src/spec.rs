@@ -40,6 +40,10 @@ struct CompiledAccess {
     /// The index with the thread-variable and `Data` terms removed
     /// (evaluated per block/iteration).
     base: Poly,
+    /// `base` partial-evaluated against the launch-constant environment:
+    /// flat `(coeff, bx_pow, by_pow, ind_pow)` terms the per-warp hot
+    /// path sums without touching the polynomial or an [`Env`].
+    base_terms: Vec<(i64, u8, u8, u8)>,
     /// Linear coefficient of `threadIdx.x`.
     c_tx: i64,
     /// Linear coefficient of `threadIdx.y`.
@@ -100,7 +104,6 @@ pub struct AffineKernel {
     trips: u32,
     intensity: u32,
     accesses: Vec<CompiledAccess>,
-    base_env: Env,
 }
 
 impl AffineKernel {
@@ -125,10 +128,12 @@ impl AffineKernel {
                     .subst(Var::Tx, &Poly::zero())
                     .subst(Var::Ty, &Poly::zero())
                     .subst(Var::Data, &Poly::zero());
+                let base_terms = compile_base(&base, &env);
                 accesses.push(CompiledAccess {
                     arg: arg_idx as u16,
                     write: arg.is_written,
                     base,
+                    base_terms,
                     c_tx,
                     c_ty,
                     c_data: if index.contains(Var::Data) { c_data } else { 0 },
@@ -139,7 +144,6 @@ impl AffineKernel {
             }
         }
         AffineKernel {
-            base_env: env,
             launch,
             trips: trips.max(1),
             intensity: intensity.max(1),
@@ -194,6 +198,35 @@ fn coeff_value(index: &Poly, v: Var, env: &Env) -> i64 {
         .unwrap_or_else(|| panic!("unbound parameter in coefficient of {v}"))
 }
 
+/// Partial-evaluates a site's base polynomial: every variable except the
+/// block indices and the outer induction variable is a launch constant
+/// and folds into the term coefficient. Wrapping multiplication is
+/// commutative and associative, so the folded terms reproduce
+/// [`Poly::eval`] bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if a term references a variable that is neither special-cased
+/// nor bound in `env` (the same spec error [`Poly::eval`] would reject,
+/// caught at compile time instead of mid-simulation).
+fn compile_base(base: &Poly, env: &Env) -> Vec<(i64, u8, u8, u8)> {
+    base.iter()
+        .map(|(vars, coeff)| {
+            let mut c = coeff;
+            let (mut bx, mut by, mut ind) = (0u8, 0u8, 0u8);
+            for &v in vars {
+                match v {
+                    Var::Bx => bx += 1,
+                    Var::By => by += 1,
+                    Var::Ind(0) => ind += 1,
+                    _ => c = c.wrapping_mul(env.get(v)),
+                }
+            }
+            (c, bx, by, ind)
+        })
+        .collect()
+}
+
 impl KernelExec for AffineKernel {
     fn launch(&self) -> &LaunchInfo {
         &self.launch
@@ -205,6 +238,16 @@ impl KernelExec for AffineKernel {
 
     fn compute_intensity(&self) -> u32 {
         self.intensity
+    }
+
+    fn iter_invariant(&self) -> bool {
+        // The only per-iteration inputs are the induction variable
+        // `Ind(0)`, per-iteration data re-randomization, and
+        // final-iteration epilogue sites; a kernel using none of them
+        // replays the same accesses on every trip.
+        self.accesses
+            .iter()
+            .all(|a| !a.epilogue && !a.data_per_iter && !a.base.contains(Var::Ind(0)))
     }
 
     fn set_page_bytes(&mut self, page_bytes: u64) {
@@ -219,39 +262,58 @@ impl KernelExec for AffineKernel {
         let bdx = self.launch.block.0;
         let threads = self.launch.threads_per_tb() as u32;
         let (lo, hi) = warp_thread_range(warp, 32, threads);
-        let mut env = self.base_env.clone();
-        env.set_block(i64::from(tb.0), i64::from(tb.1));
-        env.set_ind(0, i64::from(iter));
+        let bx = i64::from(tb.0);
+        let by = i64::from(tb.1);
+        let ind = i64::from(iter);
         let gdx = u64::from(self.launch.grid.0);
         let tb_lin = u64::from(tb.1) * gdx + u64::from(tb.0);
         for (site, access) in self.accesses.iter().enumerate() {
             if access.epilogue && iter + 1 != self.trips {
                 continue;
             }
-            let base = access.base.eval(&env);
+            let mut base = 0i64;
+            for &(c, pbx, pby, pind) in &access.base_terms {
+                let mut prod = c;
+                for _ in 0..pbx {
+                    prod = prod.wrapping_mul(bx);
+                }
+                for _ in 0..pby {
+                    prod = prod.wrapping_mul(by);
+                }
+                for _ in 0..pind {
+                    prod = prod.wrapping_mul(ind);
+                }
+                base = base.wrapping_add(prod);
+            }
+            // `(tx, ty)` track `thread_xy(t, bdx)` incrementally across
+            // the warp's consecutive thread ids — no per-thread division.
+            let (mut tx, mut ty) = thread_xy(lo, bdx);
             for t in lo..hi {
-                if (t - lo) % access.lane_group != 0 {
-                    continue;
-                }
-                let (tx, ty) = thread_xy(t, bdx);
-                let mut idx = base + access.c_tx * i64::from(tx) + access.c_ty * i64::from(ty);
-                if access.c_data != 0 {
-                    let gtid = tb_lin * u64::from(threads) + u64::from(t);
-                    let mut seed = gtid ^ (site as u64).wrapping_mul(0xA076_1D64_78BD_642F);
-                    if access.data_per_iter {
-                        seed ^= u64::from(iter).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+                if (t - lo) % access.lane_group == 0 {
+                    let mut idx = base + access.c_tx * i64::from(tx) + access.c_ty * i64::from(ty);
+                    if access.c_data != 0 {
+                        let gtid = tb_lin * u64::from(threads) + u64::from(t);
+                        let mut seed = gtid ^ (site as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                        if access.data_per_iter {
+                            seed ^= u64::from(iter).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+                        }
+                        // Keep the synthetic data value in a sane index
+                        // range; the address space wraps it to the
+                        // allocation anyway.
+                        let value = (splitmix64(seed) >> 24) as i64;
+                        idx += access.c_data * value;
                     }
-                    // Keep the synthetic data value in a sane index range;
-                    // the address space wraps it to the allocation anyway.
-                    let value = (splitmix64(seed) >> 24) as i64;
-                    idx += access.c_data * value;
+                    out.push(ThreadAccess {
+                        arg: access.arg,
+                        idx: idx.max(0) as u64,
+                        write: access.write,
+                    });
                 }
-                let idx = idx.max(0) as u64;
-                out.push(ThreadAccess {
-                    arg: access.arg,
-                    idx,
-                    write: access.write,
-                });
+                tx += 1;
+                if tx == bdx {
+                    tx = 0;
+                    ty += 1;
+                }
             }
         }
     }
@@ -398,6 +460,35 @@ mod tests {
         k.warp_accesses((0, 0), 0, 0, &mut out0);
         k.warp_accesses((0, 0), 0, 1, &mut out1);
         assert_eq!(out1[0].idx - out0[0].idx, 8 * 32);
+    }
+
+    #[test]
+    fn iter_invariance_tracks_per_iteration_inputs() {
+        // No induction variable, no data, no epilogue: invariant.
+        assert!(vecadd_kernel(4).iter_invariant());
+
+        // Induction variable in an index: varies per trip.
+        let idx = (tid() + m() * width()).to_poly();
+        let kernel = KernelStatic {
+            name: "stride",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        let launch = LaunchInfo::new(kernel, (8, 1), (32, 1), vec![1 << 16]);
+        assert!(!AffineKernel::new(launch, 4, 1).iter_invariant());
+
+        // Epilogue and per-iteration data both break invariance.
+        assert!(!vecadd_kernel(4).with_epilogue(1).iter_invariant());
+        let idx = (tid() + data()).to_poly();
+        let kernel = KernelStatic {
+            name: "chase",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        let launch = LaunchInfo::new(kernel, (8, 1), (32, 1), vec![1 << 16]);
+        let k = AffineKernel::new(launch, 4, 1);
+        assert!(k.iter_invariant(), "fixed per-thread data is invariant");
+        assert!(!k.with_data_per_iter(0).iter_invariant());
     }
 
     #[test]

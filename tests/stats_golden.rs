@@ -1,0 +1,70 @@
+//! Golden-digest equivalence suite: the full 27-workload suite at
+//! `Scale::Test`, run under LADM and the baseline round-robin policy,
+//! must keep producing bit-identical [`KernelStats`]. The fixture was
+//! generated from the pre-flat-table HashMap resolution path, so it pins
+//! the sector-routing fast path to the exact behaviour of the original
+//! engine — an optimization PR that changes any counter or cycle count
+//! fails here without fixture regeneration.
+//!
+//! Regenerate after an intentional *model* change with
+//! `LADM_UPDATE_GOLDEN=1 cargo test --test stats_golden`.
+
+use ladm::core::policies::{BaselineRr, Lasp, Policy};
+use ladm::sim::{GpuSystem, KernelStats, SimConfig};
+use ladm::workloads::{suite, Scale};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/stats_digest.txt"
+);
+
+/// One line per (workload, policy) cell: the full `Debug` rendering of
+/// the accumulated stats. `Debug` of `KernelStats` includes every
+/// counter and the `f64` cycle count at full precision, so any drift —
+/// a different hit count, a changed `offnode_by_arg` length, a cycle of
+/// queueing delay — changes the line.
+fn digest_lines() -> Vec<String> {
+    let cfg = SimConfig::paper_multi_gpu();
+    let policies: [&dyn Policy; 2] = [&Lasp::ladm(), &BaselineRr::new()];
+    let mut lines = Vec::new();
+    for policy in policies {
+        for w in suite(Scale::Test) {
+            let mut sys = GpuSystem::new(cfg.clone());
+            let mut total = KernelStats::default();
+            for kernel in &w.kernels {
+                total.accumulate(&sys.run(&**kernel, policy));
+            }
+            lines.push(format!("{} {} {:?}", w.name, policy.name(), total));
+        }
+    }
+    lines
+}
+
+#[test]
+fn full_suite_stats_match_golden_digest() {
+    let got = digest_lines().join("\n") + "\n";
+    if std::env::var_os("LADM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &got).expect("fixture must be writable");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run with LADM_UPDATE_GOLDEN=1 to create it");
+    if got == want {
+        return;
+    }
+    // Report the first diverging cell, not a 54-line wall of text.
+    for (g, w) in got.lines().zip(want.lines()) {
+        assert!(
+            g == w,
+            "stats digest diverged.\n got: {g}\nwant: {w}\n\
+             The engine fast path must be a pure optimization; if the model \
+             intentionally changed, regenerate with \
+             LADM_UPDATE_GOLDEN=1 cargo test --test stats_golden"
+        );
+    }
+    panic!(
+        "stats digest line count changed: got {}, fixture has {}",
+        got.lines().count(),
+        want.lines().count()
+    );
+}
