@@ -2,7 +2,7 @@
 //! machine-readable `BENCH.json`.
 //!
 //! ```text
-//! ladm-bench [--quick] [--out FILE] [--samples N] [--scale test|bench]
+//! ladm-bench [--quick] [--out FILE] [--samples N] [--scale test|bench] [--threads N]
 //! ladm-bench --validate FILE
 //! ```
 //!
@@ -17,7 +17,7 @@
 
 use ladm_bench::report::{render, validate, BenchCell, BenchReport};
 use ladm_bench::trace::policy_by_name;
-use ladm_bench::{bench_function, run_workload};
+use ladm_bench::{bench_function, run_workload_threaded};
 use ladm_sim::SimConfig;
 use ladm_workloads::{by_name, Scale};
 
@@ -32,10 +32,18 @@ fn main() {
     let mut scale = Scale::Bench;
     let mut out = "BENCH.json".to_string();
     let mut validate_path: Option<String> = None;
+    let mut threads = 1usize;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Test,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--threads needs a positive integer"));
+            }
             "--scale" => {
                 scale = match it.next().as_deref() {
                     Some("test") => Scale::Test,
@@ -91,7 +99,7 @@ fn main() {
                 policy_by_name(policy_name).expect("cell policies come from policy_by_name");
             let mut stats = None;
             let wall = bench_function(&format!("{workload}/{policy_name}/{scale_name}"), || {
-                stats = Some(run_workload(&cfg, &w, &*policy));
+                stats = Some(run_workload_threaded(&cfg, &w, &*policy, threads));
             });
             samples = wall.samples;
             let stats = stats.expect("bench_function ran the closure at least once");
@@ -108,6 +116,7 @@ fn main() {
     let report = BenchReport {
         git_rev: git_rev(),
         samples,
+        sim_threads: threads,
         cells,
     };
     let text = render(&report);
@@ -148,7 +157,7 @@ fn usage(msg: &str) -> ! {
         "ladm-bench: time the simulation engine and write BENCH.json\n\
          \n\
          usage:\n\
-           ladm-bench [--quick] [--out FILE] [--samples N] [--scale test|bench]\n\
+           ladm-bench [--quick] [--out FILE] [--samples N] [--scale test|bench] [--threads N]\n\
            ladm-bench --validate FILE\n\
          \n\
          options:\n\
@@ -157,6 +166,8 @@ fn usage(msg: &str) -> ! {
            --out FILE       output path (default: BENCH.json)\n\
            --samples N      timed samples per cell (default: 5,\n\
                             or the LADM_BENCH_SAMPLES environment variable)\n\
+           --threads N      engine worker threads per run (default: 1;\n\
+                            statistics are bit-identical for any N)\n\
            --validate FILE  check a previously emitted report and exit"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the LADM paper.
 //!
 //! ```text
-//! repro [--bench] [--threads N] <experiment>
+//! repro [--bench] [--threads N] [--sim-threads N] <experiment>
 //!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 lint dgx1 summary all
 //! repro --trace <workload>...
 //! ```
@@ -9,6 +9,12 @@
 //! By default runs at `Scale::Test` (small inputs, seconds); `--bench`
 //! uses the larger benchmark inputs (the numbers recorded in
 //! EXPERIMENTS.md).
+//!
+//! `--threads` controls the experiment fan-out (how many `(workload,
+//! policy)` cells run concurrently); `--sim-threads` controls the engine
+//! worker threads *inside* each simulation (equivalent to setting
+//! `LADM_SIM_THREADS`). Statistics are bit-identical for any
+//! `--sim-threads` value; only wall time changes.
 //!
 //! With `--trace`, the positional arguments are Table IV workload names
 //! instead of experiments: each is run once under LADM with the
@@ -44,6 +50,16 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            "--sim-threads" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage("--sim-threads needs a positive integer"));
+                // Experiments build their GpuSystems internally; the
+                // engine inherits its worker count from this variable.
+                std::env::set_var("LADM_SIM_THREADS", n.to_string());
             }
             "-h" | "--help" => usage(""),
             other => what.push(other.to_string()),
@@ -108,8 +124,12 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--bench] [--threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|summary|all>\n\
-         \u{20}      repro [--bench] --trace <workload>..."
+        "usage: repro [--bench] [--threads N] [--sim-threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|summary|all>\n\
+         \u{20}      repro [--bench] --trace <workload>...\n\
+         \n\
+         --threads N      experiment cells run concurrently (default: CPU count)\n\
+         --sim-threads N  engine worker threads per simulation (default: 1;\n\
+                          statistics are bit-identical for any N)"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -4,110 +4,43 @@
 use ladm_core::policies::Policy;
 use ladm_sim::{GpuSystem, KernelStats, SimConfig};
 use ladm_workloads::Workload;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+// The labeled fork-join pool lives in `ladm_core::par` so the simulator's
+// epoch-parallel driver can use the same machinery without depending on
+// this crate; re-exported here for compatibility with existing callers.
+pub use ladm_core::par::{parallel_map, parallel_map_labeled};
 
 /// Runs every kernel of `workload` back to back on a fresh machine built
-/// from `cfg`, under `policy`. Returns the accumulated statistics.
+/// from `cfg`, under `policy`. Returns the accumulated statistics. The
+/// engine thread count is inherited from `LADM_SIM_THREADS` (serial by
+/// default); see [`run_workload_threaded`] to pin it explicitly.
 pub fn run_workload(cfg: &SimConfig, workload: &Workload, policy: &dyn Policy) -> KernelStats {
     let mut sys = GpuSystem::new(cfg.clone());
+    run_on(&mut sys, workload, policy)
+}
+
+/// As [`run_workload`], but pins the simulator's engine worker-thread
+/// count instead of inheriting `LADM_SIM_THREADS`. Statistics are
+/// bit-identical for any `threads`; only wall time changes.
+pub fn run_workload_threaded(
+    cfg: &SimConfig,
+    workload: &Workload,
+    policy: &dyn Policy,
+    threads: usize,
+) -> KernelStats {
+    let mut sys = GpuSystem::new(cfg.clone());
+    sys.set_threads(threads);
+    run_on(&mut sys, workload, policy)
+}
+
+/// Accumulates every kernel of `workload` on an already-built machine.
+fn run_on(sys: &mut GpuSystem, workload: &Workload, policy: &dyn Policy) -> KernelStats {
     let mut total = KernelStats::default();
     for kernel in &workload.kernels {
         let stats = sys.run(&**kernel, policy);
         total.accumulate(&stats);
     }
     total
-}
-
-/// Maps `f` over `0..n` on `threads` OS threads, preserving order.
-/// `f` must be cheap to call concurrently (each job builds its own
-/// workload and machine). A panic inside any job is re-raised on the
-/// caller tagged with the job index.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    parallel_map_labeled(n, threads, |i| format!("job {i}"), f)
-}
-
-/// As [`parallel_map`], but `label(i)` names each job (typically the
-/// workload it simulates). When jobs panic, the panic propagated to the
-/// caller carries every failing job's label and panic message instead
-/// of an opaque `Any` payload from a worker thread — with 27 workloads
-/// in flight, "SQ-GEMM panicked: index out of bounds" beats a bare
-/// scoped-thread abort.
-pub fn parallel_map_labeled<T, F, L>(n: usize, threads: usize, label: L, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-    L: Fn(usize) -> String + Sync,
-{
-    let threads = threads.max(1).min(n.max(1));
-    let next = AtomicUsize::new(0);
-    // Each worker accumulates `(index, outcome)` pairs in a private Vec
-    // handed back through its join handle — no shared lock on the result
-    // path (one mutex round-trip per job serializes short jobs).
-    let mut outcomes: Vec<(usize, Result<T, String>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, Result<T, String>)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
-                            .map_err(|payload| {
-                                // `&*payload`, not `&payload`: a
-                                // `&Box<dyn Any>` would itself coerce to
-                                // `&dyn Any` and the downcasts below
-                                // would always miss.
-                                let msg = panic_message(&*payload);
-                                format!("{} panicked: {msg}", label(i))
-                            });
-                        local.push((i, out));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("workers only panic inside catch_unwind"))
-            .collect()
-    });
-    outcomes.sort_by_key(|&(i, _)| i);
-    let mut results = Vec::with_capacity(n);
-    let mut failed: Vec<String> = Vec::new();
-    for (_, out) in outcomes {
-        match out {
-            Ok(value) => results.push(value),
-            Err(msg) => failed.push(msg),
-        }
-    }
-    if !failed.is_empty() {
-        panic!(
-            "parallel_map: {} of {n} job(s) panicked:\n  {}",
-            failed.len(),
-            failed.join("\n  ")
-        );
-    }
-    assert_eq!(results.len(), n, "every job index was executed");
-    results
-}
-
-/// Best-effort extraction of a panic payload's message (`&str` and
-/// `String` payloads cover `panic!`, `assert!` and index/unwrap
-/// failures).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
 }
 
 /// Wall-time summary returned by [`bench_function`].
@@ -214,53 +147,11 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map(100, 8, |i| i * i);
-        assert_eq!(out.len(), 100);
-        assert_eq!(out[7], 49);
-        assert_eq!(out[99], 9801);
-    }
-
-    #[test]
-    fn parallel_map_handles_zero_jobs() {
-        let out: Vec<usize> = parallel_map(0, 4, |i| i);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn parallel_map_propagates_panics_with_labels() {
-        let caught = std::panic::catch_unwind(|| {
-            parallel_map_labeled(
-                4,
-                2,
-                |i| format!("workload-{i}"),
-                |i| {
-                    if i == 2 {
-                        panic!("boom at {i}");
-                    }
-                    i
-                },
-            )
-        });
-        let payload = caught.expect_err("the job panic must propagate");
-        let msg = payload
-            .downcast_ref::<String>()
-            .expect("aggregated panic is a String");
-        assert!(msg.contains("1 of 4 job(s) panicked"), "{msg}");
-        assert!(msg.contains("workload-2 panicked: boom at 2"), "{msg}");
-    }
-
-    #[test]
-    fn parallel_map_tags_unlabeled_jobs_with_index() {
-        let caught = std::panic::catch_unwind(|| {
-            parallel_map(3, 3, |i| {
-                assert!(i != 1, "bad job");
-                i
-            })
-        });
-        let payload = caught.expect_err("the job panic must propagate");
-        let msg = payload.downcast_ref::<String>().expect("String payload");
-        assert!(msg.contains("job 1 panicked"), "{msg}");
+    fn parallel_map_reexport_still_resolves() {
+        // The implementation moved to `ladm_core::par`; the bench-crate
+        // path must keep working for existing callers.
+        let out = crate::harness::parallel_map(10, 4, |i| i + 1);
+        assert_eq!(out[9], 10);
     }
 
     #[test]

@@ -68,6 +68,11 @@ pub struct BenchReport {
     pub git_rev: String,
     /// Timed samples per cell (`LADM_BENCH_SAMPLES`).
     pub samples: usize,
+    /// Engine worker threads the cells ran with (`--threads` /
+    /// `LADM_SIM_THREADS`); statistics are bit-identical for any value,
+    /// only wall times change. Additive `ladm-bench-v1` field — absent
+    /// in pre-threading reports, which validate as single-threaded.
+    pub sim_threads: usize,
     /// Timed cells, in run order.
     pub cells: Vec<BenchCell>,
 }
@@ -83,6 +88,10 @@ pub fn render(report: &BenchReport) -> String {
         escape(&report.git_rev)
     ));
     out.push_str(&format!("  \"samples\": {},\n", report.samples));
+    out.push_str(&format!(
+        "  \"sim_threads\": {},\n",
+        report.sim_threads.max(1)
+    ));
     out.push_str("  \"cells\": [\n");
     for (i, cell) in report.cells.iter().enumerate() {
         out.push_str("    {");
@@ -135,6 +144,14 @@ pub fn validate(text: &str) -> Result<usize, String> {
     if samples < 1.0 {
         return Err(format!("samples {samples} < 1"));
     }
+    // Additive field: reports written before the threaded engine have
+    // no 'sim_threads' and are treated as single-threaded runs.
+    if let Some(v) = doc.get("sim_threads") {
+        let threads = v.as_f64().ok_or("'sim_threads' must be a number")?;
+        if threads < 1.0 {
+            return Err(format!("sim_threads {threads} < 1"));
+        }
+    }
     let cells = doc
         .get("cells")
         .and_then(Json::as_array)
@@ -179,6 +196,7 @@ mod tests {
         BenchReport {
             git_rev: "abc1234".to_string(),
             samples: 5,
+            sim_threads: 4,
             cells: vec![
                 BenchCell::new(
                     "VecAdd",
@@ -212,6 +230,7 @@ mod tests {
         assert_eq!(validate(&text), Ok(2));
         let doc = Json::parse(&text).expect("render emits parsable JSON");
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(doc.get("sim_threads").and_then(Json::as_f64), Some(4.0));
         let cells = doc.get("cells").and_then(Json::as_array).unwrap();
         assert_eq!(
             cells[0].get("workload").and_then(Json::as_str),
@@ -245,6 +264,22 @@ mod tests {
                  "sectors": 1, "sectors_per_sec": 1}}]}}"#
         );
         assert!(validate(&inverted).unwrap_err().contains("wall_min_s"));
+    }
+
+    #[test]
+    fn sim_threads_is_additive_and_bounded() {
+        // Pre-threading reports (no field) still validate.
+        let legacy =
+            format!(r#"{{"schema": "{SCHEMA}", "git_rev": "x", "samples": 1, "cells": []}}"#);
+        assert_eq!(validate(&legacy), Ok(0));
+        let bad = format!(
+            r#"{{"schema": "{SCHEMA}", "git_rev": "x", "samples": 1, "sim_threads": 0, "cells": []}}"#
+        );
+        assert!(validate(&bad).unwrap_err().contains("sim_threads"));
+        let good = format!(
+            r#"{{"schema": "{SCHEMA}", "git_rev": "x", "samples": 1, "sim_threads": 8, "cells": []}}"#
+        );
+        assert_eq!(validate(&good), Ok(0));
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod analysis;
 pub mod expr;
 pub mod launch;
+pub mod par;
 pub mod plan;
 pub mod policies;
 pub mod rng;
@@ -60,6 +61,7 @@ pub mod topology;
 
 pub use analysis::{AccessClass, ClassifyTrace, GridShape, Motion, Sharing};
 pub use launch::{ArgStatic, KernelStatic, LaunchInfo};
+pub use par::{parallel_map, parallel_map_labeled};
 pub use plan::{ArgPlan, KernelPlan, PageMap, RemoteInsert, RrOrder, TbMap};
 pub use policies::{
     ArgDecision, BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Manual, Policy,

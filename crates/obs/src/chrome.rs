@@ -182,6 +182,22 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 );
                 push(&mut raws, ts, json);
             }
+            Event::EpochBarrier {
+                time,
+                epoch,
+                pending,
+                gen_tasks,
+            } => {
+                let ts = abs(*time, &mut watermark, base);
+                let json = format!(
+                    "{{\"name\":\"epoch_barrier\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{{\"epoch\":{},\"pending\":{},\"gen_tasks\":{}}}}}",
+                    number(ts),
+                    epoch,
+                    pending,
+                    gen_tasks
+                );
+                push(&mut raws, ts, json);
+            }
             Event::KernelEnd { kernel, time } => {
                 let ts = abs(*time, &mut watermark, base);
                 let json = format!(

@@ -1,5 +1,6 @@
-//! The hierarchical interconnect: per-chiplet SM↔L2 crossbars, per-GPU
-//! inter-chiplet rings, and the inter-GPU switch (Fig. 1).
+//! The *shared* interconnect: per-GPU inter-chiplet rings and the
+//! inter-GPU switch (Fig. 1). The SM↔L2 crossbar is chiplet-private and
+//! lives in [`crate::shard::ChipletShard`].
 //!
 //! Transfers claim one [`TokenBucket`] per traversed level, so bandwidth
 //! pressure on any level produces queueing delay. Traffic crossing a
@@ -16,11 +17,9 @@ use ladm_obs::{Event, LinkLevel, TraceSink};
 #[derive(Debug, Clone)]
 pub struct Fabric {
     topo: Topology,
-    xbar: Vec<TokenBucket>,
     ring: Vec<TokenBucket>,
     switch_out: Vec<TokenBucket>,
     switch_in: Vec<TokenBucket>,
-    xbar_latency: u64,
     ring_latency: u64,
     switch_latency: u64,
     inter_chiplet_bytes: u64,
@@ -30,46 +29,17 @@ pub struct Fabric {
 impl Fabric {
     /// Builds the fabric for a configuration.
     pub fn new(cfg: &SimConfig) -> Self {
-        let nodes = cfg.topology.num_nodes() as usize;
         let gpus = cfg.topology.num_gpus as usize;
         Fabric {
             topo: cfg.topology,
-            xbar: (0..nodes)
-                .map(|_| TokenBucket::new(cfg.intra_chiplet_bw))
-                .collect(),
             ring: (0..gpus).map(|_| TokenBucket::new(cfg.ring_bw)).collect(),
             switch_out: (0..gpus).map(|_| TokenBucket::new(cfg.switch_bw)).collect(),
             switch_in: (0..gpus).map(|_| TokenBucket::new(cfg.switch_bw)).collect(),
-            xbar_latency: cfg.intra_chiplet_latency,
             ring_latency: cfg.ring_latency,
             switch_latency: cfg.switch_latency,
             inter_chiplet_bytes: 0,
             inter_gpu_bytes: 0,
         }
-    }
-
-    /// An SM↔L2 hop within chiplet `node` (either direction).
-    pub fn sm_to_l2(&mut self, now: f64, node: NodeId, bytes: u64) -> f64 {
-        self.sm_to_l2_traced(now, node, bytes, None)
-    }
-
-    /// As [`Fabric::sm_to_l2`], reporting the crossbar claim to `sink`.
-    pub fn sm_to_l2_traced(
-        &mut self,
-        now: f64,
-        node: NodeId,
-        bytes: u64,
-        sink: Option<&dyn TraceSink>,
-    ) -> f64 {
-        if let Some(s) = sink {
-            s.record(Event::LinkTransfer {
-                time: now,
-                level: LinkLevel::Xbar,
-                index: node.0 as u16,
-                bytes: bytes as u32,
-            });
-        }
-        self.xbar[node.0 as usize].claim(now, bytes) + self.xbar_latency as f64
     }
 
     /// Routes `bytes` from chiplet `from` to chiplet `to`; returns arrival
@@ -144,9 +114,8 @@ impl Fabric {
     /// Resets queues and counters (kernel boundary).
     pub fn reset(&mut self) {
         for b in self
-            .xbar
+            .ring
             .iter_mut()
-            .chain(&mut self.ring)
             .chain(&mut self.switch_out)
             .chain(&mut self.switch_in)
         {

@@ -38,10 +38,12 @@ pub mod config;
 pub mod exec;
 pub mod fabric;
 pub mod mem;
+pub mod shard;
 pub mod stats;
 pub mod system;
 
 pub use config::{CacheConfig, SimConfig};
 pub use exec::{thread_xy, warp_thread_range, KernelExec, ThreadAccess};
+pub use shard::{ChipletShard, RemoteReply, RemoteRequest};
 pub use stats::{ClassStats, KernelStats};
 pub use system::GpuSystem;

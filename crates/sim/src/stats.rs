@@ -151,6 +151,40 @@ impl KernelStats {
             *a += b;
         }
     }
+
+    /// Merges one chiplet shard's statistics into a whole-machine total
+    /// for a *single* kernel. Unlike [`KernelStats::accumulate`]
+    /// (sequential kernels), shards of one kernel run concurrently, so
+    /// completion time merges by `max` rather than by sum.
+    ///
+    /// Every field's merge operator is commutative and associative —
+    /// `u64` sums, `f64` max, element-wise vector sums — so the result
+    /// is independent of the order shards are merged in. This is the
+    /// determinism anchor for the threaded engine driver: any partition
+    /// of the work across shards folds to the same total.
+    pub fn merge_shard(&mut self, other: &KernelStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.warp_instructions += other.warp_instructions;
+        self.threadblocks += other.threadblocks;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.sectors_offnode += other.sectors_offnode;
+        self.sectors_offgpu += other.sectors_offgpu;
+        self.l2_local_local += other.l2_local_local;
+        self.l2_local_remote += other.l2_local_remote;
+        self.l2_remote_local += other.l2_remote_local;
+        self.dram_sectors += other.dram_sectors;
+        self.inter_chiplet_bytes += other.inter_chiplet_bytes;
+        self.inter_gpu_bytes += other.inter_gpu_bytes;
+        self.page_faults += other.page_faults;
+        self.page_migrations += other.page_migrations;
+        if self.offnode_by_arg.len() < other.offnode_by_arg.len() {
+            self.offnode_by_arg.resize(other.offnode_by_arg.len(), 0);
+        }
+        for (a, b) in self.offnode_by_arg.iter_mut().zip(&other.offnode_by_arg) {
+            *a += b;
+        }
+    }
 }
 
 impl fmt::Display for KernelStats {
@@ -269,5 +303,82 @@ mod tests {
     fn display_is_nonempty() {
         let s = KernelStats::default();
         assert!(!s.to_string().is_empty());
+    }
+
+    /// Builds a deterministic pseudo-random shard stat from a seed
+    /// (simple LCG — no external dependencies).
+    fn arbitrary_shard(seed: u64) -> KernelStats {
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let accesses = next() % 1000;
+        KernelStats {
+            cycles: (next() % 100_000) as f64,
+            warp_instructions: next() % 10_000,
+            threadblocks: next() % 64,
+            l1_hits: next() % 5000,
+            l1_misses: next() % 5000,
+            sectors_offnode: next() % 3000,
+            sectors_offgpu: next() % 1000,
+            l2_local_local: ClassStats {
+                accesses,
+                hits: accesses / 2,
+            },
+            l2_local_remote: ClassStats {
+                accesses: next() % 500,
+                hits: 0,
+            },
+            l2_remote_local: ClassStats {
+                accesses: next() % 500,
+                hits: next() % 100,
+            },
+            dram_sectors: next() % 2000,
+            offnode_by_arg: (0..(next() % 5) as usize).map(|_| next() % 50).collect(),
+            ..KernelStats::default()
+        }
+    }
+
+    #[test]
+    fn merge_shard_takes_max_cycles_and_sums_counters() {
+        let mut total = KernelStats::default();
+        total.merge_shard(&KernelStats {
+            cycles: 50.0,
+            l1_hits: 3,
+            ..KernelStats::default()
+        });
+        total.merge_shard(&KernelStats {
+            cycles: 20.0,
+            l1_hits: 4,
+            ..KernelStats::default()
+        });
+        assert_eq!(
+            total.cycles, 50.0,
+            "concurrent shards: completion is the max"
+        );
+        assert_eq!(total.l1_hits, 7);
+    }
+
+    #[test]
+    fn merge_shard_is_order_independent() {
+        // Property over pseudo-random shard stats: folding any
+        // permutation of shards yields the identical total (the
+        // determinism anchor for the threaded engine).
+        let shards: Vec<KernelStats> = (0..8).map(arbitrary_shard).collect();
+        let fold = |order: &[usize]| {
+            let mut total = KernelStats::default();
+            for &i in order {
+                total.merge_shard(&shards[i]);
+            }
+            total
+        };
+        let forward = fold(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let reverse = fold(&[7, 6, 5, 4, 3, 2, 1, 0]);
+        let shuffled = fold(&[3, 0, 6, 1, 7, 4, 2, 5]);
+        assert_eq!(format!("{forward:?}"), format!("{reverse:?}"));
+        assert_eq!(format!("{forward:?}"), format!("{shuffled:?}"));
     }
 }

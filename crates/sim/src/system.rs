@@ -1,8 +1,9 @@
 //! The simulated machine and its event-driven execution engine.
 //!
-//! [`GpuSystem`] assembles SM-private L1s, per-chiplet L2 partitions, HBM
-//! channels, the hierarchical fabric and the page table, and executes one
-//! [`KernelExec`] under one [`KernelPlan`].
+//! [`GpuSystem`] is a thin coordinator over one [`ChipletShard`] per
+//! chiplet — each shard owns its SMs, L1s, L2 slice, HBM channel and
+//! crossbar (`crate::shard`) — plus the two genuinely shared resources:
+//! the inter-chiplet/inter-GPU fabric and the page-home table.
 //!
 //! The engine is event-driven at warp granularity: each resident warp is a
 //! state machine stepping through its loop iterations; every memory
@@ -10,20 +11,32 @@
 //! claiming token-bucket bandwidth at every level, so queueing delay under
 //! bandwidth pressure — the paper's central NUMA effect — emerges without
 //! cycle-by-cycle iteration.
+//!
+//! ## Determinism and the threaded driver
+//!
+//! Every stateful transition (cache lookups, bucket claims, first-touch
+//! binding, dispatch) happens in the canonical global `(time, seq)` event
+//! order, on the caller thread. What parallelizes ([`GpuSystem::set_threads`],
+//! `LADM_SIM_THREADS`) is the *pure* half of each warp step: access
+//! generation + coalescing, which depends only on the immutable kernel and
+//! the warp's coordinates. The epoch driver snapshots the pending events,
+//! fans the missing sector lists out to worker threads by shard, barriers,
+//! then drains the epoch serially — so any thread count produces
+//! bit-identical [`KernelStats`] (enforced by `tests/determinism.rs`).
 
-use crate::bw::TokenBucket;
-use crate::cache::{Lookup, SectoredCache};
 use crate::config::SimConfig;
 use crate::exec::{KernelExec, ThreadAccess};
 use crate::fabric::Fabric;
 use crate::mem::AddressSpace;
+use crate::shard::{ChipletShard, RemoteRequest, SectorCtx};
 use crate::stats::KernelStats;
-use ladm_core::plan::{KernelPlan, RemoteInsert};
+use ladm_core::par::parallel_map_labeled;
+use ladm_core::plan::KernelPlan;
 use ladm_core::policies::Policy;
 use ladm_core::topology::NodeId;
-use ladm_obs::{Event as TraceEvent, LinkLevel, SectorRoute, TraceSink};
+use ladm_obs::{Event as TraceEvent, SectorRoute, TraceSink};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Event-heap key with deterministic total order.
@@ -66,55 +79,172 @@ struct TbCtx {
     node: u32,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct SmState {
-    free_tb_slots: u32,
-    free_warps: u32,
-    next_issue: f64,
+/// A warp slot's cached generation result: the instruction count and
+/// coalesced sector list for iteration `iter`. Doubles as the
+/// iteration-invariant replay cache (the tag is ignored then) and the
+/// epoch driver's prefetch target; invalidated when the slot is
+/// recycled, with the sector allocation retained.
+#[derive(Debug, Default)]
+struct SlotCache {
+    valid: bool,
+    iter: u32,
+    instrs: u64,
+    sectors: Vec<(u64, bool)>,
 }
 
-/// A warp slot's cached `(instruction count, coalesced sectors)` for
-/// iteration-invariant replay; `None` until the first trip generates it.
-type CachedIteration = Option<(u64, Vec<(u64, bool)>)>;
+impl SlotCache {
+    fn ready_for(&self, iter: u32, iter_invariant: bool) -> bool {
+        self.valid && (iter_invariant || self.iter == iter)
+    }
+}
 
-/// The simulated hierarchical multi-GPU machine.
+/// Dynamic engine state for one `execute` call: warp/threadblock slot
+/// tables, the event heap and the per-slot generation caches.
+#[derive(Debug, Default)]
+struct EngineState {
+    warps: Vec<WarpCtx>,
+    free_warp_slots: Vec<u32>,
+    tbs: Vec<TbCtx>,
+    free_tb_slots: Vec<u32>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    slots: Vec<SlotCache>,
+    access_buf: Vec<ThreadAccess>,
+}
+
+/// Hoisted per-kernel constants — the engine loop never clones
+/// `SimConfig` or chases `self.cfg` per event.
+struct EngineConsts<'a> {
+    warps_per_tb: u32,
+    sms_per_chiplet: u32,
+    trips: u32,
+    compute_cycles: f64,
+    issue_cost: f64,
+    iter_invariant: bool,
+    warp_size: u32,
+    sector_mask: u64,
+    /// Per-allocation `(base, elems, elem_bytes)` so coalescing resolves
+    /// addresses from a local table instead of re-deriving the extent
+    /// per thread access through `AddressSpace::addr_of`.
+    addr_tab: &'a [(u64, u64, u64)],
+}
+
+/// Generates one warp iteration's accesses and coalesces them into
+/// sorted, deduplicated sectors; returns the instruction count.
+///
+/// Pure with respect to the machine: reads only the (immutable) kernel
+/// and the per-kernel constants, which is what lets the epoch driver
+/// compute it on worker threads without perturbing determinism.
+fn gen_warp(
+    kernel: &dyn KernelExec,
+    k: &EngineConsts,
+    ctx: WarpCtx,
+    access_buf: &mut Vec<ThreadAccess>,
+    sectors: &mut Vec<(u64, bool)>,
+) -> u64 {
+    access_buf.clear();
+    kernel.warp_accesses((ctx.bx, ctx.by), ctx.warp, ctx.iter, access_buf);
+    sectors.clear();
+    // Adjacent-duplicate suppression: consecutive threads of a
+    // coalesced site map to long runs of the same sector, and a
+    // run collapses to one entry under sort + dedup anyway (the
+    // write flag is constant within a site, so OR-merging is a
+    // no-op). Skipping repeats up front shrinks the sort input
+    // several-fold without changing its outcome.
+    let mut last = (u64::MAX, false);
+    for a in access_buf.iter() {
+        let (base, elems, elem_bytes) = k.addr_tab[usize::from(a.arg)];
+        // In-bounds indices (the overwhelmingly common case) skip
+        // the u64 division of the wrap-around modulo.
+        let idx = if a.idx < elems { a.idx } else { a.idx % elems };
+        let addr = base + idx * elem_bytes;
+        let entry = (addr & k.sector_mask, a.write);
+        if entry != last {
+            sectors.push(entry);
+            last = entry;
+        }
+    }
+    sectors.sort_unstable();
+    sectors.dedup_by(|next, prev| {
+        if next.0 == prev.0 {
+            prev.1 |= next.1;
+            true
+        } else {
+            false
+        }
+    });
+    // Issue cost: one compute instruction plus one memory
+    // instruction per (approximate) access site.
+    let mem_instrs = (access_buf.len() as u64)
+        .div_ceil(u64::from(k.warp_size))
+        .max(u64::from(!access_buf.is_empty()));
+    1 + mem_instrs
+}
+
+/// Parses `LADM_SIM_THREADS`; unset, unparsable or zero means serial.
+fn threads_from_env() -> usize {
+    std::env::var("LADM_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1)
+}
+
+/// The simulated hierarchical multi-GPU machine: one shard per chiplet
+/// plus the shared fabric and page-home table.
 #[derive(Debug)]
 pub struct GpuSystem {
     cfg: SimConfig,
     mem: AddressSpace,
-    l1: Vec<SectoredCache>,
-    l2: Vec<SectoredCache>,
-    dram: Vec<TokenBucket>,
+    shards: Vec<ChipletShard>,
     fabric: Fabric,
     sink: Option<Arc<dyn TraceSink>>,
+    threads: usize,
 }
 
 impl GpuSystem {
-    /// Builds the machine for a configuration.
+    /// Builds the machine for a configuration. The engine thread count
+    /// defaults to `LADM_SIM_THREADS` (serial when unset); override
+    /// with [`GpuSystem::set_threads`].
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`SimConfig::validate`].
     pub fn new(cfg: SimConfig) -> Self {
         cfg.validate();
-        let total_sms = cfg.total_sms() as usize;
-        let nodes = cfg.topology.num_nodes() as usize;
+        let nodes = cfg.topology.num_nodes();
         GpuSystem {
             mem: AddressSpace::new(cfg.page_bytes),
-            l1: (0..total_sms)
-                .map(|_| SectoredCache::new(&cfg.l1))
+            shards: (0..nodes)
+                .map(|n| ChipletShard::new(&cfg, NodeId(n)))
                 .collect(),
-            l2: (0..nodes).map(|_| SectoredCache::new(&cfg.l2)).collect(),
-            dram: (0..nodes).map(|_| TokenBucket::new(cfg.dram_bw)).collect(),
             fabric: Fabric::new(&cfg),
-            cfg,
             sink: None,
+            threads: threads_from_env(),
+            cfg,
         }
     }
 
     /// The machine configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// The per-chiplet engine shards, in chiplet-id order.
+    pub fn shards(&self) -> &[ChipletShard] {
+        &self.shards
+    }
+
+    /// Sets the engine worker-thread count. `1` (or `0`) runs the
+    /// classic serial loop; `n > 1` runs the epoch-prefetch driver on
+    /// `n` threads. Results are bit-identical either way.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured engine worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Attaches a trace sink: subsequent [`GpuSystem::run`]s report the
@@ -131,14 +261,23 @@ impl GpuSystem {
         self.sink = None;
     }
 
+    /// The attached sink, cloned into a local `Arc` and pre-filtered on
+    /// `enabled()`. Callers deref the clone into `Option<&dyn TraceSink>`
+    /// so the borrow is on the local, not on `self` (the engine needs
+    /// `&mut self` while emitting), and the disabled path stays
+    /// allocation-free.
+    fn active_sink(&self) -> Option<Arc<dyn TraceSink>> {
+        self.sink.clone().filter(|s| s.enabled())
+    }
+
     /// Allocates, plans and executes `kernel` under `policy`, returning
     /// the run's statistics. Allocations are created fresh for the kernel
     /// (one per argument) and all caches are flushed first — the paper's
     /// kernel-boundary L2 invalidation.
     pub fn run(&mut self, kernel: &dyn KernelExec, policy: &dyn Policy) -> KernelStats {
         let launch = kernel.launch();
-        let sink_arc = self.sink.clone();
-        let sink = sink_arc.as_deref().filter(|s| s.enabled());
+        let sink_arc = self.active_sink();
+        let sink = sink_arc.as_deref();
         let plan = match sink {
             Some(s) => {
                 let (plan, decisions) = policy.plan_explained(launch, &self.cfg.topology);
@@ -184,349 +323,99 @@ impl GpuSystem {
     /// Flushes all caches, fabric queues and DRAM queues (kernel
     /// boundary).
     pub fn flush(&mut self) {
-        for c in &mut self.l1 {
-            c.flush();
-        }
-        for c in &mut self.l2 {
-            c.flush();
-        }
-        for d in &mut self.dram {
-            d.reset();
+        for shard in &mut self.shards {
+            shard.flush();
         }
         self.fabric.reset();
         self.mem.reset_faults();
     }
 
-    fn sm_node(&self, sm: u32) -> NodeId {
-        NodeId(sm / self.cfg.sms_per_chiplet)
-    }
-
-    /// Core engine loop.
+    /// Core engine: sets up shard queues and resident-warp state, then
+    /// drives the event heap — serially, or via the epoch driver when
+    /// more than one worker thread is configured.
     fn execute(&mut self, kernel: &dyn KernelExec, plan: &KernelPlan) -> KernelStats {
         let launch = kernel.launch();
-        // The Arc is cloned into a local so `&dyn TraceSink` borrows the
-        // local, not `self` (route_sector needs `&mut self`).
-        let sink_arc = self.sink.clone();
-        let sink = sink_arc.as_deref().filter(|s| s.enabled());
-        // Hoisted scalar copies of the configuration — the engine loop
-        // never clones `SimConfig` or chases `self.cfg` per event.
+        let sink_arc = self.active_sink();
+        let sink = sink_arc.as_deref();
         let topo = self.cfg.topology;
         let warp_size = self.cfg.warp_size;
-        let sms_per_chiplet = self.cfg.sms_per_chiplet;
         let (gdx, gdy) = launch.grid;
         let threads_per_tb = launch.threads_per_tb() as u32;
         let warps_per_tb = threads_per_tb.div_ceil(warp_size).max(1);
         let trips = kernel.trips().max(1);
-        let compute_cycles =
-            (self.cfg.base_compute_cycles * u64::from(kernel.compute_intensity().max(1))) as f64;
-        let issue_cost = 1.0 / self.cfg.issue_per_cycle;
-
-        // Per-allocation (base, elems, elem_bytes) so coalescing resolves
-        // addresses from a local table instead of re-deriving the extent
-        // per thread access through `AddressSpace::addr_of`.
         let addr_tab: Vec<(u64, u64, u64)> = self
             .mem
             .allocations()
             .iter()
             .map(|a| (a.base, a.elems, u64::from(a.elem_bytes)))
             .collect();
-        let sector_mask = !(u64::from(self.cfg.l1.sector_bytes) - 1);
-
-        // Threadblock queues per node, in dispatch (linear) order.
-        let mut queues: Vec<VecDeque<(u32, u32)>> =
-            vec![VecDeque::new(); topo.num_nodes() as usize];
-        for by in 0..gdy {
-            for bx in 0..gdx {
-                let node = plan.schedule.node_of_tb(bx, by, launch.grid, &topo);
-                queues[node.0 as usize].push_back((bx, by));
-            }
-        }
+        let k = EngineConsts {
+            warps_per_tb,
+            sms_per_chiplet: self.cfg.sms_per_chiplet,
+            trips,
+            compute_cycles: (self.cfg.base_compute_cycles
+                * u64::from(kernel.compute_intensity().max(1))) as f64,
+            issue_cost: 1.0 / self.cfg.issue_per_cycle,
+            // When the kernel's access pattern does not depend on the
+            // loop iteration, each warp's coalesced sector list is
+            // generated once and replayed on later trips.
+            iter_invariant: trips > 1 && kernel.iter_invariant(),
+            warp_size,
+            sector_mask: !(u64::from(self.cfg.l1.sector_bytes) - 1),
+            addr_tab: &addr_tab,
+        };
 
         let tb_slots_per_sm = self
             .cfg
             .max_tbs_per_sm
             .min(self.cfg.warps_per_sm / warps_per_tb)
             .max(1);
-        let mut sms = vec![
-            SmState {
-                free_tb_slots: tb_slots_per_sm,
-                free_warps: self.cfg.warps_per_sm.max(warps_per_tb),
-                next_issue: 0.0,
-            };
-            self.cfg.total_sms() as usize
-        ];
+        let warp_budget = self.cfg.warps_per_sm.max(warps_per_tb);
+        for shard in &mut self.shards {
+            shard.begin_kernel(addr_tab.len(), tb_slots_per_sm, warp_budget);
+        }
+        // Threadblock queues per shard, in dispatch (linear) order.
+        for by in 0..gdy {
+            for bx in 0..gdx {
+                let node = plan.schedule.node_of_tb(bx, by, launch.grid, &topo);
+                self.shards[node.0 as usize].queue.push_back((bx, by));
+            }
+        }
 
-        let mut warps: Vec<WarpCtx> = Vec::new();
-        let mut free_warp_slots: Vec<u32> = Vec::new();
-        let mut tbs: Vec<TbCtx> = Vec::new();
-        let mut free_tb_slots: Vec<u32> = Vec::new();
-        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut seq: u64 = 0;
-        let mut stats = KernelStats::default();
-        let mut access_buf: Vec<ThreadAccess> = Vec::with_capacity(256);
-        let mut sector_buf: Vec<(u64, bool)> = Vec::with_capacity(64);
-        let mut max_time: f64 = 0.0;
-
-        // Pre-sized off-node attribution: the per-sector hot path indexes
-        // directly; `remote_args` tracks 1 + the highest argument that saw
-        // off-node traffic so the vector can be truncated at the end to
-        // the exact length the lazily-grown version would have had.
-        stats.offnode_by_arg = vec![0; addr_tab.len()];
-        let mut remote_args: usize = 0;
-
-        // When the kernel's access pattern does not depend on the loop
-        // iteration, each warp's coalesced sector list is generated once
-        // and replayed on later trips (per warp slot; reset on dispatch).
-        let iter_invariant = trips > 1 && kernel.iter_invariant();
-        let mut warp_cache: Vec<CachedIteration> = Vec::new();
-
-        // Dispatches threadblocks from `node`'s queue onto its SMs.
-        let dispatch =
-            |node: u32,
-             now: f64,
-             queues: &mut Vec<VecDeque<(u32, u32)>>,
-             sms: &mut Vec<SmState>,
-             warps: &mut Vec<WarpCtx>,
-             free_warp_slots: &mut Vec<u32>,
-             tbs: &mut Vec<TbCtx>,
-             free_tb_slots: &mut Vec<u32>,
-             heap: &mut BinaryHeap<Reverse<Event>>,
-             seq: &mut u64,
-             stats: &mut KernelStats,
-             warp_cache: &mut Vec<CachedIteration>| {
-                let sm_base = node * sms_per_chiplet;
-                'outer: while !queues[node as usize].is_empty() {
-                    // First SM on the node with room for a whole block.
-                    let mut chosen = None;
-                    for i in 0..sms_per_chiplet {
-                        let sm = sm_base + i;
-                        let s = &sms[sm as usize];
-                        if s.free_tb_slots > 0 && s.free_warps >= warps_per_tb {
-                            chosen = Some(sm);
-                            break;
-                        }
-                    }
-                    let Some(sm) = chosen else { break 'outer };
-                    let (bx, by) = queues[node as usize]
-                        .pop_front()
-                        .expect("checked non-empty");
-                    sms[sm as usize].free_tb_slots -= 1;
-                    sms[sm as usize].free_warps -= warps_per_tb;
-                    let tb_idx = match free_tb_slots.pop() {
-                        Some(i) => {
-                            tbs[i as usize] = TbCtx {
-                                live_warps: warps_per_tb,
-                                node,
-                            };
-                            i
-                        }
-                        None => {
-                            tbs.push(TbCtx {
-                                live_warps: warps_per_tb,
-                                node,
-                            });
-                            (tbs.len() - 1) as u32
-                        }
-                    };
-                    stats.threadblocks += 1;
-                    if let Some(s) = sink {
-                        s.record(TraceEvent::TbDispatch {
-                            time: now,
-                            bx,
-                            by,
-                            node: node as u16,
-                            sm,
-                        });
-                    }
-                    for w in 0..warps_per_tb {
-                        let ctx = WarpCtx {
-                            bx,
-                            by,
-                            warp: w,
-                            iter: 0,
-                            sm,
-                            tb: tb_idx,
-                        };
-                        let warp_idx = match free_warp_slots.pop() {
-                            Some(i) => {
-                                warps[i as usize] = ctx;
-                                warp_cache[i as usize] = None;
-                                i
-                            }
-                            None => {
-                                warps.push(ctx);
-                                warp_cache.push(None);
-                                (warps.len() - 1) as u32
-                            }
-                        };
-                        *seq += 1;
-                        heap.push(Reverse(Event {
-                            time: now,
-                            seq: *seq,
-                            warp: warp_idx,
-                        }));
-                    }
-                }
-            };
-
+        let mut eng = EngineState::default();
+        eng.access_buf.reserve(256);
         for node in 0..topo.num_nodes() {
-            dispatch(
-                node,
-                0.0,
-                &mut queues,
-                &mut sms,
-                &mut warps,
-                &mut free_warp_slots,
-                &mut tbs,
-                &mut free_tb_slots,
-                &mut heap,
-                &mut seq,
-                &mut stats,
-                &mut warp_cache,
-            );
+            self.dispatch_node(&mut eng, node, 0.0, &k, sink);
         }
 
-        // Generates one warp iteration's accesses and coalesces them into
-        // sorted, deduplicated sectors; returns the instruction count.
-        let gen = |ctx: WarpCtx,
-                   access_buf: &mut Vec<ThreadAccess>,
-                   sector_buf: &mut Vec<(u64, bool)>|
-         -> u64 {
-            access_buf.clear();
-            kernel.warp_accesses((ctx.bx, ctx.by), ctx.warp, ctx.iter, access_buf);
-            sector_buf.clear();
-            // Adjacent-duplicate suppression: consecutive threads of a
-            // coalesced site map to long runs of the same sector, and a
-            // run collapses to one entry under sort + dedup anyway (the
-            // write flag is constant within a site, so OR-merging is a
-            // no-op). Skipping repeats up front shrinks the sort input
-            // several-fold without changing its outcome.
-            let mut last = (u64::MAX, false);
-            for a in access_buf.iter() {
-                let (base, elems, elem_bytes) = addr_tab[usize::from(a.arg)];
-                // In-bounds indices (the overwhelmingly common case) skip
-                // the u64 division of the wrap-around modulo.
-                let idx = if a.idx < elems { a.idx } else { a.idx % elems };
-                let addr = base + idx * elem_bytes;
-                let entry = (addr & sector_mask, a.write);
-                if entry != last {
-                    sector_buf.push(entry);
-                    last = entry;
-                }
-            }
-            sector_buf.sort_unstable();
-            sector_buf.dedup_by(|next, prev| {
-                if next.0 == prev.0 {
-                    prev.1 |= next.1;
-                    true
-                } else {
-                    false
-                }
-            });
-            // Issue cost: one compute instruction plus one memory
-            // instruction per (approximate) access site.
-            let mem_instrs = (access_buf.len() as u64)
-                .div_ceil(u64::from(warp_size))
-                .max(u64::from(!access_buf.is_empty()));
-            1 + mem_instrs
+        if self.threads > 1 {
+            let threads = self.threads;
+            self.run_epochs(&mut eng, kernel, &k, sink, threads);
+        } else {
+            while self.step(&mut eng, kernel, &k, sink) {}
+        }
+
+        for shard in &self.shards {
+            debug_assert!(shard.queue.is_empty(), "all threadblocks must have run");
+        }
+
+        // Whole-machine totals: merge shard slices in chiplet-id order
+        // (every merge operator is order-independent — see
+        // `KernelStats::merge_shard`), truncate the off-node attribution
+        // to the highest watermark, and fold in the coordinator-owned
+        // counters (fabric traffic, page faults, migrations).
+        let mut stats = KernelStats {
+            offnode_by_arg: vec![0; addr_tab.len()],
+            ..KernelStats::default()
         };
-
-        while let Some(Reverse(ev)) = heap.pop() {
-            let now = ev.time;
-            max_time = max_time.max(now);
-            let ctx = warps[ev.warp as usize];
-
-            if ctx.iter >= trips {
-                // Warp retired.
-                free_warp_slots.push(ev.warp);
-                let tb = &mut tbs[ctx.tb as usize];
-                tb.live_warps -= 1;
-                if tb.live_warps == 0 {
-                    let node = tb.node;
-                    free_tb_slots.push(ctx.tb);
-                    let s = &mut sms[ctx.sm as usize];
-                    s.free_tb_slots += 1;
-                    s.free_warps += warps_per_tb;
-                    if let Some(s) = sink {
-                        s.record(TraceEvent::TbRetire {
-                            time: now,
-                            bx: ctx.bx,
-                            by: ctx.by,
-                            node: node as u16,
-                            sm: ctx.sm,
-                        });
-                    }
-                    dispatch(
-                        node,
-                        now,
-                        &mut queues,
-                        &mut sms,
-                        &mut warps,
-                        &mut free_warp_slots,
-                        &mut tbs,
-                        &mut free_tb_slots,
-                        &mut heap,
-                        &mut seq,
-                        &mut stats,
-                        &mut warp_cache,
-                    );
-                }
-                continue;
-            }
-
-            // Generate this iteration's accesses — or replay the warp's
-            // cached sector list when the pattern is iteration-invariant.
-            let (instrs, sectors): (u64, &[(u64, bool)]) = if iter_invariant {
-                let slot = &mut warp_cache[ev.warp as usize];
-                if slot.is_none() {
-                    let instrs = gen(ctx, &mut access_buf, &mut sector_buf);
-                    *slot = Some((instrs, sector_buf.clone()));
-                }
-                let cached = slot.as_ref().expect("slot was just filled");
-                (cached.0, &cached.1)
-            } else {
-                let instrs = gen(ctx, &mut access_buf, &mut sector_buf);
-                (instrs, &sector_buf)
-            };
-
-            stats.warp_instructions += instrs;
-            let sm_state = &mut sms[ctx.sm as usize];
-            let issue = now.max(sm_state.next_issue);
-            sm_state.next_issue = issue + issue_cost * instrs as f64;
-
-            // Route every sector; the warp blocks on the slowest.
-            let mut done = issue + compute_cycles;
-            for &(sector, write) in sectors {
-                let t = self.route_sector(
-                    issue,
-                    ctx.sm,
-                    sector,
-                    write,
-                    &mut stats,
-                    &mut remote_args,
-                    sink,
-                );
-                done = done.max(t);
-            }
-
-            warps[ev.warp as usize].iter += 1;
-            seq += 1;
-            heap.push(Reverse(Event {
-                time: done,
-                seq,
-                warp: ev.warp,
-            }));
+        let mut remote_args = 0usize;
+        for shard in &self.shards {
+            stats.merge_shard(shard.stats());
+            remote_args = remote_args.max(shard.remote_args);
         }
-
-        for q in &queues {
-            debug_assert!(q.is_empty(), "all threadblocks must have run");
-        }
-
         // Match the lazily-grown attribution vector of the reference
         // engine: report only up to the highest arg with off-node traffic.
         stats.offnode_by_arg.truncate(remote_args);
-
-        stats.cycles = max_time;
         stats.inter_chiplet_bytes = self.fabric.inter_chiplet_bytes();
         stats.inter_gpu_bytes = self.fabric.inter_gpu_bytes();
         stats.page_faults = self.mem.page_faults();
@@ -534,217 +423,386 @@ impl GpuSystem {
         stats
     }
 
+    /// Dispatches threadblocks from shard `node`'s queue onto its SMs
+    /// until no SM has room for a whole block.
+    fn dispatch_node(
+        &mut self,
+        eng: &mut EngineState,
+        node: u32,
+        now: f64,
+        k: &EngineConsts,
+        sink: Option<&dyn TraceSink>,
+    ) {
+        let sm_base = node * k.sms_per_chiplet;
+        let shard = &mut self.shards[node as usize];
+        'outer: while !shard.queue.is_empty() {
+            // First SM on the node with room for a whole block.
+            let mut chosen = None;
+            for i in 0..k.sms_per_chiplet {
+                let s = &shard.sms[i as usize];
+                if s.free_tb_slots > 0 && s.free_warps >= k.warps_per_tb {
+                    chosen = Some(i);
+                    break;
+                }
+            }
+            let Some(local) = chosen else { break 'outer };
+            let sm = sm_base + local;
+            let (bx, by) = shard.queue.pop_front().expect("checked non-empty");
+            let sm_state = &mut shard.sms[local as usize];
+            sm_state.free_tb_slots -= 1;
+            sm_state.free_warps -= k.warps_per_tb;
+            let tb_idx = match eng.free_tb_slots.pop() {
+                Some(i) => {
+                    eng.tbs[i as usize] = TbCtx {
+                        live_warps: k.warps_per_tb,
+                        node,
+                    };
+                    i
+                }
+                None => {
+                    eng.tbs.push(TbCtx {
+                        live_warps: k.warps_per_tb,
+                        node,
+                    });
+                    (eng.tbs.len() - 1) as u32
+                }
+            };
+            shard.stats.threadblocks += 1;
+            if let Some(s) = sink {
+                s.record(TraceEvent::TbDispatch {
+                    time: now,
+                    bx,
+                    by,
+                    node: node as u16,
+                    sm,
+                });
+            }
+            for w in 0..k.warps_per_tb {
+                let ctx = WarpCtx {
+                    bx,
+                    by,
+                    warp: w,
+                    iter: 0,
+                    sm,
+                    tb: tb_idx,
+                };
+                let warp_idx = match eng.free_warp_slots.pop() {
+                    Some(i) => {
+                        eng.warps[i as usize] = ctx;
+                        eng.slots[i as usize].valid = false;
+                        i
+                    }
+                    None => {
+                        eng.warps.push(ctx);
+                        eng.slots.push(SlotCache::default());
+                        (eng.warps.len() - 1) as u32
+                    }
+                };
+                eng.seq += 1;
+                heap_push(eng, now, warp_idx);
+            }
+        }
+    }
+
+    /// Pops and resolves one event in canonical global order. Returns
+    /// `false` when the heap is empty.
+    fn step(
+        &mut self,
+        eng: &mut EngineState,
+        kernel: &dyn KernelExec,
+        k: &EngineConsts,
+        sink: Option<&dyn TraceSink>,
+    ) -> bool {
+        let Some(Reverse(ev)) = eng.heap.pop() else {
+            return false;
+        };
+        let now = ev.time;
+        let ctx = eng.warps[ev.warp as usize];
+        let node = ctx.sm / k.sms_per_chiplet;
+        let shard = &mut self.shards[node as usize];
+        // Per-shard completion watermark; the merge takes the max.
+        shard.stats.cycles = shard.stats.cycles.max(now);
+
+        if ctx.iter >= k.trips {
+            // Warp retired.
+            eng.free_warp_slots.push(ev.warp);
+            let tb = &mut eng.tbs[ctx.tb as usize];
+            tb.live_warps -= 1;
+            if tb.live_warps == 0 {
+                let tb_node = tb.node;
+                eng.free_tb_slots.push(ctx.tb);
+                let sm_state = &mut shard.sms[(ctx.sm % k.sms_per_chiplet) as usize];
+                sm_state.free_tb_slots += 1;
+                sm_state.free_warps += k.warps_per_tb;
+                if let Some(s) = sink {
+                    s.record(TraceEvent::TbRetire {
+                        time: now,
+                        bx: ctx.bx,
+                        by: ctx.by,
+                        node: tb_node as u16,
+                        sm: ctx.sm,
+                    });
+                }
+                self.dispatch_node(eng, tb_node, now, k, sink);
+            }
+            return true;
+        }
+
+        // This iteration's accesses: replayed from the slot cache (filled
+        // by the epoch prefetch or an invariant earlier trip), or
+        // generated inline.
+        let EngineState {
+            slots, access_buf, ..
+        } = eng;
+        let slot = &mut slots[ev.warp as usize];
+        if !slot.ready_for(ctx.iter, k.iter_invariant) {
+            slot.instrs = gen_warp(kernel, k, ctx, access_buf, &mut slot.sectors);
+            slot.iter = ctx.iter;
+            slot.valid = true;
+        }
+        let instrs = slot.instrs;
+
+        shard.stats.warp_instructions += instrs;
+        let sm_state = &mut shard.sms[(ctx.sm % k.sms_per_chiplet) as usize];
+        let issue = now.max(sm_state.next_issue);
+        sm_state.next_issue = issue + k.issue_cost * instrs as f64;
+
+        // Route every sector; the warp blocks on the slowest.
+        let mut done = issue + k.compute_cycles;
+        for &(sector, write) in slot.sectors.iter() {
+            let t = self.route_sector(issue, ctx.sm, sector, write, sink);
+            done = done.max(t);
+        }
+
+        eng.warps[ev.warp as usize].iter += 1;
+        eng.seq += 1;
+        heap_push(eng, done, ev.warp);
+        true
+    }
+
+    /// Epoch-prefetch driver: between barriers, worker threads compute
+    /// the pure generation results (sector lists) for every pending
+    /// event that needs one, grouped by shard; the barrier joins them
+    /// into the slot caches; then the epoch's snapshot is drained
+    /// serially in canonical order (events pushed mid-drain that pop
+    /// early simply fall back to inline generation). No shard state is
+    /// touched off the caller thread, so results are bit-identical to
+    /// the serial loop for any thread count.
+    fn run_epochs(
+        &mut self,
+        eng: &mut EngineState,
+        kernel: &dyn KernelExec,
+        k: &EngineConsts,
+        sink: Option<&dyn TraceSink>,
+        threads: usize,
+    ) {
+        let nodes = self.shards.len();
+        let mut epoch: u32 = 0;
+        while let Some(&Reverse(head)) = eng.heap.peek() {
+            let head_time = head.time;
+            // Snapshot: every pending warp event that will need a fresh
+            // sector list for the iteration it is about to execute.
+            let mut tasks: Vec<Vec<(u32, WarpCtx)>> = vec![Vec::new(); nodes];
+            let mut gen_tasks = 0u32;
+            for &Reverse(ev) in eng.heap.iter() {
+                let ctx = eng.warps[ev.warp as usize];
+                if ctx.iter >= k.trips {
+                    continue;
+                }
+                if eng.slots[ev.warp as usize].ready_for(ctx.iter, k.iter_invariant) {
+                    continue;
+                }
+                tasks[(ctx.sm / k.sms_per_chiplet) as usize].push((ev.warp, ctx));
+                gen_tasks += 1;
+            }
+            // Heap iteration order is layout-dependent; sort so each
+            // worker job's content is reproducible run to run.
+            for t in &mut tasks {
+                t.sort_unstable_by_key(|&(slot, _)| slot);
+            }
+            if let Some(s) = sink {
+                s.record(TraceEvent::EpochBarrier {
+                    time: head_time,
+                    epoch,
+                    pending: eng.heap.len() as u32,
+                    gen_tasks,
+                });
+            }
+            if gen_tasks > 0 {
+                let produced = parallel_map_labeled(
+                    nodes,
+                    threads,
+                    |i| format!("shard {i} gen (epoch {epoch})"),
+                    |i| {
+                        let mut access_buf: Vec<ThreadAccess> = Vec::with_capacity(256);
+                        tasks[i]
+                            .iter()
+                            .map(|&(slot, ctx)| {
+                                let mut sectors: Vec<(u64, bool)> = Vec::with_capacity(64);
+                                let instrs =
+                                    gen_warp(kernel, k, ctx, &mut access_buf, &mut sectors);
+                                (slot, ctx.iter, instrs, sectors)
+                            })
+                            .collect::<Vec<_>>()
+                    },
+                );
+                for per_shard in produced {
+                    for (slot_idx, iter, instrs, sectors) in per_shard {
+                        let slot = &mut eng.slots[slot_idx as usize];
+                        slot.valid = true;
+                        slot.iter = iter;
+                        slot.instrs = instrs;
+                        slot.sectors = sectors;
+                    }
+                }
+            }
+            // Drain exactly this epoch's snapshot in canonical order.
+            let drain = eng.heap.len();
+            for _ in 0..drain {
+                if !self.step(eng, kernel, k, sink) {
+                    break;
+                }
+            }
+            epoch += 1;
+        }
+    }
+
     /// Drives one 32 B sector through the hierarchy starting at `t`;
-    /// returns its completion time. `remote_args` is raised to
-    /// `1 + arg` for every sector whose home is off-node (the caller
-    /// truncates the pre-sized `offnode_by_arg` to it). When `sink` is
-    /// present, the terminal service point is reported as one
-    /// [`ladm_obs::Event::Sector`] (plus first-touch and DRAM-channel
-    /// claims along the way).
-    #[allow(clippy::too_many_arguments)]
+    /// returns its completion time.
+    ///
+    /// The requester shard handles the L1, crossbar and (when the home
+    /// is local) the L2/DRAM service; the shared page-home table
+    /// resolves ownership; remote-homed sectors cross the coordinator's
+    /// fabric as a [`RemoteRequest`] answered by the home shard
+    /// (`ChipletShard::serve_remote`). When `sink` is present, the
+    /// terminal service point is reported as one
+    /// [`ladm_obs::Event::Sector`] (plus first-touch and link claims
+    /// along the way).
     fn route_sector(
         &mut self,
         t: f64,
         sm: u32,
         addr: u64,
         write: bool,
-        stats: &mut KernelStats,
-        remote_args: &mut usize,
         sink: Option<&dyn TraceSink>,
     ) -> f64 {
-        let cfg = &self.cfg;
-        let topo = cfg.topology;
-        let node = self.sm_node(sm);
-        let sector = u64::from(cfg.l1.sector_bytes);
-        let l1_lat = cfg.l1.latency as f64;
-        let l2_lat = cfg.l2.latency as f64;
-        // Event context: the issue time, page and payload of this sector.
-        let issue_t = t;
-        let page = addr / cfg.page_bytes;
-        let sector_u32 = cfg.l1.sector_bytes;
-        let emit = |route: SectorRoute, home: NodeId| {
-            if let Some(s) = sink {
-                s.record(TraceEvent::Sector {
-                    time: issue_t,
-                    node: node.0 as u16,
-                    home: home.0 as u16,
-                    route,
-                    write,
-                    page,
-                    bytes: sector_u32,
-                });
-            }
-        };
-        let emit_dram = |at: NodeId, time: f64| {
-            if let Some(s) = sink {
-                s.record(TraceEvent::LinkTransfer {
-                    time,
-                    level: LinkLevel::Dram,
-                    index: at.0 as u16,
-                    bytes: sector_u32,
-                });
-            }
+        let topo = self.cfg.topology;
+        let node = NodeId(sm / self.cfg.sms_per_chiplet);
+        let sm_local = (sm % self.cfg.sms_per_chiplet) as usize;
+        let nid = node.0 as usize;
+        let l2_lat = self.cfg.l2.latency as f64;
+        let ctx = SectorCtx {
+            issue_t: t,
+            requester: node,
+            page: addr / self.cfg.page_bytes,
+            bytes: self.cfg.l1.sector_bytes,
+            write,
         };
 
-        // L1: write-through, no write-allocate.
-        if write {
-            self.l1[sm as usize].invalidate(addr);
-            stats.l1_misses += 1;
-        } else {
-            match self.l1[sm as usize].access(addr) {
-                Lookup::Hit => {
-                    stats.l1_hits += 1;
-                    emit(SectorRoute::L1Hit, node);
-                    return t + l1_lat;
-                }
-                _ => stats.l1_misses += 1,
+        // L1 (write-through, no write-allocate) and the SM→L2 crossbar
+        // hop, both on the requesting shard.
+        let t = {
+            let rs = &mut self.shards[nid];
+            if rs.l1_access(sm_local, addr, write, sink, &ctx) {
+                return t + rs.l1_latency();
             }
-        }
+            rs.xbar_hop(t + rs.l1_latency(), sink)
+        };
 
-        // SM -> L2 crossbar hop (charged once with the data payload).
-        let mut t = self.fabric.sm_to_l2_traced(t + l1_lat, node, sector, sink);
-
-        // Single flat-table lookup: home node, owning arg and insertion
-        // policy in one step (no hash probes, no binary search).
+        // Single flat-table lookup in the shared page-home table: home
+        // node, owning arg and insertion policy in one step.
         let home = self.mem.resolve(addr, node, &topo);
+        let mut t = t;
         if home.faulted {
-            t += cfg.page_fault_cycles as f64;
+            t += self.cfg.page_fault_cycles as f64;
             if let Some(s) = sink {
                 s.record(TraceEvent::FirstTouch {
-                    time: issue_t,
-                    page,
+                    time: ctx.issue_t,
+                    page: ctx.page,
                     node: home.node.0 as u16,
                 });
             }
         }
 
         if home.node == node {
-            // LOCAL-LOCAL.
-            stats.l2_local_local.accesses += 1;
-            match self.l2[node.0 as usize].access(addr) {
-                Lookup::Hit => {
-                    stats.l2_local_local.hits += 1;
-                    emit(SectorRoute::L2LocalHit, home.node);
-                    t + l2_lat
-                }
-                _ => {
-                    stats.dram_sectors += 1;
-                    emit(SectorRoute::DramLocal, home.node);
-                    emit_dram(node, t + l2_lat);
-                    let dram_done = self.dram[node.0 as usize].claim(t + l2_lat, sector);
-                    if write {
-                        // Posted write: bandwidth charged, latency hidden.
-                        t + l2_lat
-                    } else {
-                        dram_done + cfg.dram_latency as f64
-                    }
-                }
-            }
+            // LOCAL-LOCAL: entirely within the requester shard.
+            return self.shards[nid].local_access(t, addr, write, sink, &ctx);
+        }
+
+        let offgpu = !topo.same_gpu(home.node, node);
+        let arg = home.arg as usize;
+        self.shards[nid].raise_arg_watermark(arg);
+        // Reactive migration (opt-in): enough consecutive accesses
+        // from this node pull the whole page across the fabric; the
+        // triggering request stalls for the transfer and is then
+        // served locally.
+        if self.cfg.migration_threshold > 0
+            && self
+                .mem
+                .record_remote_access(addr, node, self.cfg.migration_threshold)
+        {
+            ctx.emit(sink, SectorRoute::Migrated, home.node);
+            let t =
+                self.fabric
+                    .route_traced(t + l2_lat, home.node, node, self.cfg.page_bytes, sink);
+            return self.shards[nid].migrate_in(t, sm_local, addr, write, sink, &ctx);
+        }
+
+        if write {
+            // Write data travels to the home shard; the local copy (if
+            // any) is invalidated. Acks are free.
+            let rs = &mut self.shards[nid];
+            rs.note_offnode(arg, offgpu);
+            rs.invalidate_l2(addr);
+            let t =
+                self.fabric
+                    .route_traced(t + l2_lat, node, home.node, u64::from(ctx.bytes), sink);
+            let req = RemoteRequest {
+                addr,
+                write: true,
+                t,
+                insert: home.remote_insert,
+            };
+            self.shards[home.node.0 as usize]
+                .serve_remote(&req, sink, &ctx)
+                .t
         } else {
-            let offgpu = !topo.same_gpu(home.node, node);
-            let arg = home.arg as usize;
-            *remote_args = (*remote_args).max(arg + 1);
-            // Reactive migration (opt-in): enough consecutive accesses
-            // from this node pull the whole page across the fabric; the
-            // triggering request stalls for the transfer and is then
-            // served locally.
-            if cfg.migration_threshold > 0
-                && self
-                    .mem
-                    .record_remote_access(addr, node, cfg.migration_threshold)
-            {
-                emit(SectorRoute::Migrated, home.node);
-                let t = self
-                    .fabric
-                    .route_traced(t + l2_lat, home.node, node, cfg.page_bytes, sink);
-                emit_dram(node, t);
-                let t = self.dram[node.0 as usize].claim(t, sector) + cfg.dram_latency as f64;
-                self.l2[node.0 as usize].fill(addr);
-                if !write {
-                    self.l1[sm as usize].fill(addr);
+            // LOCAL-REMOTE: the dynamically-shared L2 checks the local
+            // partition before going remote (remote caching, [51]).
+            if self.cfg.remote_caching {
+                if let Some(done) =
+                    self.shards[nid].probe_remote_cached(t, addr, home.node, sink, &ctx)
+                {
+                    return done;
                 }
-                return t;
             }
-            if write {
-                stats.sectors_offnode += 1;
-                stats.offnode_by_arg[arg] += 1;
-                if offgpu {
-                    stats.sectors_offgpu += 1;
-                }
-                // Write data travels to the home node; the local copy (if
-                // any) is invalidated. Acks are free.
-                self.l2[node.0 as usize].invalidate(addr);
-                let t = self
-                    .fabric
-                    .route_traced(t + l2_lat, node, home.node, sector, sink);
-                stats.l2_remote_local.accesses += 1;
-                let home_l2 = &mut self.l2[home.node.0 as usize];
-                if home_l2.probe(addr) == Lookup::Hit {
-                    stats.l2_remote_local.hits += 1;
-                    home_l2.fill(addr);
-                    emit(SectorRoute::L2HomeHit, home.node);
-                    t + l2_lat
-                } else {
-                    home_l2.fill(addr);
-                    stats.dram_sectors += 1;
-                    emit(SectorRoute::DramRemote, home.node);
-                    emit_dram(home.node, t + l2_lat);
-                    // Posted write: bandwidth charged, latency hidden.
-                    self.dram[home.node.0 as usize].claim(t + l2_lat, sector)
-                }
-            } else {
-                // LOCAL-REMOTE: the dynamically-shared L2 checks the local
-                // partition before going remote (remote caching, [51]).
-                if cfg.remote_caching {
-                    stats.l2_local_remote.accesses += 1;
-                    if self.l2[node.0 as usize].probe(addr) == Lookup::Hit {
-                        stats.l2_local_remote.hits += 1;
-                        emit(SectorRoute::L2RemoteCachedHit, home.node);
-                        return t + l2_lat;
-                    }
-                }
-                // The request really leaves the chiplet now.
-                stats.sectors_offnode += 1;
-                stats.offnode_by_arg[arg] += 1;
-                if offgpu {
-                    stats.sectors_offgpu += 1;
-                }
-                // Request header to the home node.
-                let mut t = self
-                    .fabric
-                    .route_traced(t + l2_lat, node, home.node, 8, sink);
-                // REMOTE-LOCAL at the home L2.
-                stats.l2_remote_local.accesses += 1;
-                let insert = home.remote_insert;
-                let home_l2 = &mut self.l2[home.node.0 as usize];
-                match home_l2.probe(addr) {
-                    Lookup::Hit => {
-                        stats.l2_remote_local.hits += 1;
-                        emit(SectorRoute::L2HomeHit, home.node);
-                        t += l2_lat;
-                    }
-                    _ => {
-                        stats.dram_sectors += 1;
-                        emit(SectorRoute::DramRemote, home.node);
-                        emit_dram(home.node, t + l2_lat);
-                        t = self.dram[home.node.0 as usize].claim(t + l2_lat, sector)
-                            + cfg.dram_latency as f64;
-                        if insert == RemoteInsert::Twice {
-                            home_l2.fill(addr);
-                        }
-                    }
-                }
-                // Data reply to the requester; cached locally (remote
-                // caching) and in the L1.
-                let t = self.fabric.route_traced(t, home.node, node, sector, sink);
-                if cfg.remote_caching {
-                    self.l2[node.0 as usize].fill(addr);
-                }
-                self.l1[sm as usize].fill(addr);
-                t
-            }
+            // The request really leaves the chiplet now: header to the
+            // home shard, REMOTE-LOCAL service there, data reply back.
+            self.shards[nid].note_offnode(arg, offgpu);
+            let t = self
+                .fabric
+                .route_traced(t + l2_lat, node, home.node, 8, sink);
+            let req = RemoteRequest {
+                addr,
+                write: false,
+                t,
+                insert: home.remote_insert,
+            };
+            let reply = self.shards[home.node.0 as usize].serve_remote(&req, sink, &ctx);
+            let t = self
+                .fabric
+                .route_traced(reply.t, home.node, node, u64::from(ctx.bytes), sink);
+            self.shards[nid].accept_reply(sm_local, addr, self.cfg.remote_caching);
+            t
         }
     }
+}
+
+/// Pushes the next event for `warp` at `time` (assumes `eng.seq` was
+/// already advanced by the caller).
+fn heap_push(eng: &mut EngineState, time: f64, warp: u32) {
+    let seq = eng.seq;
+    eng.heap.push(Reverse(Event { time, seq, warp }));
 }
 
 #[cfg(test)]
@@ -943,5 +1001,83 @@ mod tests {
         let kernel = VecAdd::new(128, 128);
         let stats = sys.run(&kernel, &ladm_core::policies::BatchFt::new());
         assert!(stats.page_faults > 0);
+    }
+
+    #[test]
+    fn threaded_engine_is_bit_identical() {
+        let kernel = VecAdd::new(256, 128);
+        let mut serial = GpuSystem::new(SimConfig::paper_multi_gpu());
+        serial.set_threads(1);
+        let base = serial.run(&kernel, &BaselineRr::new());
+        for threads in [2, 4, 8] {
+            let mut sys = GpuSystem::new(SimConfig::paper_multi_gpu());
+            sys.set_threads(threads);
+            let stats = sys.run(&kernel, &BaselineRr::new());
+            assert_eq!(
+                format!("{stats:?}"),
+                format!("{base:?}"),
+                "threads={threads} must be bit-identical to serial"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_trace_adds_only_epoch_barriers() {
+        use ladm_obs::RecordingSink;
+
+        let kernel = VecAdd::new(64, 128);
+        let mut sys = GpuSystem::new(SimConfig::paper_multi_gpu());
+        sys.set_threads(1);
+        let sink = Arc::new(RecordingSink::new());
+        sys.set_sink(sink.clone());
+        sys.run(&kernel, &Lasp::ladm());
+        let serial = sink.take_events();
+
+        sys.set_threads(4);
+        sys.run(&kernel, &Lasp::ladm());
+        let threaded = sink.take_events();
+
+        let barriers = threaded
+            .iter()
+            .filter(|e| e.name() == "epoch_barrier")
+            .count();
+        assert!(barriers > 0, "threaded runs report epoch barriers");
+        let filtered: Vec<_> = threaded
+            .into_iter()
+            .filter(|e| e.name() != "epoch_barrier")
+            .collect();
+        assert_eq!(
+            filtered, serial,
+            "threaded trace differs from serial only by barrier markers"
+        );
+    }
+
+    #[test]
+    fn shards_expose_per_chiplet_stats() {
+        let kernel = VecAdd::new(256, 128);
+        let mut sys = GpuSystem::new(SimConfig::paper_multi_gpu());
+        let total = sys.run(&kernel, &Lasp::ladm());
+        let shard_tbs: u64 = sys.shards().iter().map(|s| s.stats().threadblocks).sum();
+        assert_eq!(shard_tbs, total.threadblocks);
+        let busy = sys
+            .shards()
+            .iter()
+            .filter(|s| s.stats().cycles > 0.0)
+            .count();
+        assert!(busy > 1, "work spread across chiplets, got {busy}");
+        assert!(sys
+            .shards()
+            .iter()
+            .all(|s| s.stats().cycles <= total.cycles));
+    }
+
+    #[test]
+    fn env_thread_count_is_parsed_and_clamped() {
+        assert_eq!(threads_from_env().max(1), threads_from_env());
+        let mut sys = GpuSystem::new(SimConfig::paper_multi_gpu());
+        sys.set_threads(0);
+        assert_eq!(sys.threads(), 1, "zero clamps to serial");
+        sys.set_threads(8);
+        assert_eq!(sys.threads(), 8);
     }
 }

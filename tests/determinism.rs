@@ -1,0 +1,73 @@
+//! Thread-count determinism suite: the epoch-parallel engine must be a
+//! pure wall-clock optimization. The full 27-workload suite at
+//! `Scale::Test`, run under LADM and the baseline round-robin policy,
+//! must produce bit-identical [`KernelStats`] at 1, 2 and 8 worker
+//! threads — and that digest must equal the serial-engine golden fixture
+//! (`tests/fixtures/stats_digest.txt`), so threading cannot drift even
+//! in lockstep with itself.
+//!
+//! The determinism argument (DESIGN.md §10): worker threads only run the
+//! *pure* per-warp access-generation phase; every stateful transition —
+//! cache fills, bandwidth-bucket claims, first-touch page homing,
+//! threadblock dispatch — is resolved by the coordinator in exact global
+//! `(time, seq)` event order, identical to the serial engine's order.
+
+use ladm::core::policies::{BaselineRr, Lasp, Policy};
+use ladm::sim::{GpuSystem, KernelStats, SimConfig};
+use ladm::workloads::{suite, Scale};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/stats_digest.txt"
+);
+
+/// Same digest as `tests/stats_golden.rs`, with the engine pinned to
+/// `threads` workers: one line per (workload, policy) cell holding the
+/// full `Debug` rendering of the accumulated stats.
+fn digest_lines(threads: usize) -> Vec<String> {
+    let cfg = SimConfig::paper_multi_gpu();
+    let policies: [&dyn Policy; 2] = [&Lasp::ladm(), &BaselineRr::new()];
+    let mut lines = Vec::new();
+    for policy in policies {
+        for w in suite(Scale::Test) {
+            let mut sys = GpuSystem::new(cfg.clone());
+            sys.set_threads(threads);
+            let mut total = KernelStats::default();
+            for kernel in &w.kernels {
+                total.accumulate(&sys.run(&**kernel, policy));
+            }
+            lines.push(format!("{} {} {:?}", w.name, policy.name(), total));
+        }
+    }
+    lines
+}
+
+#[test]
+fn full_suite_is_bit_identical_across_thread_counts() {
+    let serial = digest_lines(1);
+    for threads in [2, 8] {
+        let threaded = digest_lines(threads);
+        assert_eq!(
+            serial.len(),
+            threaded.len(),
+            "cell count changed at {threads} threads"
+        );
+        for (s, t) in serial.iter().zip(&threaded) {
+            assert!(
+                s == t,
+                "digest diverged at {threads} threads.\nserial:   {s}\nthreaded: {t}"
+            );
+        }
+    }
+
+    // And the serial digest itself must still match the golden fixture:
+    // threading must not have perturbed the baseline it is compared to.
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run stats_golden with LADM_UPDATE_GOLDEN=1 to create it");
+    let got = serial.join("\n") + "\n";
+    assert!(
+        got == want,
+        "serial digest no longer matches tests/fixtures/stats_digest.txt; \
+         the threaded-engine refactor must not change the model"
+    );
+}
