@@ -290,4 +290,65 @@ mod tests {
         let doc = Json::parse(&text).expect("escaped output parses");
         assert_eq!(doc.get("git_rev").and_then(Json::as_str), Some("a\"b"));
     }
+
+    #[test]
+    fn every_truncation_errors_and_never_panics() {
+        // Chop the rendered report at every byte boundary: each strict
+        // prefix must come back as a clean Err, not a panic and not a
+        // silently-accepted partial report.
+        let text = render(&sample_report());
+        let full = text.trim_end();
+        assert_eq!(validate(full), Ok(2));
+        for cut in 0..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &full[..cut];
+            assert!(
+                validate(prefix).is_err(),
+                "truncation at byte {cut} validated: {prefix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn future_schema_version_is_rejected() {
+        let bumped = render(&sample_report()).replace(SCHEMA, "ladm-bench-v2");
+        let err = validate(&bumped).unwrap_err();
+        assert!(err.contains("ladm-bench-v2"), "err = {err}");
+        assert!(err.contains(SCHEMA), "err = {err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_additive() {
+        // Forward compatibility: readers of v1 must tolerate fields a
+        // newer writer added, both at the top level and inside cells.
+        let text = render(&sample_report());
+        let with_top = text.replacen(
+            "\"samples\":",
+            "\"future_top_level\": {\"nested\": [1, 2]}, \"samples\":",
+            1,
+        );
+        assert_eq!(validate(&with_top), Ok(2));
+        let with_cell = text.replace(
+            "\"workload\":",
+            "\"future_cell_field\": true, \"workload\":",
+        );
+        assert_eq!(validate(&with_cell), Ok(2));
+    }
+
+    #[test]
+    fn wrong_field_types_are_rejected() {
+        let text = render(&sample_report());
+        // 'samples' as a string.
+        let bad_samples = text.replacen("\"samples\": 5", "\"samples\": \"5\"", 1);
+        assert!(validate(&bad_samples).unwrap_err().contains("samples"));
+        // 'cells' as an object.
+        let bad_cells =
+            format!(r#"{{"schema": "{SCHEMA}", "git_rev": "x", "samples": 1, "cells": {{}}}}"#);
+        assert!(validate(&bad_cells).unwrap_err().contains("cells"));
+        // A cell's workload as a number.
+        let bad_workload = text.replacen("\"workload\": \"VecAdd\"", "\"workload\": 7", 1);
+        assert!(validate(&bad_workload).unwrap_err().contains("workload"));
+    }
 }

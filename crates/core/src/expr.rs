@@ -763,4 +763,193 @@ mod tests {
         assert!(p.contains_where(Var::is_induction));
         assert!(!p.contains_where(Var::is_block));
     }
+
+    // ---- randomized algebra properties -----------------------------
+    //
+    // Depth and magnitudes are kept small enough that no intermediate
+    // coefficient or evaluation overflows i64, so canonicalization must
+    // preserve the exact value, not just the wrapped one.
+
+    use crate::rng::SplitMix64;
+
+    const GEN_VARS: [Var; 11] = [
+        Var::Tx,
+        Var::Ty,
+        Var::Bx,
+        Var::By,
+        Var::Bdx,
+        Var::Bdy,
+        Var::Gdx,
+        Var::Gdy,
+        Var::Ind(0),
+        Var::Ind(1),
+        Var::Param("n"),
+    ];
+
+    fn random_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+        if depth == 0 || rng.chance(1, 3) {
+            if rng.chance(1, 2) {
+                Expr::from(rng.range_i64(-3, 3))
+            } else {
+                Expr::var(GEN_VARS[rng.below(GEN_VARS.len() as u64) as usize])
+            }
+        } else {
+            let a = random_expr(rng, depth - 1);
+            let b = random_expr(rng, depth - 1);
+            match rng.below(3) {
+                0 => a + b,
+                1 => a - b,
+                _ => a * b,
+            }
+        }
+    }
+
+    fn random_env(rng: &mut SplitMix64) -> Env {
+        Env::new()
+            .with_dims(
+                rng.range_u32(1, 16),
+                rng.range_u32(1, 16),
+                rng.range_u32(1, 16),
+                rng.range_u32(1, 16),
+            )
+            .with_block(rng.range_u32(0, 15), rng.range_u32(0, 15))
+            .with_thread(rng.range_u32(0, 15), rng.range_u32(0, 15))
+            .with_ind(0, rng.range_i64(-4, 9))
+            .with_ind(1, rng.range_i64(-4, 9))
+            .with_param("n", rng.range_i64(-8, 8))
+    }
+
+    /// Direct recursive evaluation of the source AST, the semantics
+    /// `to_poly` must preserve.
+    fn eval_expr(e: &Expr, env: &Env) -> i64 {
+        match e {
+            Expr::Const(c) => *c,
+            Expr::Var(x) => env.get(*x),
+            Expr::Add(a, b) => eval_expr(a, env) + eval_expr(b, env),
+            Expr::Sub(a, b) => eval_expr(a, env) - eval_expr(b, env),
+            Expr::Mul(a, b) => eval_expr(a, env) * eval_expr(b, env),
+        }
+    }
+
+    #[test]
+    fn canonicalization_preserves_evaluation() {
+        let mut rng = SplitMix64::new(0xE87);
+        for _ in 0..500 {
+            let e = random_expr(&mut rng, 3);
+            let p = e.to_poly();
+            for _ in 0..4 {
+                let env = random_env(&mut rng);
+                assert_eq!(p.eval(&env), eval_expr(&e, &env), "expr {e}, poly {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn polynomials_satisfy_ring_laws() {
+        let mut rng = SplitMix64::new(0x51);
+        for _ in 0..300 {
+            let a = random_expr(&mut rng, 2).to_poly();
+            let b = random_expr(&mut rng, 2).to_poly();
+            let c = random_expr(&mut rng, 2).to_poly();
+            assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+            assert_eq!(a.clone() * b.clone(), b.clone() * a.clone());
+            assert_eq!(
+                (a.clone() + b.clone()) + c.clone(),
+                a.clone() + (b.clone() + c.clone())
+            );
+            assert_eq!(
+                a.clone() * (b.clone() + c.clone()),
+                a.clone() * b.clone() + a.clone() * c.clone()
+            );
+            assert!((a.clone() - a.clone()).is_zero());
+            assert_eq!(a.clone() * Poly::constant(1), a.clone());
+            assert!((a.clone() * Poly::zero()).is_zero());
+        }
+    }
+
+    #[test]
+    fn substituting_a_variable_for_itself_is_identity() {
+        let mut rng = SplitMix64::new(0x1D);
+        for _ in 0..300 {
+            let p = random_expr(&mut rng, 3).to_poly();
+            for v in GEN_VARS {
+                assert_eq!(p.subst(v, &Poly::var(v)), p, "var {v}, poly {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn substitution_commutes_with_evaluation() {
+        // p[s := q] evaluated under env must equal p evaluated with s
+        // bound to q's value — the defining property of subst.
+        let mut rng = SplitMix64::new(0xAB);
+        let s = Var::Param("s");
+        for _ in 0..300 {
+            let p_src = random_expr(&mut rng, 2);
+            // Splice `s` into the expression so the substitution is
+            // exercised, not vacuous.
+            let p = (p_src.clone() + Expr::var(s) * random_expr(&mut rng, 1)).to_poly();
+            let q = random_expr(&mut rng, 2).to_poly();
+            let env = random_env(&mut rng);
+            let substituted = p.subst(s, &q).eval(&env);
+            let bound = p.eval(&env.clone().with_param("s", q.eval(&env)));
+            assert_eq!(substituted, bound, "p {p}, q {q}");
+        }
+    }
+
+    #[test]
+    fn induction_split_partitions_exactly() {
+        let mut rng = SplitMix64::new(0xF00);
+        for _ in 0..300 {
+            let p = random_expr(&mut rng, 3).to_poly();
+            let (variant, invariant) = p.split_by_induction(0);
+            assert!(!invariant.contains(Var::Ind(0)));
+            assert_eq!(variant.clone() + invariant.clone(), p);
+            let env = random_env(&mut rng);
+            assert_eq!(variant.eval(&env) + invariant.eval(&env), p.eval(&env));
+        }
+    }
+
+    #[test]
+    fn div_exact_inverts_multiplication() {
+        let mut rng = SplitMix64::new(0xD1);
+        for _ in 0..300 {
+            let p = random_expr(&mut rng, 2).to_poly();
+            let m = Var::Ind(0);
+            match p.div_exact(m) {
+                Some(stride) => {
+                    assert!(!stride.contains(m));
+                    assert_eq!(stride * Poly::var(m), p);
+                }
+                None => {
+                    // Correctly refused: either some term lacks the
+                    // factor, or one carries it more than once.
+                    assert!(
+                        p.is_zero()
+                            || p.iter()
+                                .any(|(vars, _)| { vars.iter().filter(|&&x| x == m).count() != 1 })
+                    );
+                }
+            }
+            // A polynomial explicitly built as stride * m must divide.
+            let stride = random_expr(&mut rng, 2).to_poly();
+            if !stride.contains(m) && !stride.is_zero() {
+                let shifted = stride.clone() * Poly::var(m);
+                assert_eq!(shifted.div_exact(m), Some(stride));
+            }
+        }
+    }
+
+    #[test]
+    fn try_eval_agrees_with_eval_when_fully_bound() {
+        let mut rng = SplitMix64::new(0x7E);
+        for _ in 0..300 {
+            let p = random_expr(&mut rng, 3).to_poly();
+            let env = random_env(&mut rng);
+            assert_eq!(p.try_eval(&env), Some(p.eval(&env)));
+            // An empty environment binds nothing: only variable-free
+            // polynomials still evaluate.
+            assert_eq!(p.try_eval(&Env::new()).is_some(), p.vars().is_empty());
+        }
+    }
 }

@@ -1,0 +1,165 @@
+//! `ladm-fuzz` — differential fuzzing of the optimized engine against
+//! the oracle simulator.
+//!
+//! ```text
+//! ladm-fuzz [--seed N] [--trials N] [--out DIR]
+//! ladm-fuzz --replay FILE [--replay FILE ...]
+//! ladm-fuzz --corpus DIR
+//! ladm-fuzz --dump TRIAL [--seed N]
+//! ```
+//!
+//! Default mode samples `--trials` random trials from `--seed` and runs
+//! each through the full differential harness
+//! ([`ladm_fuzz::run_trial`]). On the first failure it greedily shrinks
+//! the input, prints a JSON failure report to stdout, writes the shrunk
+//! reproducer (a corpus-format spec) under `--out`, and exits 1.
+//! `--replay`/`--corpus` re-run saved specs; `--dump` prints a trial's
+//! spec JSON for seeding the checked-in corpus.
+
+use ladm_fuzz::corpus;
+use ladm_fuzz::diff::Failure;
+use ladm_fuzz::{run_trial, trial_spec, TrialSpec};
+use ladm_obs::json::escape;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 0u64;
+    let mut trials = 200u64;
+    let mut out_dir = "fuzz-failures".to_string();
+    let mut replays: Vec<String> = Vec::new();
+    let mut corpus_dir: Option<String> = None;
+    let mut dump: Option<u64> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = parse_num(it.next(), "--seed"),
+            "--trials" => trials = parse_num(it.next(), "--trials"),
+            "--out" => out_dir = it.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--replay" => {
+                replays.push(it.next().unwrap_or_else(|| usage("--replay needs a path")));
+            }
+            "--corpus" => {
+                corpus_dir = Some(it.next().unwrap_or_else(|| usage("--corpus needs a path")));
+            }
+            "--dump" => dump = Some(parse_num(it.next(), "--dump")),
+            "-h" | "--help" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    if let Some(trial) = dump {
+        print!("{}", corpus::render(&trial_spec(seed, trial)));
+        return;
+    }
+
+    // Shrinking re-runs failing (often panicking) trials hundreds of
+    // times; keep stderr clean and capture messages via catch_unwind.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    if let Some(dir) = corpus_dir {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| {
+                eprintln!("{dir}: cannot read: {e}");
+                std::process::exit(1);
+            })
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("json"))
+            .collect();
+        entries.sort();
+        if entries.is_empty() {
+            eprintln!("{dir}: no .json corpus entries");
+            std::process::exit(1);
+        }
+        replays.extend(entries.into_iter().map(|p| p.display().to_string()));
+    }
+
+    if !replays.is_empty() {
+        let mut failed = 0usize;
+        for path in &replays {
+            match replay_file(path) {
+                Ok(()) => println!("{path}: OK"),
+                Err(msg) => {
+                    println!("{path}: FAILED\n{msg}");
+                    failed += 1;
+                }
+            }
+        }
+        println!("replayed {} spec(s), {failed} failure(s)", replays.len());
+        std::process::exit(if failed == 0 { 0 } else { 1 });
+    }
+
+    for trial in 0..trials {
+        let spec = trial_spec(seed, trial);
+        if let Err(failure) = run_trial(&spec) {
+            report_failure(seed, trial, &spec, &failure, &out_dir);
+            std::process::exit(1);
+        }
+        if (trial + 1) % 100 == 0 {
+            eprintln!("... {}/{trials} trials clean", trial + 1);
+        }
+    }
+    println!("{trials} trials, zero divergences, zero property violations (seed {seed})");
+}
+
+fn replay_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let spec = corpus::parse(&text)?;
+    run_trial(&spec).map(|_| ()).map_err(|f| f.to_string())
+}
+
+fn report_failure(seed: u64, trial: u64, spec: &TrialSpec, failure: &Failure, out_dir: &str) {
+    eprintln!(
+        "trial {trial} (seed {seed}) failed: {}; shrinking...",
+        failure.kind()
+    );
+    let small = ladm_fuzz::shrink::shrink(spec, failure);
+    let small_failure = match run_trial(&small) {
+        Err(f) => f,
+        Ok(_) => failure.clone(), // cannot happen: shrink only keeps failing specs
+    };
+    let repro = corpus::render(&small);
+    let repro_path = format!("{out_dir}/repro-seed{seed}-trial{trial}.json");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        let _ = std::fs::write(&repro_path, &repro);
+    }
+    println!(
+        "{{\n  \"seed\": {seed},\n  \"trial\": {trial},\n  \"kind\": \"{}\",\n  \
+         \"detail\": \"{}\",\n  \"sites\": {},\n  \"reproducer\": \"{}\",\n  \"spec\": {}}}",
+        small_failure.kind(),
+        escape(&small_failure.to_string()),
+        small.sites.len(),
+        escape(&repro_path),
+        repro.trim_end()
+    );
+}
+
+fn parse_num(v: Option<String>, flag: &str) -> u64 {
+    v.and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a non-negative integer")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "ladm-fuzz: differential fuzzing of the engine against the oracle\n\
+         \n\
+         usage:\n\
+           ladm-fuzz [--seed N] [--trials N] [--out DIR]\n\
+           ladm-fuzz --replay FILE [--replay FILE ...]\n\
+           ladm-fuzz --corpus DIR\n\
+           ladm-fuzz --dump TRIAL [--seed N]\n\
+         \n\
+         options:\n\
+           --seed N       master seed (default: 0)\n\
+           --trials N     trials to run (default: 200)\n\
+           --out DIR      where shrunk reproducers are written\n\
+                          (default: fuzz-failures)\n\
+           --replay FILE  re-run one saved spec\n\
+           --corpus DIR   re-run every .json spec in DIR\n\
+           --dump TRIAL   print the spec of one trial as corpus JSON"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,357 @@
+//! Lossless JSON serialization of [`TrialSpec`]s — the regression
+//! corpus format under `tests/fixtures/fuzz_corpus/`.
+//!
+//! Every field is an integer, a bool or a short string, so the in-tree
+//! [`ladm_obs::json`] parser round-trips specs exactly (the `Manual`
+//! policy seed is capped below 2^53 by the generator, keeping it exact
+//! as an `f64` JSON number).
+
+use crate::gen::{ArgSpec, ConfigSpec, PolicySpec, SiteSpec, TrialSpec, MAX_ARGS};
+use ladm_obs::json::Json;
+use std::fmt::Write as _;
+
+/// Schema tag every corpus document must carry.
+pub const SCHEMA: &str = "ladm-fuzz-v1";
+
+/// Renders a spec as a corpus JSON document.
+pub fn render(spec: &TrialSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(
+        out,
+        "  \"grid\": [{}, {}], \"block\": [{}, {}],",
+        spec.grid.0, spec.grid.1, spec.block.0, spec.block.1
+    );
+    let _ = writeln!(
+        out,
+        "  \"trips\": {}, \"intensity\": {}, \"two_d\": {},",
+        spec.trips, spec.intensity, spec.two_d
+    );
+    let _ = writeln!(out, "  \"args\": [");
+    for (i, a) in spec.args.iter().enumerate() {
+        let comma = if i + 1 == spec.args.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"elem_bytes\": {}, \"len\": {}, \"written\": {}}}{comma}",
+            a.elem_bytes, a.len, a.written
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"sites\": [");
+    for (i, s) in spec.sites.iter().enumerate() {
+        let comma = if i + 1 == spec.sites.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"arg\": {}, \"c_const\": {}, \"c_tx\": {}, \"c_ty\": {}, \"c_bx\": {}, \
+             \"c_by\": {}, \"c_ind\": {}, \"tid_term\": {}, \"ind_width\": {}, \
+             \"row_major\": {}, \"c_data\": {}, \"data_per_iter\": {}, \"epilogue\": {}, \
+             \"lane_group\": {}}}{comma}",
+            s.arg,
+            s.c_const,
+            s.c_tx,
+            s.c_ty,
+            s.c_bx,
+            s.c_by,
+            s.c_ind,
+            s.tid_term,
+            s.ind_width,
+            s.row_major,
+            s.c_data,
+            s.data_per_iter,
+            s.epilogue,
+            s.lane_group
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let c = &spec.config;
+    let _ = writeln!(out, "  \"config\": {{");
+    let _ = writeln!(
+        out,
+        "    \"gpus\": {}, \"chiplets\": {}, \"sms_per_chiplet\": {},",
+        c.gpus, c.chiplets, c.sms_per_chiplet
+    );
+    let _ = writeln!(
+        out,
+        "    \"warps_per_sm\": {}, \"max_tbs_per_sm\": {}, \"issue\": {},",
+        c.warps_per_sm, c.max_tbs_per_sm, c.issue
+    );
+    let _ = writeln!(
+        out,
+        "    \"l1_sets\": {}, \"l1_assoc\": {}, \"l1_latency\": {},",
+        c.l1_sets, c.l1_assoc, c.l1_latency
+    );
+    let _ = writeln!(
+        out,
+        "    \"l2_sets\": {}, \"l2_assoc\": {}, \"l2_latency\": {},",
+        c.l2_sets, c.l2_assoc, c.l2_latency
+    );
+    let _ = writeln!(
+        out,
+        "    \"dram_latency\": {}, \"dram_bw\": {}, \"intra_bw\": {}, \"intra_latency\": {},",
+        c.dram_latency, c.dram_bw, c.intra_bw, c.intra_latency
+    );
+    let _ = writeln!(
+        out,
+        "    \"ring_bw\": {}, \"ring_latency\": {}, \"switch_bw\": {}, \"switch_latency\": {},",
+        c.ring_bw, c.ring_latency, c.switch_bw, c.switch_latency
+    );
+    let _ = writeln!(
+        out,
+        "    \"remote_caching\": {}, \"migration_threshold\": {}, \"page_bytes\": {},",
+        c.remote_caching, c.migration_threshold, c.page_bytes
+    );
+    let _ = writeln!(
+        out,
+        "    \"page_fault_cycles\": {}, \"base_compute_cycles\": {}",
+        c.page_fault_cycles, c.base_compute_cycles
+    );
+    let _ = writeln!(out, "  }},");
+    let policy = match &spec.policy {
+        PolicySpec::BaselineRr => "{\"kind\": \"baseline-rr\"}".to_string(),
+        PolicySpec::BatchFt => "{\"kind\": \"batch-ft\"}".to_string(),
+        PolicySpec::KernelWide => "{\"kind\": \"kernel-wide\"}".to_string(),
+        PolicySpec::CodaFlat => "{\"kind\": \"coda-flat\"}".to_string(),
+        PolicySpec::CodaHier => "{\"kind\": \"coda-hier\"}".to_string(),
+        PolicySpec::LaspRtwice => "{\"kind\": \"lasp-rtwice\"}".to_string(),
+        PolicySpec::LaspRonce => "{\"kind\": \"lasp-ronce\"}".to_string(),
+        PolicySpec::LaspLadm => "{\"kind\": \"lasp-ladm\"}".to_string(),
+        PolicySpec::Manual { seed } => format!("{{\"kind\": \"manual\", \"seed\": {seed}}}"),
+    };
+    let _ = writeln!(out, "  \"policy\": {policy}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Parses a corpus JSON document back into a spec.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: malformed
+/// JSON, a wrong or missing schema tag, missing fields, out-of-range
+/// values.
+pub fn parse(text: &str) -> Result<TrialSpec, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let schema = get_str(&doc, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "unsupported schema '{schema}' (expected '{SCHEMA}')"
+        ));
+    }
+    let grid = get_pair(&doc, "grid")?;
+    let block = get_pair(&doc, "block")?;
+    let args_json = doc
+        .get("args")
+        .and_then(Json::as_array)
+        .ok_or("missing 'args' array")?;
+    if args_json.is_empty() || args_json.len() > MAX_ARGS {
+        return Err(format!(
+            "between 1 and {MAX_ARGS} args, got {}",
+            args_json.len()
+        ));
+    }
+    let mut args = Vec::new();
+    for a in args_json {
+        args.push(ArgSpec {
+            elem_bytes: get_u32(a, "elem_bytes")?,
+            len: get_u64(a, "len")?,
+            written: get_bool(a, "written")?,
+        });
+    }
+    let sites_json = doc
+        .get("sites")
+        .and_then(Json::as_array)
+        .ok_or("missing 'sites' array")?;
+    let mut sites = Vec::new();
+    for s in sites_json {
+        let site = SiteSpec {
+            arg: get_u32(s, "arg")?,
+            c_const: get_i64(s, "c_const")?,
+            c_tx: get_i64(s, "c_tx")?,
+            c_ty: get_i64(s, "c_ty")?,
+            c_bx: get_i64(s, "c_bx")?,
+            c_by: get_i64(s, "c_by")?,
+            c_ind: get_i64(s, "c_ind")?,
+            tid_term: get_bool(s, "tid_term")?,
+            ind_width: get_bool(s, "ind_width")?,
+            row_major: get_bool(s, "row_major")?,
+            c_data: get_i64(s, "c_data")?,
+            data_per_iter: get_bool(s, "data_per_iter")?,
+            epilogue: get_bool(s, "epilogue")?,
+            lane_group: get_u32(s, "lane_group")?.max(1),
+        };
+        if site.arg as usize >= args.len() {
+            return Err(format!(
+                "site references arg {} of {}",
+                site.arg,
+                args.len()
+            ));
+        }
+        sites.push(site);
+    }
+    let c = doc.get("config").ok_or("missing 'config' object")?;
+    let config = ConfigSpec {
+        gpus: get_u32(c, "gpus")?.max(1),
+        chiplets: get_u32(c, "chiplets")?.max(1),
+        sms_per_chiplet: get_u32(c, "sms_per_chiplet")?.max(1),
+        warps_per_sm: get_u32(c, "warps_per_sm")?.max(1),
+        max_tbs_per_sm: get_u32(c, "max_tbs_per_sm")?.max(1),
+        issue: get_u32(c, "issue")?.max(1),
+        l1_sets: get_u32(c, "l1_sets")?,
+        l1_assoc: get_u32(c, "l1_assoc")?,
+        l1_latency: get_u64(c, "l1_latency")?,
+        l2_sets: get_u32(c, "l2_sets")?,
+        l2_assoc: get_u32(c, "l2_assoc")?,
+        l2_latency: get_u64(c, "l2_latency")?,
+        dram_latency: get_u64(c, "dram_latency")?,
+        dram_bw: get_u32(c, "dram_bw")?,
+        intra_bw: get_u32(c, "intra_bw")?,
+        intra_latency: get_u64(c, "intra_latency")?,
+        ring_bw: get_u32(c, "ring_bw")?,
+        ring_latency: get_u64(c, "ring_latency")?,
+        switch_bw: get_u32(c, "switch_bw")?,
+        switch_latency: get_u64(c, "switch_latency")?,
+        remote_caching: get_bool(c, "remote_caching")?,
+        migration_threshold: get_u32(c, "migration_threshold")?,
+        page_bytes: get_u64(c, "page_bytes")?,
+        page_fault_cycles: get_u64(c, "page_fault_cycles")?,
+        base_compute_cycles: get_u64(c, "base_compute_cycles")?,
+    };
+    let p = doc.get("policy").ok_or("missing 'policy' object")?;
+    let policy = match get_str(p, "kind")? {
+        "baseline-rr" => PolicySpec::BaselineRr,
+        "batch-ft" => PolicySpec::BatchFt,
+        "kernel-wide" => PolicySpec::KernelWide,
+        "coda-flat" => PolicySpec::CodaFlat,
+        "coda-hier" => PolicySpec::CodaHier,
+        "lasp-rtwice" => PolicySpec::LaspRtwice,
+        "lasp-ronce" => PolicySpec::LaspRonce,
+        "lasp-ladm" => PolicySpec::LaspLadm,
+        "manual" => PolicySpec::Manual {
+            seed: get_u64(p, "seed")?,
+        },
+        other => return Err(format!("unknown policy kind '{other}'")),
+    };
+    Ok(TrialSpec {
+        grid,
+        block,
+        trips: get_u32(&doc, "trips")?.max(1),
+        intensity: get_u32(&doc, "intensity")?.max(1),
+        two_d: get_bool(&doc, "two_d")?,
+        args,
+        sites,
+        config,
+        policy,
+    })
+}
+
+fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric '{key}'"))
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
+    let f = field_f64(v, key)?;
+    if f.fract() != 0.0 || !(0.0..=9.0e15).contains(&f) {
+        return Err(format!("'{key}' is not an exact non-negative integer"));
+    }
+    Ok(f as u64)
+}
+
+fn get_u32(v: &Json, key: &str) -> Result<u32, String> {
+    let n = get_u64(v, key)?;
+    u32::try_from(n).map_err(|_| format!("'{key}' exceeds u32 range"))
+}
+
+fn get_i64(v: &Json, key: &str) -> Result<i64, String> {
+    let f = field_f64(v, key)?;
+    if f.fract() != 0.0 || !(-9.0e15..=9.0e15).contains(&f) {
+        return Err(format!("'{key}' is not an exact integer"));
+    }
+    Ok(f as i64)
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing or non-boolean '{key}'")),
+    }
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string '{key}'"))
+}
+
+fn get_pair(v: &Json, key: &str) -> Result<(u32, u32), String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing '{key}' array"))?;
+    if arr.len() != 2 {
+        return Err(format!("'{key}' must have exactly two elements"));
+    }
+    let to_u32 = |j: &Json| -> Result<u32, String> {
+        let f = j.as_f64().ok_or_else(|| format!("non-numeric '{key}'"))?;
+        if f.fract() != 0.0 || !(1.0..=1.0e6).contains(&f) {
+            return Err(format!("'{key}' element out of range"));
+        }
+        Ok(f as u32)
+    };
+    Ok((to_u32(&arr[0])?, to_u32(&arr[1])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::trial_spec;
+
+    #[test]
+    fn specs_round_trip_exactly() {
+        for trial in 0..40 {
+            let spec = trial_spec(9, trial);
+            let text = render(&spec);
+            let back = parse(&text).unwrap_or_else(|e| panic!("trial {trial}: {e}\n{text}"));
+            assert_eq!(back, spec, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = render(&trial_spec(9, 0)).replace(SCHEMA, "ladm-fuzz-v999");
+        assert!(parse(&text).unwrap_err().contains("unsupported schema"));
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        // Strict prefixes of the trimmed document (the rendering's only
+        // redundant byte is the trailing newline).
+        let text = render(&trial_spec(9, 1));
+        let doc = text.trim_end();
+        for cut in 0..doc.len() {
+            assert!(parse(&doc[..cut]).is_err(), "prefix of {cut} bytes parsed");
+        }
+        assert!(parse(doc).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_site_arg_is_rejected() {
+        let mut spec = trial_spec(9, 2);
+        spec.sites[0].arg = 99;
+        assert!(parse(&render(&spec))
+            .unwrap_err()
+            .contains("references arg"));
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let text = render(&trial_spec(9, 3)).replacen(
+            "\"schema\"",
+            "\"future_extension\": 1, \"schema\"",
+            1,
+        );
+        assert!(parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,222 @@
+//! Greedy input shrinking: repeatedly try simpler variants of a failing
+//! spec, keeping a variant iff it still fails with the *same kind* of
+//! failure (same [`Failure`] discriminant), until no candidate helps or
+//! the evaluation budget runs out.
+
+use crate::diff::{run_trial, Failure};
+use crate::gen::{PolicySpec, TrialSpec};
+use std::mem::discriminant;
+
+/// Most candidate re-executions a single shrink may spend. Each
+/// evaluation is a full differential trial, so this bounds shrink time
+/// at roughly `budget × trial cost`.
+pub const DEFAULT_BUDGET: usize = 2000;
+
+/// Minimizes `spec` while preserving `original`'s failure kind.
+/// Returns the smallest failing spec found (possibly `spec` itself).
+pub fn shrink(spec: &TrialSpec, original: &Failure) -> TrialSpec {
+    let mut best = spec.clone();
+    let mut evals = 0usize;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if evals >= DEFAULT_BUDGET {
+                return best;
+            }
+            evals += 1;
+            if fails_same(&candidate, original) {
+                best = candidate;
+                improved = true;
+                break; // restart the candidate list from the smaller spec
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+fn fails_same(spec: &TrialSpec, original: &Failure) -> bool {
+    matches!(run_trial(spec), Err(f) if discriminant(&f) == discriminant(original))
+}
+
+/// Simpler variants of `spec`, most aggressive first: structural
+/// deletions (sites, args), then machine/geometry reductions, then
+/// per-field simplifications.
+fn candidates(spec: &TrialSpec) -> Vec<TrialSpec> {
+    let mut out = Vec::new();
+    let mut push = |s: TrialSpec| {
+        if s != *spec {
+            out.push(s);
+        }
+    };
+
+    // Drop one access site.
+    if spec.sites.len() > 1 {
+        for i in 0..spec.sites.len() {
+            let mut s = spec.clone();
+            s.sites.remove(i);
+            push(s);
+        }
+    }
+
+    // Drop an argument no site references (renumbering later args).
+    if spec.args.len() > 1 {
+        for j in 0..spec.args.len() {
+            if spec.sites.iter().any(|s| s.arg as usize == j) {
+                continue;
+            }
+            let mut s = spec.clone();
+            s.args.remove(j);
+            for site in &mut s.sites {
+                if site.arg as usize > j {
+                    site.arg -= 1;
+                }
+            }
+            push(s);
+        }
+    }
+
+    // The simplest policy.
+    if spec.policy != PolicySpec::BaselineRr {
+        let mut s = spec.clone();
+        s.policy = PolicySpec::BaselineRr;
+        push(s);
+    }
+
+    // Machine reductions.
+    {
+        let c = &spec.config;
+        let mut cfgs = Vec::new();
+        if c.gpus > 1 {
+            let mut n = c.clone();
+            n.gpus = 1;
+            cfgs.push(n);
+        }
+        if c.chiplets > 1 {
+            let mut n = c.clone();
+            n.chiplets = c.chiplets / 2;
+            cfgs.push(n);
+        }
+        if c.sms_per_chiplet > 1 {
+            let mut n = c.clone();
+            n.sms_per_chiplet = 1;
+            cfgs.push(n);
+        }
+        if c.warps_per_sm > 4 {
+            let mut n = c.clone();
+            n.warps_per_sm = 4;
+            cfgs.push(n);
+        }
+        if c.max_tbs_per_sm > 1 {
+            let mut n = c.clone();
+            n.max_tbs_per_sm = 1;
+            cfgs.push(n);
+        }
+        if c.migration_threshold != 0 {
+            let mut n = c.clone();
+            n.migration_threshold = 0;
+            cfgs.push(n);
+        }
+        if c.page_fault_cycles != 0 {
+            let mut n = c.clone();
+            n.page_fault_cycles = 0;
+            cfgs.push(n);
+        }
+        if c.page_bytes != 4096 {
+            let mut n = c.clone();
+            n.page_bytes = 4096;
+            cfgs.push(n);
+        }
+        if !c.remote_caching {
+            let mut n = c.clone();
+            n.remote_caching = true;
+            cfgs.push(n);
+        }
+        for cfg in cfgs {
+            let mut s = spec.clone();
+            s.config = cfg;
+            push(s);
+        }
+    }
+
+    // Geometry reductions.
+    for f in [
+        (|s: &mut TrialSpec| s.grid.0 /= 2) as fn(&mut TrialSpec),
+        |s| s.grid.1 /= 2,
+        |s| s.block.0 /= 2,
+        |s| s.block.1 /= 2,
+        |s| s.trips = 1,
+        |s| s.intensity = 1,
+    ] {
+        let mut s = spec.clone();
+        f(&mut s);
+        s.grid.0 = s.grid.0.max(1);
+        s.grid.1 = s.grid.1.max(1);
+        s.block.0 = s.block.0.max(1);
+        s.block.1 = s.block.1.max(1);
+        push(s);
+    }
+
+    // Allocation reductions.
+    for j in 0..spec.args.len() {
+        if spec.args[j].len > 64 {
+            let mut s = spec.clone();
+            s.args[j].len = (s.args[j].len / 2).max(64);
+            push(s);
+        }
+    }
+
+    // Per-site simplifications.
+    for i in 0..spec.sites.len() {
+        for f in [
+            (|s: &mut crate::gen::SiteSpec| s.c_const = 0) as fn(&mut crate::gen::SiteSpec),
+            |s| s.c_tx = 0,
+            |s| s.c_ty = 0,
+            |s| s.c_bx = 0,
+            |s| s.c_by = 0,
+            |s| s.c_ind = 0,
+            |s| s.tid_term = false,
+            |s| s.ind_width = false,
+            |s| s.row_major = false,
+            |s| s.c_data = 0,
+            |s| s.data_per_iter = false,
+            |s| s.epilogue = false,
+            |s| s.lane_group = 1,
+        ] {
+            let mut s = spec.clone();
+            f(&mut s.sites[i]);
+            push(s);
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::trial_spec;
+
+    #[test]
+    fn candidates_are_all_distinct_from_input() {
+        let spec = trial_spec(3, 5);
+        for c in candidates(&spec) {
+            assert_ne!(c, spec);
+        }
+    }
+
+    #[test]
+    fn shrink_keeps_failure_kind() {
+        // A spec that trivially panics: argument index out of range.
+        let mut spec = trial_spec(3, 9);
+        for s in &mut spec.sites {
+            s.arg = 200;
+        }
+        let failure = run_trial(&spec).expect_err("out-of-range arg must fail");
+        assert_eq!(failure.kind(), "panic");
+        let small = shrink(&spec, &failure);
+        assert_eq!(run_trial(&small).expect_err("still fails").kind(), "panic");
+        assert!(small.sites.len() <= spec.sites.len());
+    }
+}

@@ -1,0 +1,37 @@
+//! Replays every checked-in corpus entry through the full differential
+//! harness. A corpus entry is a shrunk reproducer of a past failure or
+//! a hand-picked generator output covering a feature combination
+//! (policy family, topology shape, migration, faults, 2-D tiling);
+//! each must run clean against the current engine and oracle.
+
+use ladm_fuzz::{corpus, run_trial};
+
+fn corpus_dir() -> &'static str {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/fuzz_corpus"
+    )
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("json"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 8,
+        "expected at least 8 corpus entries, found {}",
+        paths.len()
+    );
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("corpus entry readable");
+        let spec = corpus::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if let Err(failure) = run_trial(&spec) {
+            panic!("{}: {failure}", path.display());
+        }
+    }
+}

@@ -286,4 +286,100 @@ mod tests {
     fn zero_rate_panics() {
         TokenBucket::new(0.0);
     }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_rate_panics() {
+        TokenBucket::new(-32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nan_rate_panics() {
+        TokenBucket::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn infinite_rate_panics() {
+        TokenBucket::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn exact_drain_advances_the_watermark_past_the_last_bin() {
+        let mut b = TokenBucket::new(32.0);
+        // 4 * 1024 bytes drains bins 0..=3 to exactly zero.
+        let d = b.claim(0.0, 4096);
+        assert!((d - 128.0).abs() < 1e-9, "d = {d}");
+        assert_eq!(b.drained_below, 4);
+        assert!(b.bins.iter().take(4).all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn saturated_claim_on_a_bin_boundary_skips_the_drained_epoch() {
+        let mut b = TokenBucket::new(32.0);
+        b.claim(0.0, 4096); // bins 0..=3 fully drained
+                            // Arrival exactly on bin 3's opening edge: the drained watermark
+                            // must push it into bin 4, not let it probe the empty epoch.
+        let d = b.claim(96.0, 32);
+        assert!((d - 129.0).abs() < 1e-9, "d = {d}");
+        let mut oracle = crate::oracle::OracleBucket::new(32.0);
+        oracle.claim(0.0, 4096);
+        assert_eq!(d.to_bits(), oracle.claim(96.0, 32).to_bits());
+    }
+
+    #[test]
+    fn path_compression_after_a_partial_drain() {
+        let mut b = TokenBucket::new(32.0);
+        // Drain bins 0..=2 and half of bin 3.
+        b.claim(0.0, 3 * 1024 + 512);
+        assert_eq!(b.drained_below, 3);
+        assert!((b.bins[3] - 512.0).abs() < 1e-9);
+        // The walk visited bins 0..=2; each skip pointer must jump
+        // straight to bin 3 (the first bin that still had capacity).
+        assert_eq!(b.skip[0], 3);
+        assert_eq!(b.skip[1], 2);
+        assert_eq!(b.skip[2], 1);
+        // Finishing the partial bin advances the watermark over it.
+        let d = b.claim(0.0, 512);
+        assert!((d - 128.0).abs() < 1e-9, "d = {d}");
+        assert_eq!(b.drained_below, 4);
+        // The next early claim lands directly in bin 4.
+        let d = b.claim(0.0, 1024);
+        assert!((d - 160.0).abs() < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn random_claims_match_the_naive_oracle_bucket() {
+        use crate::oracle::OracleBucket;
+        use ladm_core::rng::SplitMix64;
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(0xB0B5 ^ seed);
+            let rate = [0.5, 1.0, 32.0, 913.0][(seed % 4) as usize];
+            let mut fast = TokenBucket::new(rate);
+            let mut slow = OracleBucket::new(rate);
+            let mut t = 0.0f64;
+            let mut total = 0u64;
+            for _ in 0..4000 {
+                // Mostly forward arrivals, with occasional far-past
+                // backfills and far-future reply hops.
+                t += rng.below(64) as f64 + rng.next_f64();
+                let now = if rng.chance(1, 8) {
+                    (t - rng.below(2000) as f64).max(0.0)
+                } else if rng.chance(1, 16) {
+                    t + 5000.0
+                } else {
+                    t
+                };
+                let bytes = 1 + rng.below(4096);
+                total += bytes;
+                assert_eq!(
+                    fast.claim(now, bytes).to_bits(),
+                    slow.claim(now, bytes).to_bits(),
+                    "rate {rate}, now {now}, bytes {bytes}"
+                );
+            }
+            assert_eq!(fast.bytes_total(), total);
+        }
+    }
 }

@@ -38,12 +38,14 @@ pub mod config;
 pub mod exec;
 pub mod fabric;
 pub mod mem;
+pub mod oracle;
 pub mod shard;
 pub mod stats;
 pub mod system;
 
 pub use config::{CacheConfig, SimConfig};
 pub use exec::{thread_xy, warp_thread_range, KernelExec, ThreadAccess};
+pub use oracle::OracleSystem;
 pub use shard::{ChipletShard, RemoteReply, RemoteRequest};
 pub use stats::{ClassStats, KernelStats};
 pub use system::GpuSystem;

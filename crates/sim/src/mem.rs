@@ -373,115 +373,12 @@ impl AddressSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::{random_map, ReferenceResolver};
     use ladm_core::plan::{ArgPlan, RrOrder, TbMap};
     use ladm_core::rng::SplitMix64;
-    use std::collections::HashMap;
 
     fn topo() -> Topology {
         Topology::paper_multi_gpu()
-    }
-
-    /// The pre-flat-table resolution path — `partition_point` binary
-    /// search over allocations plus `first_touch` / `migrated` side
-    /// HashMaps — kept verbatim as the oracle for the differential test.
-    struct ReferenceResolver {
-        page_bytes: u64,
-        allocs: Vec<Allocation>,
-        first_touch: HashMap<u64, NodeId>,
-        migrated: HashMap<u64, NodeId>,
-        migration_state: HashMap<u64, (NodeId, u32)>,
-        page_faults: u64,
-        migrations: u64,
-    }
-
-    impl ReferenceResolver {
-        fn mirror(mem: &AddressSpace) -> Self {
-            ReferenceResolver {
-                page_bytes: mem.page_bytes(),
-                allocs: mem.allocations().to_vec(),
-                first_touch: HashMap::new(),
-                migrated: HashMap::new(),
-                migration_state: HashMap::new(),
-                page_faults: 0,
-                migrations: 0,
-            }
-        }
-
-        fn apply_plan(&mut self, plan: &KernelPlan) {
-            for (alloc, arg) in self.allocs.iter_mut().zip(&plan.args) {
-                alloc.page_map = arg.pages.clone();
-                alloc.remote_insert = arg.remote_insert;
-            }
-            self.first_touch.clear();
-            self.migrated.clear();
-            self.migration_state.clear();
-            self.migrations = 0;
-        }
-
-        fn alloc_of_addr(&self, addr: u64) -> (usize, &Allocation) {
-            let i = self
-                .allocs
-                .partition_point(|a| a.base + a.pages(self.page_bytes) * self.page_bytes <= addr);
-            let alloc = self
-                .allocs
-                .get(i)
-                .filter(|a| addr >= a.base)
-                .unwrap_or_else(|| panic!("address {addr:#x} is not mapped"));
-            (i, alloc)
-        }
-
-        fn home_of(&mut self, addr: u64, toucher: NodeId, topo: &Topology) -> HomeLookup {
-            let page = addr / self.page_bytes;
-            if let Some(&node) = self.migrated.get(&page) {
-                return HomeLookup {
-                    node,
-                    faulted: false,
-                };
-            }
-            let (_, alloc) = self.alloc_of_addr(addr);
-            let rel_offset = addr - alloc.base;
-            match alloc.page_map.node_of(rel_offset, self.page_bytes, topo) {
-                Some(node) => HomeLookup {
-                    node,
-                    faulted: false,
-                },
-                None => match self.first_touch.get(&page) {
-                    Some(&node) => HomeLookup {
-                        node,
-                        faulted: false,
-                    },
-                    None => {
-                        self.first_touch.insert(page, toucher);
-                        self.page_faults += 1;
-                        HomeLookup {
-                            node: toucher,
-                            faulted: true,
-                        }
-                    }
-                },
-            }
-        }
-
-        fn record_remote_access(&mut self, addr: u64, requester: NodeId, threshold: u32) -> bool {
-            if threshold == 0 {
-                return false;
-            }
-            let page = addr / self.page_bytes;
-            let state = self.migration_state.entry(page).or_insert((requester, 0));
-            if state.0 == requester {
-                state.1 += 1;
-            } else {
-                *state = (requester, 1);
-            }
-            if state.1 >= threshold {
-                self.migrated.insert(page, requester);
-                self.migration_state.remove(&page);
-                self.migrations += 1;
-                true
-            } else {
-                false
-            }
-        }
     }
 
     #[test]
@@ -619,33 +516,6 @@ mod tests {
         assert_eq!(mem.alloc_of_addr(a1).0, 1);
     }
 
-    /// Draws a random `PageMap`, covering every variant.
-    fn random_map(rng: &mut SplitMix64, topo: &Topology, alloc_pages: u64) -> PageMap {
-        let order = if rng.chance(1, 2) {
-            RrOrder::Hierarchical
-        } else {
-            RrOrder::GpuMajor
-        };
-        match rng.below(6) {
-            0 => PageMap::Fixed(NodeId(rng.range_u32(0, topo.num_nodes() - 1))),
-            1 => PageMap::FirstTouch,
-            2 => PageMap::Interleave {
-                gran_pages: u64::from(rng.range_u32(0, 4)),
-                order,
-            },
-            3 => PageMap::Chunk {
-                pages_per_node: u64::from(rng.range_u32(1, 4)),
-            },
-            4 => PageMap::Spread {
-                total_pages: alloc_pages.max(1),
-            },
-            _ => PageMap::SubPageInterleave {
-                gran_bytes: 256 << rng.below(3),
-                order,
-            },
-        }
-    }
-
     /// Differential oracle: the flat page-home table must agree with the
     /// removed HashMap + binary-search path on randomized plans covering
     /// every `PageMap` variant, first-touch orderings and migration
@@ -714,8 +584,8 @@ mod tests {
                     reference.apply_plan(&plan);
                 }
             }
-            assert_eq!(mem.page_faults(), reference.page_faults, "trial {trial}");
-            assert_eq!(mem.migrations(), reference.migrations, "trial {trial}");
+            assert_eq!(mem.page_faults(), reference.page_faults(), "trial {trial}");
+            assert_eq!(mem.migrations(), reference.migrations(), "trial {trial}");
         }
     }
 
