@@ -1,0 +1,270 @@
+//! Cross-kernel data-flow pass: the producer/consumer page-overlap graph
+//! over a kernel sequence, detecting **placement conflicts** (lint code
+//! L009).
+//!
+//! On real hardware, pages placed for kernel *k* stay where they are
+//! when kernel *k+1* launches — re-placement means migration traffic.
+//! So when a producer kernel writes an argument under one LASP plan and
+//! a consumer kernel with row/column locality re-reads the same
+//! allocation expecting a *different* banding, the consumer's carefully
+//! chosen scheduler points at pages that live somewhere else — exactly
+//! the KV-cache pinning hazard from the ROADMAP (the cache is written
+//! token-interleaved by the decode step but read row-banded by
+//! attention).
+//!
+//! The pass aliases arguments across consecutive kernels **by name**,
+//! compares the two plans' pure page-home functions over the overlapping
+//! page range (via [`ladm_sim::homes::static_home`]), and grades the
+//! disagreement:
+//!
+//! * consumer argument has a shared (row/column) locality class and the
+//!   producer leaves > 1/4 of the overlapping pages elsewhere (or pins
+//!   them by first touch) → **warning**: a real conflict;
+//! * the maps disagree somewhere but the consumer is
+//!   placement-indifferent (no-locality, intra-thread) → **note**: a
+//!   benign overlap worth knowing about;
+//! * the maps agree everywhere → silence.
+//!
+//! Every workload in the Table IV suite is single-kernel, so this pass
+//! is exercised by explicit sequences: the linter runs it on any
+//! multi-kernel workload, and the fuzz corpus carries producer/consumer
+//! fixture pairs with pinned verdicts.
+
+use crate::diag::{Diagnostic, LintCode, Report, Severity};
+use ladm_core::analysis::classify;
+use ladm_core::launch::LaunchInfo;
+use ladm_core::policies::Policy;
+use ladm_core::topology::Topology;
+use ladm_sim::homes::{static_home, StaticHome};
+use ladm_sim::KernelExec;
+
+/// Mismatched fraction of overlapping pages above which a shared
+/// consumer is in real trouble rather than tail noise.
+const CONFLICT_FRACTION: f64 = 0.25;
+/// Page-walk cap; overlaps larger than this are sampled at a stride.
+const PAGE_WALK_CAP: u64 = 1 << 14;
+
+/// Runs the producer/consumer pass over `kernels` in execution order,
+/// planning each launch with `policy` and appending findings to
+/// `report`. A no-op for sequences shorter than two kernels.
+pub fn check_sequence(
+    kernels: &[Box<dyn KernelExec>],
+    policy: &dyn Policy,
+    topo: &Topology,
+    report: &mut Report,
+) {
+    for pair in kernels.windows(2) {
+        let (producer, consumer) = (&pair[0], &pair[1]);
+        check_pair(producer.launch(), consumer.launch(), policy, topo, report);
+    }
+}
+
+/// Compares one producer/consumer launch pair (exposed separately so
+/// harnesses can drive it without boxing kernels).
+pub fn check_pair(
+    lp: &LaunchInfo,
+    lc: &LaunchInfo,
+    policy: &dyn Policy,
+    topo: &Topology,
+    report: &mut Report,
+) {
+    let plan_p = policy.plan(lp, topo);
+    let plan_c = policy.plan(lc, topo);
+    for (jc, arg_c) in lc.kernel.args.iter().enumerate() {
+        let Some(jp) = lp.kernel.args.iter().position(|a| a.name == arg_c.name) else {
+            continue;
+        };
+        if !lp.kernel.args[jp].is_written {
+            continue; // no dataflow edge: the producer never wrote it
+        }
+        let overlap_pages = lp.arg_pages(jp).min(lc.arg_pages(jc));
+        let map_p = &plan_p.args[jp].pages;
+        let map_c = &plan_c.args[jc].pages;
+        let page_bytes = lc.page_bytes.max(1);
+
+        let stride = (overlap_pages / PAGE_WALK_CAP).max(1);
+        let mut mismatched = 0u64;
+        let mut walked = 0u64;
+        let mut producer_first_touch = false;
+        let mut page = 0u64;
+        while page < overlap_pages {
+            let off = page * page_bytes;
+            let hp = static_home(map_p, off, page_bytes, topo);
+            let hc = static_home(map_c, off, page_bytes, topo);
+            if matches!(hp, StaticHome::FirstTouch) {
+                producer_first_touch = true;
+            }
+            // A first-touch consumer is indifferent; anything else that
+            // differs from where the producer left the page is misplaced.
+            if !matches!(hc, StaticHome::FirstTouch) && hp != hc {
+                mismatched += 1;
+            }
+            walked += 1;
+            page += stride;
+        }
+        if mismatched == 0 && !producer_first_touch {
+            continue; // plans agree: nothing to say
+        }
+
+        let consumer_shared = arg_c
+            .accesses
+            .iter()
+            .any(|index| classify(index, lc.kernel.grid_shape, 0).is_shared());
+        let frac = mismatched as f64 / walked.max(1) as f64;
+        let conflict = consumer_shared
+            && (frac > CONFLICT_FRACTION || (producer_first_touch && mismatched > 0));
+
+        let mut notes = vec![
+            format!(
+                "producer `{}` places `{}` as {}",
+                lp.kernel.name, arg_c.name, map_p
+            ),
+            format!("consumer `{}` expects {}", lc.kernel.name, map_c),
+            format!(
+                "{mismatched} of {walked} sampled page(s) (of {overlap_pages} overlapping) \
+                 would sit on the wrong node"
+            ),
+        ];
+        if producer_first_touch {
+            notes.push(
+                "producer uses first-touch placement: pages end up pinned wherever \
+                 the producer's threads ran"
+                    .into(),
+            );
+        }
+        report.diagnostics.push(Diagnostic {
+            code: LintCode::CrossKernelConflict,
+            severity: if conflict {
+                Severity::Warning
+            } else {
+                Severity::Note
+            },
+            workload: report.workload,
+            kernel: lc.kernel.name,
+            arg: Some(arg_c.name),
+            site: None,
+            message: if conflict {
+                format!(
+                    "consumer's {} locality contradicts the placement kernel `{}` \
+                     leaves `{}` in (pinning hazard)",
+                    "row/column", lp.kernel.name, arg_c.name
+                )
+            } else {
+                format!(
+                    "benign cross-kernel page overlap on `{}`: plans differ but the \
+                     consumer is placement-indifferent",
+                    arg_c.name
+                )
+            },
+            notes,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladm_core::analysis::GridShape;
+    use ladm_core::expr::Expr;
+    use ladm_core::launch::{ArgStatic, KernelStatic};
+    use ladm_core::policies::Lasp;
+    use ladm_core::topology::Topology;
+    use ladm_workloads::spec::dsl::*;
+
+    /// 1-D streaming producer writing `a`, then a GEMM-A-style consumer
+    /// whose access is independent of `bx` (every block in a grid row
+    /// reads the same band): LASP interleaves for the producer but
+    /// row-bands for the consumer → conflict.
+    fn producer() -> LaunchInfo {
+        LaunchInfo {
+            kernel: KernelStatic {
+                name: "stream_write",
+                grid_shape: GridShape::OneD,
+                args: vec![ArgStatic {
+                    name: "a",
+                    elem_bytes: 4,
+                    accesses: vec![tid().to_poly()],
+                    is_written: true,
+                }],
+            },
+            grid: (512, 1),
+            block: (256, 1),
+            params: vec![],
+            arg_lens: vec![512 * 256],
+            page_bytes: 4096,
+        }
+    }
+
+    fn row_major_consumer() -> LaunchInfo {
+        LaunchInfo {
+            kernel: KernelStatic {
+                name: "row_read",
+                grid_shape: GridShape::TwoD,
+                args: vec![ArgStatic {
+                    name: "a",
+                    elem_bytes: 4,
+                    accesses: vec![
+                        // GEMM-A shape: invariant part depends on `by`
+                        // only, variant walks `m*bdy + tx` — row-shared
+                        // (Table II row 2), so LASP row-bands it.
+                        ((by() * bdy() + ty()) * Expr::from(2048i64) + m() * bdy() + tx())
+                            .to_poly(),
+                    ],
+                    is_written: false,
+                }],
+            },
+            grid: (8, 16),
+            block: (128, 2),
+            params: vec![],
+            arg_lens: vec![512 * 256],
+            page_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn interleave_then_row_banding_is_a_conflict() {
+        let topo = Topology::paper_multi_gpu();
+        let mut report = Report::new("seq");
+        check_pair(
+            &producer(),
+            &row_major_consumer(),
+            &Lasp::ladm(),
+            &topo,
+            &mut report,
+        );
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::CrossKernelConflict
+                    && d.severity == Severity::Warning),
+            "expected a conflict warning, got: {:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn identical_plans_are_silent() {
+        let topo = Topology::paper_multi_gpu();
+        let mut consumer = producer();
+        consumer.kernel.name = "stream_read";
+        consumer.kernel.args[0].is_written = false;
+        let mut report = Report::new("seq");
+        check_pair(&producer(), &consumer, &Lasp::ladm(), &topo, &mut report);
+        assert!(
+            report.diagnostics.is_empty(),
+            "same geometry, same plan: {:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn unwritten_producer_arg_is_not_an_edge() {
+        let topo = Topology::paper_multi_gpu();
+        let mut p = producer();
+        p.kernel.args[0].is_written = false;
+        let mut report = Report::new("seq");
+        check_pair(&p, &row_major_consumer(), &Lasp::ladm(), &topo, &mut report);
+        assert!(report.diagnostics.is_empty());
+    }
+}

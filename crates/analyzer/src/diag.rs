@@ -46,11 +46,23 @@ pub enum LintCode {
     /// `L007 missing-annotation`: an access site carries no expected-row
     /// annotation, or an annotation points at no site.
     MissingAnnotation,
+    /// `L008 bound-mismatch`: the simulator measured more off-node
+    /// sectors than the symbolic footprint bound allows — the analyzer
+    /// or the engine is wrong, and the disagreement is the finding.
+    BoundMismatch,
+    /// `L009 cross-kernel-conflict`: a consumer kernel's dominant
+    /// locality row contradicts the placement the producer's LASP plan
+    /// leaves the shared pages in (the KV-cache pinning hazard).
+    CrossKernelConflict,
+    /// `L010 unanalyzable-site`: the footprint engine cannot bound an
+    /// access site symbolically (runtime data, symbolic trip count,
+    /// arithmetic overflow) and fell back to a coarse worst-case count.
+    UnanalyzableSite,
 }
 
 impl LintCode {
     /// Every lint code, in catalog order.
-    pub const ALL: [LintCode; 7] = [
+    pub const ALL: [LintCode; 10] = [
         LintCode::UnclassifiedAccess,
         LintCode::SchedulerConflict,
         LintCode::FootprintMismatch,
@@ -58,6 +70,9 @@ impl LintCode {
         LintCode::OobSpan,
         LintCode::ExpectationMismatch,
         LintCode::MissingAnnotation,
+        LintCode::BoundMismatch,
+        LintCode::CrossKernelConflict,
+        LintCode::UnanalyzableSite,
     ];
 
     /// The `Lnnn` code string.
@@ -70,6 +85,9 @@ impl LintCode {
             LintCode::OobSpan => "L005",
             LintCode::ExpectationMismatch => "L006",
             LintCode::MissingAnnotation => "L007",
+            LintCode::BoundMismatch => "L008",
+            LintCode::CrossKernelConflict => "L009",
+            LintCode::UnanalyzableSite => "L010",
         }
     }
 
@@ -83,6 +101,9 @@ impl LintCode {
             LintCode::OobSpan => "oob-span",
             LintCode::ExpectationMismatch => "expectation-mismatch",
             LintCode::MissingAnnotation => "missing-annotation",
+            LintCode::BoundMismatch => "bound-mismatch",
+            LintCode::CrossKernelConflict => "cross-kernel-conflict",
+            LintCode::UnanalyzableSite => "unanalyzable-site",
         }
     }
 }
@@ -118,14 +139,16 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    /// `workload/kernel[/arg[site]]` source location.
+    /// `workload/kernel[/arg[@site]]` source location — the one format
+    /// every lint code (L001–L010) renders, so findings from different
+    /// passes sort and grep uniformly.
     pub fn location(&self) -> String {
         let mut loc = format!("{}/{}", self.workload, self.kernel);
         if let Some(arg) = self.arg {
             loc.push('/');
             loc.push_str(arg);
             if let Some(site) = self.site {
-                loc.push_str(&format!("[{site}]"));
+                loc.push_str(&format!("@{site}"));
             }
         }
         loc
@@ -173,6 +196,13 @@ impl Report {
     /// Does the report contain any error?
     pub fn has_errors(&self) -> bool {
         self.worst() == Some(Severity::Error)
+    }
+
+    /// Whether this report should fail the CLI: errors always do,
+    /// warnings only under `--deny warnings`. Both the text and the JSON
+    /// output paths share this single decision.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.has_errors() || (deny_warnings && self.worst() >= Some(Severity::Warning))
     }
 
     /// Renders the rustc-style text report.
@@ -292,8 +322,14 @@ mod tests {
         let codes: Vec<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
         assert_eq!(
             codes,
-            vec!["L001", "L002", "L003", "L004", "L005", "L006", "L007"]
+            vec!["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010"]
         );
+        assert_eq!(LintCode::BoundMismatch.name(), "bound-mismatch");
+        assert_eq!(
+            LintCode::CrossKernelConflict.name(),
+            "cross-kernel-conflict"
+        );
+        assert_eq!(LintCode::UnanalyzableSite.name(), "unanalyzable-site");
     }
 
     #[test]
@@ -315,9 +351,22 @@ mod tests {
         r.diagnostics.push(sample_diag(Severity::Warning));
         let text = r.render_text();
         assert!(text.contains("warning[L001 unclassified-access]"));
-        assert!(text.contains("--> W/k/a[0]"));
+        assert!(text.contains("--> W/k/a@0"));
         assert!(text.contains("= note: step 1"));
         assert!(text.contains("1 warning(s)"));
+    }
+
+    #[test]
+    fn fails_is_shared_by_text_and_json_exit_paths() {
+        let mut r = Report::new("W");
+        assert!(!r.fails(false) && !r.fails(true));
+        r.diagnostics.push(sample_diag(Severity::Note));
+        assert!(!r.fails(true), "notes never fail");
+        r.diagnostics.push(sample_diag(Severity::Warning));
+        assert!(!r.fails(false), "warnings pass by default");
+        assert!(r.fails(true), "warnings fail under --deny warnings");
+        r.diagnostics.push(sample_diag(Severity::Error));
+        assert!(r.fails(false), "errors always fail");
     }
 
     #[test]

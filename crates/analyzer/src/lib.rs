@@ -43,10 +43,14 @@
 
 pub mod bounds;
 pub mod classification;
+pub mod crosskernel;
 pub mod diag;
 pub mod footprint;
 pub mod linter;
 pub mod scheduler;
+pub mod traffic;
 
+pub use crosskernel::check_sequence;
 pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use linter::{classification_report, lint_suite, lint_workload};
+pub use traffic::{predict, traffic_suite, KernelTraffic, TrafficKnobs, TrafficTable};

@@ -14,14 +14,20 @@
 //! 4. **Dynamic cross-validation** ([`crate::footprint`]) — samples
 //!    concrete `(block, thread, iteration)` points and convicts locality
 //!    claims the numbers contradict.
+//! 5. **Cross-kernel placement pass** ([`crate::crosskernel`]) — for
+//!    multi-kernel workloads, walks consecutive launch pairs and flags
+//!    producer/consumer placement conflicts (`L009`).
 
 use crate::diag::Report;
-use crate::{bounds, classification, footprint, scheduler};
+use crate::{bounds, classification, crosskernel, footprint, scheduler};
 use ladm_core::analysis::classify;
+use ladm_core::policies::Lasp;
+use ladm_core::topology::Topology;
 use ladm_workloads::spec::Scale;
 use ladm_workloads::{suite, Workload};
 
-/// Lints one workload: every kernel, all four passes.
+/// Lints one workload: every kernel, all passes (plus the cross-kernel
+/// placement pass when the workload launches more than one kernel).
 pub fn lint_workload(w: &Workload) -> Report {
     let mut report = Report::new(w.name);
     for kernel in &w.kernels {
@@ -32,6 +38,12 @@ pub fn lint_workload(w: &Workload) -> Report {
         bounds::check(w, launch, trips, &mut report);
         footprint::validate(w.name, launch, table.entries(), &mut report);
     }
+    crosskernel::check_sequence(
+        &w.kernels,
+        &Lasp::ladm(),
+        &Topology::paper_multi_gpu(),
+        &mut report,
+    );
     classification::check_stale_annotations(w, &mut report);
     report
 }

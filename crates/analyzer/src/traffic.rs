@@ -1,0 +1,644 @@
+//! The symbolic traffic engine: per-argument **off-node sector bounds**
+//! derived from the affine index polynomials and the plan's pure
+//! page-home function — no simulation.
+//!
+//! ## How the bound is built
+//!
+//! For every access site the engine walks `(threadblock, warp,
+//! iteration)` units. Per unit it computes the warp's index interval
+//! with [`ladm_core::interval::poly_range`] — `bx`/`by`/the induction
+//! variable bound to points, `tx`/`ty` to the warp's lane box — and
+//! charges:
+//!
+//! * `0` when migration is off and every byte of the interval's
+//!   footprint is statically homed at the unit's own node (checked
+//!   through [`ladm_sim::homes`], the same pure resolver the engine
+//!   uses);
+//! * `min(lanes · sectors_per_elem, sector_span)` when the interval is
+//!   exact and in bounds;
+//! * `lanes · sectors_per_elem` otherwise (wrapping, clamping or
+//!   interval overflow make the footprint position unknown — but each
+//!   lane still touches at most one element per unit).
+//!
+//! ## Why the result is an upper bound
+//!
+//! The simulator counts an off-node sector at most once per `(warp,
+//! iteration)` per sector (coalescing), filters re-touches through L1,
+//! and serves some remainder from remote caches or migrated pages —
+//! every effect only *removes* counted sectors relative to the raw
+//! per-unit charge above. Epilogue and lane-group modifiers also only
+//! remove accesses, so ignoring them statically is sound. The lower
+//! bound is trivially 0 (first-touch pinning or remote caching can
+//! eliminate all off-node traffic), which the table reports honestly as
+//! slack rather than pretending to a two-sided estimate. See DESIGN.md
+//! §11 for the full argument.
+//!
+//! Sites the engine cannot bound symbolically (runtime-data gathers,
+//! symbolic trip counts, interval overflow) are reported as **L010
+//! unanalyzable-site** with the reason, and charged the coarse
+//! worst-case `tbs · threads · trips · sectors_per_elem`. A measured
+//! count above the bound is **L008 bound-mismatch** — an error by
+//! construction, since it proves analyzer and engine disagree.
+
+use crate::diag::{Diagnostic, LintCode, Report, Severity};
+use ladm_core::expr::Var;
+use ladm_core::interval::{poly_range, Itv};
+use ladm_core::launch::LaunchInfo;
+use ladm_core::plan::KernelPlan;
+use ladm_core::policies::{Lasp, Policy};
+use ladm_core::topology::Topology;
+use ladm_sim::{homes, warp_thread_range, GpuSystem, SimConfig};
+use ladm_workloads::{suite, Scale, Workload};
+
+/// Everything the bound depends on besides the launch and the plan.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficKnobs {
+    /// L2 transfer granularity in bytes.
+    pub sector_bytes: u64,
+    /// Virtual page size the address space is built with.
+    pub page_bytes: u64,
+    /// Reactive migration enabled: pages can move mid-kernel, so no
+    /// footprint can be proven local and the pruning step is disabled.
+    pub migration: bool,
+}
+
+impl TrafficKnobs {
+    /// Extracts the relevant knobs from a simulator configuration.
+    pub fn from_config(cfg: &SimConfig) -> Self {
+        TrafficKnobs {
+            sector_bytes: u64::from(cfg.l2.sector_bytes),
+            page_bytes: cfg.page_bytes,
+            migration: cfg.migration_threshold > 0,
+        }
+    }
+}
+
+/// The bound for one access site.
+#[derive(Debug, Clone)]
+pub struct SiteBound {
+    /// Argument index.
+    pub arg: usize,
+    /// Site index within the argument.
+    pub site: usize,
+    /// Off-node sector upper bound contributed by this site.
+    pub upper: u64,
+    /// Why the site fell back to the coarse worst case, when it did.
+    pub unanalyzable: Option<String>,
+}
+
+/// Per-kernel symbolic traffic prediction.
+#[derive(Debug, Clone)]
+pub struct KernelTraffic {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Off-node sector upper bound per argument (allocation order).
+    pub arg_upper: Vec<u64>,
+    /// Per-site breakdown.
+    pub sites: Vec<SiteBound>,
+}
+
+impl KernelTraffic {
+    /// Sum of the per-argument bounds (saturating).
+    pub fn total_upper(&self) -> u64 {
+        self.arg_upper
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+}
+
+/// Exact per-unit walks above this many `(tb, warp, iter)` units first
+/// hull the induction variable, then degrade to the closed-form coarse
+/// bound — both steps are sound, only precision is lost.
+const MAX_EXACT_UNITS: u64 = 1 << 22;
+/// Cap on placement granules walked when proving a warp footprint local.
+const PRUNE_GRANULE_CAP: u64 = 1 << 12;
+/// Cap on granules walked when proving a whole allocation local.
+const WHOLE_ALLOC_GRANULE_CAP: u64 = 1 << 16;
+
+/// Computes the symbolic off-node sector bound for every argument of
+/// `launch` under `plan`.
+///
+/// # Panics
+///
+/// Panics if `plan` does not cover every argument of the launch.
+pub fn predict(
+    launch: &LaunchInfo,
+    trips: u32,
+    plan: &KernelPlan,
+    topo: &Topology,
+    knobs: &TrafficKnobs,
+) -> KernelTraffic {
+    assert_eq!(
+        plan.args.len(),
+        launch.kernel.args.len(),
+        "plan must cover every argument"
+    );
+    let trips = trips.max(1);
+    let mut arg_upper: Vec<u128> = vec![0; launch.kernel.args.len()];
+    let mut sites = Vec::new();
+    for (arg_i, arg) in launch.kernel.args.iter().enumerate() {
+        for (site_i, _index) in arg.accesses.iter().enumerate() {
+            let bound = site_bound(launch, trips, plan, topo, knobs, arg_i, site_i);
+            arg_upper[arg_i] += u128::from(bound.upper);
+            sites.push(bound);
+        }
+    }
+    KernelTraffic {
+        kernel: launch.kernel.name,
+        arg_upper: arg_upper
+            .into_iter()
+            .map(|v| u64::try_from(v).unwrap_or(u64::MAX))
+            .collect(),
+        sites,
+    }
+}
+
+/// Maximum 32 B sectors one element access can touch, given that every
+/// element sits at a multiple of its own size from a page-aligned base.
+fn sectors_per_elem(elem_bytes: u64, sector: u64) -> u64 {
+    let eb = elem_bytes.max(1);
+    if sector.is_multiple_of(eb) {
+        1
+    } else if eb.is_multiple_of(sector) {
+        eb / sector
+    } else {
+        (eb - 1) / sector + 2
+    }
+}
+
+/// The coarse closed-form worst case: every lane of every unit touches a
+/// fresh off-node element.
+fn coarse_bound(launch: &LaunchInfo, trips: u32, per_elem: u64) -> u64 {
+    launch
+        .total_tbs()
+        .saturating_mul(launch.threads_per_tb())
+        .saturating_mul(u64::from(trips))
+        .saturating_mul(per_elem)
+}
+
+fn site_bound(
+    launch: &LaunchInfo,
+    trips: u32,
+    plan: &KernelPlan,
+    topo: &Topology,
+    knobs: &TrafficKnobs,
+    arg_i: usize,
+    site_i: usize,
+) -> SiteBound {
+    let arg = &launch.kernel.args[arg_i];
+    let index = &arg.accesses[site_i];
+    let env = launch.env();
+    let eb = u64::from(arg.elem_bytes).max(1);
+    let per_elem = sectors_per_elem(eb, knobs.sector_bytes);
+    let unanalyzable = |reason: String| SiteBound {
+        arg: arg_i,
+        site: site_i,
+        upper: coarse_bound(launch, trips, per_elem),
+        unanalyzable: Some(reason),
+    };
+
+    // Reject sites no box can describe, with the reason.
+    for v in index.vars() {
+        match v {
+            Var::Tx | Var::Ty | Var::Bx | Var::By | Var::Ind(0) => {}
+            Var::Data => return unanalyzable("index depends on runtime data".into()),
+            v if env.try_get(v).is_none() => {
+                return unanalyzable(format!("symbolic term `{v}` has no known range"))
+            }
+            _ => {}
+        }
+    }
+
+    let elems = launch.arg_lens[arg_i].max(1);
+    let grid = launch.grid;
+    let threads = launch.threads_per_tb() as u32;
+    let warps = threads.div_ceil(32);
+    let uses_ind = index.contains(Var::Ind(0));
+    let unit_tbs = launch.total_tbs().saturating_mul(u64::from(warps));
+
+    // Precision ladder: exact per-iteration walk → hulled induction
+    // variable → closed form.
+    let (iters, ind_hull) = if !uses_ind {
+        (1u32, Itv::point(0))
+    } else if unit_tbs.saturating_mul(u64::from(trips)) <= MAX_EXACT_UNITS {
+        (trips, Itv::point(0)) // point is re-bound per iteration below
+    } else {
+        (1u32, Itv::new(0, i128::from(trips) - 1))
+    };
+    if unit_tbs.saturating_mul(u64::from(iters)) > MAX_EXACT_UNITS {
+        return SiteBound {
+            arg: arg_i,
+            site: site_i,
+            upper: coarse_bound(launch, trips, per_elem),
+            unanalyzable: None, // analyzable, just too big to refine
+        };
+    }
+    // Each walked unit stands for `mult` identical iterations.
+    let mult = u64::from(trips / iters.max(1));
+
+    let map = &plan.args[arg_i].pages;
+    let arg_bytes = launch.arg_bytes(arg_i).max(1);
+    // Lazily proven "the whole allocation is local to node n" answers,
+    // for footprints that wrap or clamp.
+    let mut whole_alloc_local: Vec<Option<bool>> = vec![None; topo.num_nodes() as usize];
+
+    let mut total: u128 = 0;
+    for by in 0..grid.1 {
+        for bx in 0..grid.0 {
+            let node = homes::plan_tb_node(plan, bx, by, grid, topo);
+            for warp in 0..warps {
+                let (lo, hi) = warp_thread_range(warp, 32, threads);
+                let lanes = u64::from(hi - lo);
+                let bdx = launch.block.0;
+                let (ty_lo, ty_hi) = (lo / bdx, (hi - 1) / bdx);
+                let tx_box = if ty_lo == ty_hi {
+                    Itv::new(i128::from(lo % bdx), i128::from((hi - 1) % bdx))
+                } else {
+                    Itv::new(0, i128::from(bdx) - 1)
+                };
+                let ty_box = Itv::new(i128::from(ty_lo), i128::from(ty_hi));
+                for it in 0..iters {
+                    let ind = if uses_ind && iters > 1 {
+                        Itv::point(i128::from(it))
+                    } else {
+                        ind_hull
+                    };
+                    let range = poly_range(index, &mut |v| match v {
+                        Var::Tx => Some(tx_box),
+                        Var::Ty => Some(ty_box),
+                        Var::Bx => Some(Itv::point(i128::from(bx))),
+                        Var::By => Some(Itv::point(i128::from(by))),
+                        Var::Ind(0) => Some(ind),
+                        v => env.try_get(v).map(|x| Itv::point(i128::from(x))),
+                    });
+                    let charge = match range {
+                        Some(r) if r.lo >= 0 && r.hi < i128::from(elems) => {
+                            let byte_lo = r.lo as u64 * eb;
+                            let byte_hi = r.hi as u64 * eb + (eb - 1);
+                            if !knobs.migration
+                                && homes::range_is_local(
+                                    map,
+                                    byte_lo,
+                                    byte_hi,
+                                    knobs.page_bytes,
+                                    topo,
+                                    node,
+                                    PRUNE_GRANULE_CAP,
+                                )
+                            {
+                                0
+                            } else {
+                                let mut span =
+                                    byte_hi / knobs.sector_bytes - byte_lo / knobs.sector_bytes + 1;
+                                if !knobs.page_bytes.is_multiple_of(knobs.sector_bytes) {
+                                    // Allocation bases are only
+                                    // page-aligned: the sector grid may
+                                    // be shifted by one.
+                                    span += 1;
+                                }
+                                span.min(lanes * per_elem)
+                            }
+                        }
+                        _ => {
+                            // Wrapping, clamping or overflow: position
+                            // unknown, but confined to the allocation.
+                            let all_local = !knobs.migration
+                                && *whole_alloc_local[node.0 as usize].get_or_insert_with(|| {
+                                    homes::range_is_local(
+                                        map,
+                                        0,
+                                        arg_bytes - 1,
+                                        knobs.page_bytes,
+                                        topo,
+                                        node,
+                                        WHOLE_ALLOC_GRANULE_CAP,
+                                    )
+                                });
+                            if all_local {
+                                0
+                            } else {
+                                lanes * per_elem
+                            }
+                        }
+                    };
+                    total += u128::from(charge) * u128::from(mult);
+                }
+            }
+        }
+    }
+    SiteBound {
+        arg: arg_i,
+        site: site_i,
+        upper: u64::try_from(total).unwrap_or(u64::MAX),
+        unanalyzable: None,
+    }
+}
+
+/// One row of the predicted-vs-simulated table.
+#[derive(Debug, Clone)]
+pub struct TrafficRow {
+    /// Table IV workload name.
+    pub workload: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Argument name.
+    pub arg: &'static str,
+    /// Symbolic upper bound.
+    pub predicted: u64,
+    /// Simulator-measured off-node sectors.
+    pub simulated: u64,
+}
+
+/// The full suite comparison: rows plus per-workload reports carrying
+/// L008 (bound violated) and L010 (unanalyzable site) findings.
+#[derive(Debug)]
+pub struct TrafficTable {
+    /// One row per (workload, kernel, argument).
+    pub rows: Vec<TrafficRow>,
+    /// One report per workload.
+    pub reports: Vec<Report>,
+}
+
+impl TrafficTable {
+    /// Whether any measured count escaped its symbolic bound.
+    pub fn has_violations(&self) -> bool {
+        self.reports.iter().any(Report::has_errors)
+    }
+
+    /// Renders the fixed-width comparison table (the golden-pinned
+    /// format).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "predicted-vs-simulated off-node sectors (LADM, paper multi-GPU config)\n",
+        );
+        out.push_str(&format!(
+            "{:<14} {:<14} {:<6} {:>12} {:>12} {:>8}  {}\n",
+            "workload", "kernel", "arg", "predicted<=", "simulated", "slack", "status"
+        ));
+        for r in &self.rows {
+            let slack = if r.simulated == 0 {
+                if r.predicted == 0 {
+                    "1.0x".to_string()
+                } else {
+                    "inf".to_string()
+                }
+            } else {
+                format!("{:.1}x", r.predicted as f64 / r.simulated as f64)
+            };
+            let status = if r.simulated <= r.predicted {
+                "ok"
+            } else {
+                "VIOLATION"
+            };
+            out.push_str(&format!(
+                "{:<14} {:<14} {:<6} {:>12} {:>12} {:>8}  {}\n",
+                r.workload, r.kernel, r.arg, r.predicted, r.simulated, slack, status
+            ));
+        }
+        let violations = self
+            .rows
+            .iter()
+            .filter(|r| r.simulated > r.predicted)
+            .count();
+        let unanalyzable: usize = self
+            .reports
+            .iter()
+            .flat_map(|rep| &rep.diagnostics)
+            .filter(|d| d.code == LintCode::UnanalyzableSite)
+            .count();
+        out.push_str(&format!(
+            "{} workload(s), {} arg(s): {} violation(s), {} unanalyzable site(s)\n",
+            self.reports.len(),
+            self.rows.len(),
+            violations,
+            unanalyzable
+        ));
+        out
+    }
+}
+
+/// Runs the whole Table IV suite under LADM at `scale`: predicts every
+/// kernel symbolically, simulates it, and compares per argument.
+pub fn traffic_suite(scale: Scale) -> TrafficTable {
+    let cfg = SimConfig::paper_multi_gpu();
+    let policy = Lasp::ladm();
+    let knobs = TrafficKnobs::from_config(&cfg);
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for w in suite(scale) {
+        reports.push(traffic_check_workload(&w, &cfg, &policy, &knobs, &mut rows));
+    }
+    TrafficTable { rows, reports }
+}
+
+/// Predicts and simulates one workload, appending its rows and returning
+/// its report.
+fn traffic_check_workload(
+    w: &Workload,
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    knobs: &TrafficKnobs,
+    rows: &mut Vec<TrafficRow>,
+) -> Report {
+    let mut report = Report::new(w.name);
+    let mut sys = GpuSystem::new(cfg.clone());
+    for kernel in &w.kernels {
+        let launch = kernel.launch();
+        let plan = policy.plan(launch, &cfg.topology);
+        let traffic = predict(launch, kernel.trips(), &plan, &cfg.topology, knobs);
+        let stats = sys.run(&**kernel, policy);
+        report.sites_checked += traffic.sites.len();
+        for site in &traffic.sites {
+            if let Some(reason) = &site.unanalyzable {
+                let arg = launch.kernel.args[site.arg].name;
+                report.diagnostics.push(Diagnostic {
+                    code: LintCode::UnanalyzableSite,
+                    severity: Severity::Note,
+                    workload: w.name,
+                    kernel: launch.kernel.name,
+                    arg: Some(arg),
+                    site: Some(site.site),
+                    message: format!("footprint not symbolically boundable: {reason}"),
+                    notes: vec!["charged the coarse worst-case bound instead".into()],
+                });
+            }
+        }
+        for (i, arg) in launch.kernel.args.iter().enumerate() {
+            let predicted = traffic.arg_upper[i];
+            let simulated = stats.offnode_by_arg.get(i).copied().unwrap_or(0);
+            rows.push(TrafficRow {
+                workload: w.name,
+                kernel: launch.kernel.name,
+                arg: arg.name,
+                predicted,
+                simulated,
+            });
+            if simulated > predicted {
+                report.diagnostics.push(Diagnostic {
+                    code: LintCode::BoundMismatch,
+                    severity: Severity::Error,
+                    workload: w.name,
+                    kernel: launch.kernel.name,
+                    arg: Some(arg.name),
+                    site: None,
+                    message: format!(
+                        "simulator measured {simulated} off-node sectors, above the \
+                         symbolic bound {predicted}"
+                    ),
+                    notes: vec!["the bound is constructed to contain every execution; \
+                         this is an analyzer or engine defect"
+                        .into()],
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladm_sim::KernelExec;
+    use ladm_workloads::by_name;
+
+    fn paper_setup() -> (SimConfig, TrafficKnobs) {
+        let cfg = SimConfig::paper_multi_gpu();
+        let knobs = TrafficKnobs::from_config(&cfg);
+        (cfg, knobs)
+    }
+
+    #[test]
+    fn sectors_per_elem_is_sound() {
+        assert_eq!(sectors_per_elem(4, 32), 1);
+        assert_eq!(sectors_per_elem(8, 32), 1);
+        assert_eq!(sectors_per_elem(32, 32), 1);
+        assert_eq!(sectors_per_elem(64, 32), 2);
+        assert_eq!(sectors_per_elem(12, 32), 2);
+    }
+
+    #[test]
+    fn bound_contains_measured_for_vecadd() {
+        let (cfg, knobs) = paper_setup();
+        let w = by_name("VecAdd", Scale::Test).unwrap();
+        let policy = Lasp::ladm();
+        let kernel = &w.kernels[0];
+        let plan = policy.plan(kernel.launch(), &cfg.topology);
+        let traffic = predict(
+            kernel.launch(),
+            kernel.trips(),
+            &plan,
+            &cfg.topology,
+            &knobs,
+        );
+        let mut sys = GpuSystem::new(cfg.clone());
+        let stats = sys.run(&**kernel, &policy);
+        for (i, &upper) in traffic.arg_upper.iter().enumerate() {
+            let measured = stats.offnode_by_arg.get(i).copied().unwrap_or(0);
+            assert!(measured <= upper, "arg {i}: {measured} > {upper}");
+        }
+        assert!(stats.sectors_offnode <= traffic.total_upper());
+    }
+
+    #[test]
+    fn single_page_allocation_is_provably_single_node() {
+        // A one-page argument is homed at exactly one node under every
+        // static map, so the bound for TBs scheduled on that node is 0
+        // under a Fixed placement matching the schedule.
+        use ladm_core::launch::{ArgStatic, KernelStatic, LaunchInfo};
+        use ladm_core::plan::{ArgPlan, PageMap, TbMap};
+        use ladm_core::NodeId;
+        use ladm_workloads::spec::dsl::*;
+        use ladm_workloads::AffineKernel;
+
+        let launch = LaunchInfo {
+            kernel: KernelStatic {
+                name: "onepage",
+                grid_shape: ladm_core::GridShape::OneD,
+                args: vec![ArgStatic {
+                    name: "a",
+                    elem_bytes: 4,
+                    accesses: vec![tid().to_poly()],
+                    is_written: false,
+                }],
+            },
+            grid: (4, 1),
+            block: (64, 1),
+            params: vec![],
+            arg_lens: vec![256], // 1 KiB = a single 4 KiB page
+            page_bytes: 4096,
+        };
+        let topo = Topology::paper_multi_gpu();
+        let knobs = TrafficKnobs {
+            sector_bytes: 32,
+            page_bytes: 4096,
+            migration: false,
+        };
+        let plan_local = KernelPlan {
+            args: vec![ArgPlan::new(PageMap::Fixed(NodeId(0)))],
+            schedule: TbMap::Chunk {
+                per_node: 1_000_000,
+            }, // all on node 0
+        };
+        let k = AffineKernel::new(launch, 1, 1);
+        let t = predict(k.launch(), 1, &plan_local, &topo, &knobs);
+        assert_eq!(t.arg_upper, vec![0], "all TBs local to the single page");
+
+        let plan_remote = KernelPlan {
+            args: vec![ArgPlan::new(PageMap::Fixed(NodeId(5)))],
+            schedule: TbMap::Chunk {
+                per_node: 1_000_000,
+            },
+        };
+        let t = predict(k.launch(), 1, &plan_remote, &topo, &knobs);
+        assert!(t.arg_upper[0] > 0, "remote page must be charged");
+    }
+
+    #[test]
+    fn migration_disables_pruning() {
+        let (cfg, _) = paper_setup();
+        let w = by_name("VecAdd", Scale::Test).unwrap();
+        let kernel = &w.kernels[0];
+        let policy = Lasp::ladm();
+        let plan = policy.plan(kernel.launch(), &cfg.topology);
+        let mk = |migration| TrafficKnobs {
+            sector_bytes: 32,
+            page_bytes: cfg.page_bytes,
+            migration,
+        };
+        let without = predict(
+            kernel.launch(),
+            kernel.trips(),
+            &plan,
+            &cfg.topology,
+            &mk(false),
+        );
+        let with = predict(
+            kernel.launch(),
+            kernel.trips(),
+            &plan,
+            &cfg.topology,
+            &mk(true),
+        );
+        assert!(with.total_upper() >= without.total_upper());
+    }
+
+    #[test]
+    fn data_gather_is_unanalyzable_with_reason() {
+        let (cfg, knobs) = paper_setup();
+        let w = by_name("Random-loc", Scale::Test).unwrap();
+        let kernel = &w.kernels[0];
+        let policy = Lasp::ladm();
+        let plan = policy.plan(kernel.launch(), &cfg.topology);
+        let t = predict(
+            kernel.launch(),
+            kernel.trips(),
+            &plan,
+            &cfg.topology,
+            &knobs,
+        );
+        assert!(
+            t.sites.iter().any(|s| s.unanalyzable.is_some()),
+            "a data-dependent gather must be flagged"
+        );
+    }
+}

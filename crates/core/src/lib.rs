@@ -50,6 +50,7 @@
 
 pub mod analysis;
 pub mod expr;
+pub mod interval;
 pub mod launch;
 pub mod par;
 pub mod plan;

@@ -8,6 +8,7 @@
 //! floating-point sums.
 
 use crate::gen::TrialSpec;
+use ladm_analyzer::{predict, TrafficKnobs};
 use ladm_core::analysis::classify;
 use ladm_core::plan::PageMap;
 use ladm_core::policies::{BaselineRr, BatchFt, Lasp, Policy};
@@ -76,6 +77,17 @@ pub enum Failure {
         /// Baseline round-robin interleave off-node sectors.
         baseline: u64,
     },
+    /// The simulator measured more off-node sectors than the symbolic
+    /// traffic analyzer's upper bound — the analyzer's footprint or
+    /// page-home model has drifted from the engine.
+    BoundViolation {
+        /// Argument index, or `None` when the kernel-total bound broke.
+        arg: Option<usize>,
+        /// Off-node sectors the engine measured.
+        measured: u64,
+        /// The analyzer's symbolic upper bound.
+        bound: u64,
+    },
 }
 
 impl Failure {
@@ -90,6 +102,7 @@ impl Failure {
             Failure::MonolithicLeak { .. } => "monolithic-leak",
             Failure::InterleaveImbalance { .. } => "interleave-imbalance",
             Failure::LaspRegression { .. } => "lasp-regression",
+            Failure::BoundViolation { .. } => "traffic-bound",
         }
     }
 }
@@ -127,6 +140,20 @@ impl fmt::Display for Failure {
                 f,
                 "LASP off-node sectors ({lasp}) exceed both sanity bounds (first-touch {first_touch}, baseline interleave {baseline}) on a classified kernel"
             ),
+            Failure::BoundViolation {
+                arg,
+                measured,
+                bound,
+            } => match arg {
+                Some(i) => write!(
+                    f,
+                    "symbolic traffic bound violated on arg {i}: measured {measured} off-node sectors, bound {bound}"
+                ),
+                None => write!(
+                    f,
+                    "symbolic kernel-total traffic bound violated: measured {measured} off-node sectors, bound {bound}"
+                ),
+            },
         }
     }
 }
@@ -208,8 +235,58 @@ fn run_trial_inner(spec: &TrialSpec) -> Result<KernelStats, Failure> {
 
     check_conservation(spec, &cfg, &base)?;
     check_interleave_balance(&kernel, &cfg, &*policy)?;
+    check_traffic_bound(spec, &kernel, &cfg, &*policy, &base)?;
     check_lasp_vs_first_touch(spec, &kernel, &cfg)?;
     Ok(base)
+}
+
+/// Metamorphic soundness property for the symbolic traffic analyzer:
+/// on every classified, non-wrapping trial, the off-node sectors the
+/// engine measures must fall within the analyzer's per-argument (and
+/// kernel-total) symbolic upper bounds. Gated to trials where every
+/// site is affine (no data-dependent gathers) and stays inside its
+/// allocation — wrapping modulo the argument length is an executor
+/// artifact the symbolic footprint deliberately over-approximates.
+fn check_traffic_bound(
+    spec: &TrialSpec,
+    kernel: &AffineKernel,
+    cfg: &SimConfig,
+    policy: &dyn Policy,
+    base: &KernelStats,
+) -> Result<(), Failure> {
+    for s in &spec.sites {
+        if s.c_data != 0 {
+            return Ok(());
+        }
+        let a = &spec.args[s.arg as usize];
+        let (lo, hi) = s.index_bounds(spec.grid, spec.block, spec.trips);
+        if lo < 0 || hi >= i128::from(a.len) {
+            return Ok(());
+        }
+    }
+    let launch = kernel.launch();
+    let plan = policy.plan(launch, &cfg.topology);
+    let knobs = TrafficKnobs::from_config(cfg);
+    let traffic = predict(launch, kernel.trips(), &plan, &cfg.topology, &knobs);
+    for (i, &bound) in traffic.arg_upper.iter().enumerate() {
+        let measured = base.offnode_by_arg.get(i).copied().unwrap_or(0);
+        if measured > bound {
+            return Err(Failure::BoundViolation {
+                arg: Some(i),
+                measured,
+                bound,
+            });
+        }
+    }
+    let total = traffic.total_upper();
+    if base.sectors_offnode > total {
+        return Err(Failure::BoundViolation {
+            arg: None,
+            measured: base.sectors_offnode,
+            bound: total,
+        });
+    }
+    Ok(())
 }
 
 /// Accounting identities every run must satisfy, whatever the input.

@@ -1,0 +1,77 @@
+//! Replays the cross-kernel fuzz-corpus fixture pairs through the
+//! analyzer's producer/consumer placement pass and pins their verdicts.
+//!
+//! Each pair is two plain `ladm-fuzz-v1` corpus documents (so they also
+//! replay clean through `corpus_replay.rs`), matched here by filename:
+//! the `_producer` kernel writes argument `a`, the `_consumer` kernel
+//! re-reads it, and [`ladm_analyzer::crosskernel::check_pair`] must
+//! grade the pair exactly as recorded — a pinning-hazard warning for
+//! the conflict pair, a benign note (and nothing worse) for the benign
+//! pair.
+
+use ladm_analyzer::crosskernel::check_pair;
+use ladm_analyzer::{LintCode, Report, Severity};
+use ladm_core::policies::Lasp;
+use ladm_fuzz::corpus;
+use ladm_sim::KernelExec;
+use ladm_workloads::AffineKernel;
+
+fn corpus_dir() -> &'static str {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/fuzz_corpus"
+    )
+}
+
+fn load(name: &str) -> AffineKernel {
+    let path = format!("{}/{name}.json", corpus_dir());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let spec = corpus::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    spec.build_kernel()
+}
+
+fn grade(pair: &str) -> Report {
+    let producer = load(&format!("{pair}_producer"));
+    let consumer = load(&format!("{pair}_consumer"));
+    let topo = ladm_core::topology::Topology::paper_multi_gpu();
+    let mut report = Report::new("crosskernel-fixture");
+    check_pair(
+        producer.launch(),
+        consumer.launch(),
+        &Lasp::ladm(),
+        &topo,
+        &mut report,
+    );
+    report
+}
+
+#[test]
+fn conflict_pair_draws_a_pinning_hazard_warning() {
+    let report = grade("crosskernel_conflict");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::CrossKernelConflict && d.severity == Severity::Warning),
+        "expected an L009 warning, got:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn benign_pair_draws_a_note_and_nothing_worse() {
+    let report = grade("crosskernel_benign");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::CrossKernelConflict && d.severity == Severity::Note),
+        "expected an L009 note, got:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.worst() <= Some(Severity::Note),
+        "benign pair must not warn:\n{}",
+        report.render_text()
+    );
+}

@@ -1,0 +1,167 @@
+//! Pure, side-effect-free page→home resolution shared by the engine's
+//! address space, the oracle resolver and the static traffic analyzer.
+//!
+//! [`PageMap`] already defines each placement policy's home function;
+//! this module is the single choke point through which all three
+//! consumers interrogate it, so the engine can never drift from what the
+//! analyzer assumes. Everything here is a pure function of the map and
+//! the topology — no allocation tables, no first-touch pinning, no
+//! migration state (those belong to [`crate::mem::AddressSpace`] and the
+//! oracle, which layer their dynamic state *on top* of these answers).
+
+use ladm_core::plan::{KernelPlan, PageMap};
+use ladm_core::topology::{NodeId, Topology};
+
+/// The statically-known home of one byte (or page) under a placement
+/// map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticHome {
+    /// The map pins the byte to this node, independent of execution.
+    Node(NodeId),
+    /// First-touch placement: the home is decided at runtime by the
+    /// first accessor and cannot be known statically.
+    FirstTouch,
+}
+
+/// Resolves the home of the byte at `rel_offset` (relative to the start
+/// of the allocation) under `map`. Sub-page maps resolve at their own
+/// granularity; every map except [`PageMap::FirstTouch`] yields a
+/// definite node.
+pub fn static_home(map: &PageMap, rel_offset: u64, page_bytes: u64, topo: &Topology) -> StaticHome {
+    match map.node_of(rel_offset, page_bytes, topo) {
+        Some(node) => StaticHome::Node(node),
+        None => StaticHome::FirstTouch,
+    }
+}
+
+/// The byte granularity at which `map` can change homes: sub-page maps
+/// stripe below the page size, everything else is page-granular.
+pub fn placement_granularity(map: &PageMap, page_bytes: u64) -> u64 {
+    match map {
+        PageMap::SubPageInterleave { gran_bytes, .. } => (*gran_bytes).max(1),
+        _ => page_bytes.max(1),
+    }
+}
+
+/// Whether every byte of `[lo, hi]` (inclusive, relative to the
+/// allocation base) is statically homed at `node`. Walks the range at
+/// the map's placement granularity; returns `false` — the conservative
+/// answer — when the walk would exceed `cap` granules or any granule is
+/// first-touch or foreign.
+pub fn range_is_local(
+    map: &PageMap,
+    lo: u64,
+    hi: u64,
+    page_bytes: u64,
+    topo: &Topology,
+    node: NodeId,
+    cap: u64,
+) -> bool {
+    debug_assert!(lo <= hi);
+    let gran = placement_granularity(map, page_bytes);
+    let first = lo / gran;
+    let last = hi / gran;
+    if last - first >= cap {
+        return false;
+    }
+    (first..=last).all(|g| static_home(map, g * gran, page_bytes, topo) == StaticHome::Node(node))
+}
+
+/// The node the plan's scheduler assigns threadblock `(bx, by)` to —
+/// the pure counterpart of the engine's dispatch decision.
+pub fn plan_tb_node(
+    plan: &KernelPlan,
+    bx: u32,
+    by: u32,
+    grid: (u32, u32),
+    topo: &Topology,
+) -> NodeId {
+    plan.schedule.node_of_tb(bx, by, grid, topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladm_core::plan::RrOrder;
+
+    fn topo() -> Topology {
+        Topology::paper_multi_gpu()
+    }
+
+    #[test]
+    fn static_home_matches_the_map() {
+        let t = topo();
+        let map = PageMap::Interleave {
+            gran_pages: 2,
+            order: RrOrder::Hierarchical,
+        };
+        for page in 0..64u64 {
+            let want = map.node_of_page(page, &t).unwrap();
+            assert_eq!(
+                static_home(&map, page * 4096, 4096, &t),
+                StaticHome::Node(want)
+            );
+        }
+        assert_eq!(
+            static_home(&PageMap::FirstTouch, 0, 4096, &t),
+            StaticHome::FirstTouch
+        );
+    }
+
+    #[test]
+    fn sub_page_granularity_is_below_the_page() {
+        let map = PageMap::SubPageInterleave {
+            gran_bytes: 256,
+            order: RrOrder::Hierarchical,
+        };
+        assert_eq!(placement_granularity(&map, 4096), 256);
+        assert_eq!(placement_granularity(&PageMap::FirstTouch, 4096), 4096);
+    }
+
+    #[test]
+    fn range_is_local_only_for_matching_fixed_pages() {
+        let t = topo();
+        let map = PageMap::Fixed(NodeId(3));
+        assert!(range_is_local(
+            &map,
+            0,
+            4096 * 8 - 1,
+            4096,
+            &t,
+            NodeId(3),
+            64
+        ));
+        assert!(!range_is_local(&map, 0, 4095, 4096, &t, NodeId(2), 64));
+        // Interleaving across nodes is never all-local past one granule.
+        let il = PageMap::Interleave {
+            gran_pages: 1,
+            order: RrOrder::Hierarchical,
+        };
+        assert!(!range_is_local(
+            &il,
+            0,
+            2 * 4096 - 1,
+            4096,
+            &t,
+            NodeId(0),
+            64
+        ));
+        assert!(range_is_local(&il, 0, 4095, 4096, &t, NodeId(0), 64));
+    }
+
+    #[test]
+    fn range_walk_respects_the_cap() {
+        let t = topo();
+        let map = PageMap::Fixed(NodeId(0));
+        // 65 granules > cap 64 → conservative false even though local.
+        assert!(!range_is_local(
+            &map,
+            0,
+            65 * 4096 - 1,
+            4096,
+            &t,
+            NodeId(0),
+            64
+        ));
+    }
+}

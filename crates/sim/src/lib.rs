@@ -37,6 +37,7 @@ pub mod cache;
 pub mod config;
 pub mod exec;
 pub mod fabric;
+pub mod homes;
 pub mod mem;
 pub mod oracle;
 pub mod shard;
@@ -45,6 +46,7 @@ pub mod system;
 
 pub use config::{CacheConfig, SimConfig};
 pub use exec::{thread_xy, warp_thread_range, KernelExec, ThreadAccess};
+pub use homes::{plan_tb_node, range_is_local, static_home, StaticHome};
 pub use oracle::OracleSystem;
 pub use shard::{ChipletShard, RemoteReply, RemoteRequest};
 pub use stats::{ClassStats, KernelStats};

@@ -270,10 +270,14 @@ impl AddressSpace {
             }
             HOME_SUB_PAGE => {
                 let alloc = &self.allocs[entry.arg as usize];
-                let node = alloc
-                    .page_map
-                    .node_of(addr - alloc.base, self.page_bytes, topo)
-                    .expect("sub-page maps resolve at byte granularity");
+                let crate::homes::StaticHome::Node(node) = crate::homes::static_home(
+                    &alloc.page_map,
+                    addr - alloc.base,
+                    self.page_bytes,
+                    topo,
+                ) else {
+                    unreachable!("sub-page maps resolve at byte granularity")
+                };
                 SectorHome {
                     node,
                     faulted: false,

@@ -109,12 +109,12 @@ impl ReferenceResolver {
         }
         let (_, alloc) = self.alloc_of_addr(addr);
         let rel_offset = addr - alloc.base;
-        match alloc.page_map.node_of(rel_offset, self.page_bytes, topo) {
-            Some(node) => HomeLookup {
+        match crate::homes::static_home(&alloc.page_map, rel_offset, self.page_bytes, topo) {
+            crate::homes::StaticHome::Node(node) => HomeLookup {
                 node,
                 faulted: false,
             },
-            None => match self.first_touch.get(&page) {
+            crate::homes::StaticHome::FirstTouch => match self.first_touch.get(&page) {
                 Some(&node) => HomeLookup {
                     node,
                     faulted: false,

@@ -12,13 +12,16 @@
 //!     --bench           lint at Bench scale instead of Test scale
 //!     --table           print the per-site Table II classification
 //!                       (the golden-fixture format) and exit
+//!     --traffic         run the symbolic traffic analyzer over the
+//!                       suite and print the predicted-vs-simulated
+//!                       off-node sector table
 //!     --quiet           suppress clean reports, print findings only
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when errors (or warnings under
 //! `--deny warnings`) were found, 2 on usage errors.
 
-use ladm_analyzer::{classification_report, lint_workload, Report, Severity};
+use ladm_analyzer::{classification_report, lint_workload, traffic_suite, Report, Severity};
 use ladm_workloads::{by_name, suite, Scale, Workload};
 use std::process::ExitCode;
 
@@ -27,6 +30,7 @@ struct Options {
     deny_warnings: bool,
     scale: Scale,
     table: bool,
+    traffic: bool,
     quiet: bool,
     names: Vec<String>,
 }
@@ -37,6 +41,7 @@ fn parse_args() -> Result<Options, String> {
         deny_warnings: false,
         scale: Scale::Test,
         table: false,
+        traffic: false,
         quiet: false,
         names: Vec::new(),
     };
@@ -56,6 +61,7 @@ fn parse_args() -> Result<Options, String> {
             "--deny-warnings" => opts.deny_warnings = true,
             "--bench" => opts.scale = Scale::Bench,
             "--table" => opts.table = true,
+            "--traffic" => opts.traffic = true,
             "--quiet" | "-q" => opts.quiet = true,
             "--help" | "-h" => {
                 return Err(String::new()); // usage without the error prefix
@@ -70,7 +76,7 @@ fn parse_args() -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: ladm-lint [--json] [--deny warnings] [--bench] [--table] \
-         [--quiet] [WORKLOAD...]"
+         [--traffic] [--quiet] [WORKLOAD...]"
     );
 }
 
@@ -103,6 +109,27 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if opts.traffic {
+        let table = traffic_suite(opts.scale);
+        let mut failed = false;
+        for report in &table.reports {
+            failed |= report.fails(opts.deny_warnings);
+            if opts.json {
+                println!("{}", report.render_json());
+            } else if !opts.quiet && report.worst().is_some() {
+                print!("{}", report.render_text());
+            }
+        }
+        if !opts.json {
+            print!("{}", table.render());
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     let workloads = match selected_workloads(&opts) {
         Ok(w) => w,
         Err(msg) => {
@@ -114,8 +141,7 @@ fn main() -> ExitCode {
     let reports: Vec<Report> = workloads.iter().map(lint_workload).collect();
     let mut failed = false;
     for report in &reports {
-        let bad = report.has_errors()
-            || (opts.deny_warnings && report.worst() >= Some(Severity::Warning));
+        let bad = report.fails(opts.deny_warnings);
         failed |= bad;
         if opts.json {
             println!("{}", report.render_json());

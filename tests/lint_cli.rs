@@ -1,0 +1,44 @@
+//! End-to-end CLI checks for `ladm-lint`: flag plumbing and exit codes,
+//! driven through the real binary (`CARGO_BIN_EXE_ladm-lint`).
+
+use std::process::Command;
+
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ladm-lint"))
+        .args(args)
+        .output()
+        .expect("ladm-lint runs")
+}
+
+#[test]
+fn suite_is_clean_under_deny_warnings_in_both_output_modes() {
+    // The shipped suite is lint-clean, so both the text and the JSON
+    // exit paths must agree on success even under --deny warnings.
+    let text = lint(&["--deny", "warnings", "--quiet", "VecAdd"]);
+    assert!(text.status.success(), "text path: {text:?}");
+    let json = lint(&["--json", "--deny", "warnings", "VecAdd"]);
+    assert!(json.status.success(), "json path: {json:?}");
+    let out = String::from_utf8(json.stdout).expect("utf8");
+    assert!(
+        out.trim_start().starts_with('{'),
+        "--json must emit JSON objects, got: {out}"
+    );
+}
+
+#[test]
+fn traffic_mode_prints_the_bound_table_and_exits_clean() {
+    let out = lint(&["--traffic", "--deny", "warnings", "--quiet"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        stdout.contains("predicted-vs-simulated off-node sectors"),
+        "missing table header:\n{stdout}"
+    );
+    assert!(stdout.contains("0 violation(s)"), "{stdout}");
+}
+
+#[test]
+fn unknown_flags_are_usage_errors() {
+    let out = lint(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -1,0 +1,78 @@
+//! Golden fixture for the symbolic traffic analyzer: the
+//! predicted-vs-simulated off-node sector table over the full
+//! 27-workload suite at `Scale::Test`, pinned byte-for-byte.
+//!
+//! Two properties ride on one fixture:
+//!
+//! * **soundness** — every row's simulated count sits at or below the
+//!   symbolic bound (checked directly, so a violation fails with the
+//!   offending row, not a wall of diff);
+//! * **stability** — neither the analyzer's bounds nor the engine's
+//!   measured counts drift without a deliberate fixture regeneration.
+//!
+//! Regenerate after an intentional model or analyzer change with
+//! `LADM_UPDATE_GOLDEN=1 cargo test --test traffic_golden`.
+
+use ladm::analyzer::traffic_suite;
+use ladm::workloads::Scale;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/traffic_suite.txt"
+);
+
+#[test]
+fn traffic_table_matches_golden_fixture() {
+    let table = traffic_suite(Scale::Test);
+
+    // Soundness first: a violated bound is a model bug whatever the
+    // fixture says.
+    for row in &table.rows {
+        assert!(
+            row.simulated <= row.predicted,
+            "{}/{}/{}: simulated {} off-node sectors above the symbolic bound {}",
+            row.workload,
+            row.kernel,
+            row.arg,
+            row.simulated,
+            row.predicted
+        );
+    }
+    assert!(!table.has_violations());
+
+    let got = table.render();
+    if std::env::var_os("LADM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &got).expect("fixture must be writable");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run with LADM_UPDATE_GOLDEN=1 to create it");
+    if got == want {
+        return;
+    }
+    for (g, w) in got.lines().zip(want.lines()) {
+        assert!(
+            g == w,
+            "traffic table diverged.\n got: {g}\nwant: {w}\n\
+             If the analyzer or the engine changed deliberately, regenerate \
+             with LADM_UPDATE_GOLDEN=1 cargo test --test traffic_golden"
+        );
+    }
+    panic!(
+        "traffic table length changed: got {} lines, fixture has {}",
+        got.lines().count(),
+        want.lines().count()
+    );
+}
+
+#[test]
+fn no_suite_report_escalates_past_note() {
+    for report in &traffic_suite(Scale::Test).reports {
+        assert!(
+            report.worst() <= Some(ladm::analyzer::Severity::Note),
+            "{} traffic analysis found a violation:\n{}",
+            report.workload,
+            report.render_text()
+        );
+    }
+}
