@@ -2,8 +2,9 @@
 //! machine-readable `BENCH.json`.
 //!
 //! ```text
-//! ladm-bench [--quick] [--out FILE] [--samples N] [--scale test|bench] [--threads N]
+//! ladm-bench [--quick] [--out FILE] [--samples N] [--scale test|bench] [--threads N] [--profile]
 //! ladm-bench --validate FILE
+//! ladm-bench --check BASELINE [--against FILE] [--tolerance PCT]
 //! ```
 //!
 //! Each cell runs one `(workload, policy)` pair end to end through
@@ -14,8 +15,17 @@
 //! `--quick` drops to the test scale for the CI smoke job; `--validate`
 //! re-parses an emitted file with the in-tree JSON parser and checks the
 //! schema invariants.
+//!
+//! `--profile` additionally runs each workload once under the
+//! [`ladm_obs::prof`] self-profiler and appends an additive `profiles`
+//! section (phase attribution, worker utilization, hot counters) to the
+//! report. `--check` compares a freshly generated (or `--against` FILE)
+//! report to a checked-in baseline and exits non-zero when throughput
+//! drops by more than `--tolerance` percent or a phase's share of
+//! attributed time grows by more than that many percentage points.
 
-use ladm_bench::report::{render, validate, BenchCell, BenchReport};
+use ladm_bench::profile::{profile_workload, render_profile_text, section_from};
+use ladm_bench::report::{check, render, validate, BenchCell, BenchReport};
 use ladm_bench::trace::policy_by_name;
 use ladm_bench::{bench_function, run_workload_threaded};
 use ladm_sim::SimConfig;
@@ -32,11 +42,29 @@ fn main() {
     let mut scale = Scale::Bench;
     let mut out = "BENCH.json".to_string();
     let mut validate_path: Option<String> = None;
+    let mut check_baseline: Option<String> = None;
+    let mut check_against: Option<String> = None;
+    let mut tolerance = 10.0f64;
+    let mut profile = false;
     let mut threads = 1usize;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Test,
+            "--profile" => profile = true,
+            "--check" => {
+                check_baseline = Some(it.next().unwrap_or_else(|| usage("--check needs a path")));
+            }
+            "--against" => {
+                check_against = Some(it.next().unwrap_or_else(|| usage("--against needs a path")));
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|t| *t >= 0.0)
+                    .unwrap_or_else(|| usage("--tolerance needs a non-negative percentage"));
+            }
             "--threads" => {
                 threads = it
                     .next()
@@ -85,6 +113,15 @@ fn main() {
         return;
     }
 
+    // Pure file-vs-file regression check: no simulation, just compare a
+    // previously emitted report against the baseline.
+    if let (Some(baseline), Some(against)) = (check_baseline.as_deref(), check_against.as_deref()) {
+        let base = read_or_die(baseline);
+        let cur = read_or_die(against);
+        run_check(&cur, &base, tolerance);
+        return;
+    }
+
     let scale_name = match scale {
         Scale::Test => "test",
         Scale::Bench => "bench",
@@ -113,11 +150,25 @@ fn main() {
         }
     }
 
+    // One profiled run per workload under the paper policy: the timing
+    // cells above stay unprofiled so `--profile` cannot perturb them.
+    let mut profiles = Vec::new();
+    if profile {
+        for workload in WORKLOADS {
+            let w = by_name(workload, scale).expect("cell names come from the Table IV suite");
+            let policy = policy_by_name("ladm").expect("paper policy exists");
+            let run = profile_workload(&cfg, &w, &*policy, threads);
+            println!("{}", render_profile_text(workload, threads, &run));
+            profiles.push(section_from(workload, threads, &run));
+        }
+    }
+
     let report = BenchReport {
         git_rev: git_rev(),
         samples,
         sim_threads: threads,
         cells,
+        profiles,
     };
     let text = render(&report);
     // Re-validate our own output before writing: the emitter and the
@@ -134,6 +185,49 @@ fn main() {
         "benchmark report written to {out} ({} cells)",
         report.cells.len()
     );
+
+    if let Some(baseline) = check_baseline {
+        let base = read_or_die(&baseline);
+        run_check(&text, &base, tolerance);
+    }
+}
+
+/// Runs the regression comparison and exits non-zero on any regression.
+fn run_check(current: &str, baseline: &str, tolerance_pct: f64) {
+    match check(current, baseline, tolerance_pct) {
+        Ok(report) => {
+            for note in &report.notes {
+                println!("note: {note}");
+            }
+            for r in &report.regressions {
+                eprintln!("REGRESSION: {r}");
+            }
+            if report.passed() {
+                println!(
+                    "check: OK ({} comparisons within {tolerance_pct}% tolerance)",
+                    report.compared
+                );
+            } else {
+                eprintln!(
+                    "check: FAILED ({} regression(s) over {} comparisons)",
+                    report.regressions.len(),
+                    report.compared
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("check: cannot compare reports: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: cannot read: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Short git revision of the working tree, or `"unknown"` when git is
@@ -157,8 +251,9 @@ fn usage(msg: &str) -> ! {
         "ladm-bench: time the simulation engine and write BENCH.json\n\
          \n\
          usage:\n\
-           ladm-bench [--quick] [--out FILE] [--samples N] [--scale test|bench] [--threads N]\n\
+           ladm-bench [--quick] [--out FILE] [--samples N] [--scale test|bench] [--threads N] [--profile]\n\
            ladm-bench --validate FILE\n\
+           ladm-bench --check BASELINE [--against FILE] [--tolerance PCT]\n\
          \n\
          options:\n\
            --quick          test-scale inputs (CI smoke job)\n\
@@ -168,7 +263,14 @@ fn usage(msg: &str) -> ! {
                             or the LADM_BENCH_SAMPLES environment variable)\n\
            --threads N      engine worker threads per run (default: 1;\n\
                             statistics are bit-identical for any N)\n\
-           --validate FILE  check a previously emitted report and exit"
+           --profile        also self-profile one run per workload and\n\
+                            append an additive 'profiles' report section\n\
+           --validate FILE  check a previously emitted report and exit\n\
+           --check BASELINE compare this run (or --against FILE) to a\n\
+                            baseline report; exit 1 on regression\n\
+           --against FILE   with --check: compare FILE instead of running\n\
+           --tolerance PCT  allowed throughput drop / phase-share growth\n\
+                            (percent, default 10)"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

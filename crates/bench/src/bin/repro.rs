@@ -4,6 +4,7 @@
 //! repro [--bench] [--threads N] [--sim-threads N] <experiment>
 //!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 lint dgx1 summary all
 //! repro --trace <workload>...
+//! repro --profile <workload>...
 //! ```
 //!
 //! By default runs at `Scale::Test` (small inputs, seconds); `--bench`
@@ -22,6 +23,13 @@
 //! written next to the working directory, and the NUMA traffic matrix
 //! plus the counter exposition are printed. See `ladm-trace` for policy
 //! selection and validation.
+//!
+//! With `--profile`, each named workload is run once under LADM with
+//! both the recording sink and the [`ladm_obs::prof`] self-profiler
+//! attached: the phase-attribution table is printed, the folded
+//! collapsed-stack output (`profile-<name>.folded`, flamegraph input)
+//! is written, and the Chrome trace (`profile-<name>-trace.json`) gains
+//! a driver lane showing where the *simulator* spent its wall time.
 
 use ladm_bench::experiments::{
     default_threads, dgx1, fig11, fig4, fig9_10, fmt_fig11, fmt_lint, fmt_table1, fmt_table4, lint,
@@ -38,6 +46,7 @@ fn main() {
     let mut scale = Scale::Test;
     let mut threads = default_threads();
     let mut trace = false;
+    let mut profile = false;
     let mut what: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -45,6 +54,7 @@ fn main() {
             "--bench" => scale = Scale::Bench,
             "--test" => scale = Scale::Test,
             "--trace" => trace = true,
+            "--profile" => profile = true,
             "--threads" => {
                 threads = it
                     .next()
@@ -68,12 +78,18 @@ fn main() {
     if what.is_empty() {
         usage(if trace {
             "--trace needs at least one workload name"
+        } else if profile {
+            "--profile needs at least one workload name"
         } else {
             "no experiment given"
         });
     }
     if trace {
         run_traces(scale, &what);
+        return;
+    }
+    if profile {
+        run_profiles(scale, &what);
         return;
     }
     let list: Vec<&str> = if what.iter().any(|w| w == "all") {
@@ -126,10 +142,14 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro [--bench] [--threads N] [--sim-threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|summary|all>\n\
          \u{20}      repro [--bench] --trace <workload>...\n\
+         \u{20}      repro [--bench] --profile <workload>...\n\
          \n\
          --threads N      experiment cells run concurrently (default: CPU count)\n\
          --sim-threads N  engine worker threads per simulation (default: 1;\n\
-                          statistics are bit-identical for any N)"
+                          statistics are bit-identical for any N)\n\
+         --profile        self-profile the named workloads: phase table,\n\
+                          profile-<name>.folded (flamegraph input) and a\n\
+                          Chrome trace with a driver wall-time lane"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -165,6 +185,59 @@ fn run_traces(scale: Scale, names: &[String]) {
         println!("{}\n", run.traffic_matrix().render_text());
         print!("{}", run.counters().expose());
         eprintln!("[trace {} done in {:.1?}]\n", run.name, t0.elapsed());
+    }
+}
+
+/// `--profile` mode: runs each named workload once under LADM with both
+/// the recording sink and the self-profiler attached, prints the phase
+/// attribution table, and writes the folded flamegraph input plus a
+/// Chrome trace carrying the driver wall-time lane.
+fn run_profiles(scale: Scale, names: &[String]) {
+    use ladm_bench::profile::render_profile_text;
+    use ladm_bench::profile::ProfiledRun;
+    use ladm_obs::{chrome_trace_with_profile, prof};
+
+    let cfg = SimConfig::paper_multi_gpu();
+    let policy = ladm_core::policies::Lasp::ladm();
+    let sim_threads = std::env::var("LADM_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+    for name in names {
+        prof::reset();
+        prof::enable();
+        let t0 = Instant::now();
+        let traced =
+            ladm_bench::trace::trace_by_name(name, scale, &cfg, &policy).unwrap_or_else(|| {
+                prof::disable();
+                usage(&format!(
+                    "unknown workload '{name}' (try ladm-trace --list)"
+                ))
+            });
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        prof::disable();
+        let run = ProfiledRun {
+            profile: prof::take(),
+            stats: traced.stats,
+            wall_ns,
+        };
+
+        print!("{}", render_profile_text(&traced.name, sim_threads, &run));
+
+        let stem = traced.name.to_lowercase();
+        let folded = format!("profile-{stem}.folded");
+        if let Err(e) = std::fs::write(&folded, run.profile.render_folded()) {
+            eprintln!("error: cannot write {folded}: {e}");
+            std::process::exit(1);
+        }
+        let trace_out = format!("profile-{stem}-trace.json");
+        let doc = chrome_trace_with_profile(&traced.events, Some(&run.profile));
+        if let Err(e) = std::fs::write(&trace_out, doc) {
+            eprintln!("error: cannot write {trace_out}: {e}");
+            std::process::exit(1);
+        }
+        println!("flamegraph input written to {folded}");
+        println!("chrome trace (with driver lane) written to {trace_out}\n");
     }
 }
 

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod profile;
 pub mod report;
 pub mod trace;
 

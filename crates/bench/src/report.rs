@@ -61,6 +61,79 @@ impl BenchCell {
     }
 }
 
+/// One row of the self-profile phase table: a span path with its
+/// aggregate wall time, self time and call count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// `;`-separated span path (e.g. `kernel;execute;drain`).
+    pub path: String,
+    /// Total wall nanoseconds attributed to the span (children
+    /// included).
+    pub total_ns: u64,
+    /// Wall nanoseconds not attributed to any child span.
+    pub self_ns: u64,
+    /// Completed span-guard drops.
+    pub calls: u64,
+}
+
+/// Per-shard worker-utilization summary for the epoch-parallel driver.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UtilizationSection {
+    /// Worker threads that actually ran generation jobs.
+    pub workers: usize,
+    /// Σ per-shard generation busy nanoseconds (worker-side clocks).
+    pub busy_ns: u64,
+    /// `workers × gen_fanout wall` — what the pool could have done.
+    pub capacity_ns: u64,
+    /// Per-shard `(shard index, busy ns, tasks)` rows.
+    pub shards: Vec<(usize, u64, u64)>,
+}
+
+impl UtilizationSection {
+    /// Busy fraction of the worker pool (1 − barrier idle), in [0, 1].
+    pub fn busy_frac(&self) -> f64 {
+        if self.capacity_ns == 0 {
+            0.0
+        } else {
+            (self.busy_ns as f64 / self.capacity_ns as f64).min(1.0)
+        }
+    }
+}
+
+/// The additive `profile` section of a `ladm-bench-v1` report: one
+/// profiled workload's phase attribution, shard utilization and
+/// profiler counters. Absent (and ignored by old readers) unless
+/// `--profile` ran.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileSection {
+    /// Workload the profile was captured on.
+    pub workload: String,
+    /// Engine worker threads during the profiled run.
+    pub sim_threads: usize,
+    /// Measured wall nanoseconds of the whole profiled run.
+    pub wall_ns: u64,
+    /// Nanoseconds attributed by the root spans of the phase table.
+    pub attributed_ns: u64,
+    /// Phase rows, path-sorted (from `Profile::flatten`).
+    pub phases: Vec<PhaseRow>,
+    /// Worker-pool utilization (zeroed for serial runs).
+    pub utilization: UtilizationSection,
+    /// Merged profiler counters (heap ops, cache probes, bucket stalls,
+    /// per-shard gen times).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ProfileSection {
+    /// Fraction of measured wall time the phase table accounts for.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.attributed_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
 /// A full report: provenance plus one entry per timed cell.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -75,6 +148,9 @@ pub struct BenchReport {
     pub sim_threads: usize,
     /// Timed cells, in run order.
     pub cells: Vec<BenchCell>,
+    /// Self-profile sections (one per profiled workload), present only
+    /// when `--profile` ran. Additive `ladm-bench-v1` field.
+    pub profiles: Vec<ProfileSection>,
 }
 
 /// Renders a report as pretty-printed JSON. Pure function of its input —
@@ -110,6 +186,65 @@ pub fn render(report: &BenchReport) -> String {
             "}\n"
         } else {
             "},\n"
+        });
+    }
+    if report.profiles.is_empty() {
+        out.push_str("  ]\n}\n");
+        return out;
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"profiles\": [\n");
+    for (i, p) in report.profiles.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"workload\": \"{}\",\n",
+            escape(&p.workload)
+        ));
+        out.push_str(&format!("      \"sim_threads\": {},\n", p.sim_threads));
+        out.push_str(&format!("      \"wall_ns\": {},\n", p.wall_ns));
+        out.push_str(&format!("      \"attributed_ns\": {},\n", p.attributed_ns));
+        out.push_str(&format!("      \"coverage\": {},\n", number(p.coverage())));
+        out.push_str("      \"phases\": [\n");
+        for (j, row) in p.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"path\": \"{}\", \"total_ns\": {}, \"self_ns\": {}, \"calls\": {}}}{}\n",
+                escape(&row.path),
+                row.total_ns,
+                row.self_ns,
+                row.calls,
+                if j + 1 == p.phases.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ],\n");
+        let u = &p.utilization;
+        out.push_str(&format!(
+            "      \"utilization\": {{\"workers\": {}, \"busy_ns\": {}, \"capacity_ns\": {}, \"busy_frac\": {}, \"shards\": [",
+            u.workers,
+            u.busy_ns,
+            u.capacity_ns,
+            number(u.busy_frac())
+        ));
+        for (j, (shard, ns, tasks)) in u.shards.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"shard\": {shard}, \"gen_ns\": {ns}, \"tasks\": {tasks}}}"
+            ));
+        }
+        out.push_str("]},\n");
+        out.push_str("      \"counters\": {");
+        for (j, (name, v)) in p.counters.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", escape(name), v));
+        }
+        out.push_str("}\n");
+        out.push_str(if i + 1 == report.profiles.len() {
+            "    }\n"
+        } else {
+            "    },\n"
         });
     }
     out.push_str("  ]\n}\n");
@@ -179,7 +314,184 @@ pub fn validate(text: &str) -> Result<usize, String> {
             return Err(format!("cell {i}: wall_min_s {min} > wall_mean_s {mean}"));
         }
     }
+    // Additive section: profiled reports carry phase attribution;
+    // pre-profiler readers never see the key.
+    if let Some(profiles) = doc.get("profiles") {
+        let arr = profiles.as_array().ok_or("'profiles' must be an array")?;
+        for (i, p) in arr.iter().enumerate() {
+            p.get("workload")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("profile {i}: missing string 'workload'"))?;
+            let num = |key: &str| {
+                p.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("profile {i}: missing number '{key}'"))
+            };
+            let wall = num("wall_ns")?;
+            let attributed = num("attributed_ns")?;
+            let coverage = num("coverage")?;
+            if wall < 0.0 || attributed < 0.0 {
+                return Err(format!("profile {i}: negative time"));
+            }
+            if !(0.0..=1.5).contains(&coverage) {
+                return Err(format!("profile {i}: implausible coverage {coverage}"));
+            }
+            let phases = p
+                .get("phases")
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("profile {i}: missing 'phases' array"))?;
+            for (j, row) in phases.iter().enumerate() {
+                row.get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("profile {i} phase {j}: missing 'path'"))?;
+                for key in ["total_ns", "self_ns", "calls"] {
+                    let v = row
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("profile {i} phase {j}: missing number '{key}'"))?;
+                    if v < 0.0 {
+                        return Err(format!("profile {i} phase {j}: negative '{key}'"));
+                    }
+                }
+            }
+            let util = p
+                .get("utilization")
+                .ok_or_else(|| format!("profile {i}: missing 'utilization'"))?;
+            for key in ["workers", "busy_ns", "capacity_ns", "busy_frac"] {
+                util.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("profile {i}: utilization missing '{key}'"))?;
+            }
+        }
+    }
     Ok(cells.len())
+}
+
+/// Outcome of a [`check`] run: what was compared and what regressed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckReport {
+    /// Number of `(cell, metric)` comparisons performed.
+    pub compared: usize,
+    /// Human-readable regression descriptions; empty means pass.
+    pub regressions: Vec<String>,
+    /// Non-failing observations (cells only present on one side,
+    /// improvements beyond tolerance).
+    pub notes: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the current report is within tolerance of the baseline.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Diffs a current report against a baseline: `sectors_per_sec` per
+/// matching `(workload, policy, scale)` cell, and per-phase *fractions
+/// of attributed time* for matching profile sections (fractions, not
+/// absolute nanoseconds, so a baseline recorded on different hardware
+/// still gates shape regressions). A cell regresses when its throughput
+/// drops more than `tolerance_pct` percent below baseline; a phase
+/// regresses when its share of total time grows more than
+/// `tolerance_pct` percentage points.
+///
+/// # Errors
+///
+/// Returns an error when either document fails [`validate`].
+pub fn check(current: &str, baseline: &str, tolerance_pct: f64) -> Result<CheckReport, String> {
+    validate(current).map_err(|e| format!("current report invalid: {e}"))?;
+    validate(baseline).map_err(|e| format!("baseline report invalid: {e}"))?;
+    let cur = Json::parse(current).map_err(|e| e.to_string())?;
+    let base = Json::parse(baseline).map_err(|e| e.to_string())?;
+    let mut out = CheckReport::default();
+    let tol = tolerance_pct / 100.0;
+
+    let cell_key = |c: &Json| {
+        Some(format!(
+            "{}/{}/{}",
+            c.get("workload")?.as_str()?,
+            c.get("policy")?.as_str()?,
+            c.get("scale")?.as_str()?
+        ))
+    };
+    let index = |doc: &Json| -> Vec<(String, f64)> {
+        doc.get("cells")
+            .and_then(Json::as_array)
+            .map(|cells| {
+                cells
+                    .iter()
+                    .filter_map(|c| Some((cell_key(c)?, c.get("sectors_per_sec")?.as_f64()?)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base_cells = index(&base);
+    let cur_cells = index(&cur);
+    for (key, base_rate) in &base_cells {
+        let Some((_, cur_rate)) = cur_cells.iter().find(|(k, _)| k == key) else {
+            out.notes
+                .push(format!("cell {key}: missing from current report"));
+            continue;
+        };
+        out.compared += 1;
+        let floor = base_rate * (1.0 - tol);
+        if *cur_rate < floor {
+            out.regressions.push(format!(
+                "cell {key}: sectors_per_sec {cur_rate:.0} < baseline {base_rate:.0} - {tolerance_pct}% (floor {floor:.0})"
+            ));
+        } else if *cur_rate > base_rate * (1.0 + tol) {
+            out.notes.push(format!(
+                "cell {key}: improved {base_rate:.0} -> {cur_rate:.0}"
+            ));
+        }
+    }
+
+    // Phase-share comparison over matching (workload, path) pairs.
+    let phase_fracs = |doc: &Json| -> Vec<(String, f64)> {
+        let mut rows = Vec::new();
+        if let Some(profiles) = doc.get("profiles").and_then(Json::as_array) {
+            for p in profiles {
+                let (Some(w), Some(attributed)) = (
+                    p.get("workload").and_then(Json::as_str),
+                    p.get("attributed_ns").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                if attributed <= 0.0 {
+                    continue;
+                }
+                if let Some(phases) = p.get("phases").and_then(Json::as_array) {
+                    for row in phases {
+                        if let (Some(path), Some(ns)) = (
+                            row.get("path").and_then(Json::as_str),
+                            row.get("total_ns").and_then(Json::as_f64),
+                        ) {
+                            rows.push((format!("{w}:{path}"), ns / attributed));
+                        }
+                    }
+                }
+            }
+        }
+        rows
+    };
+    let base_phases = phase_fracs(&base);
+    let cur_phases = phase_fracs(&cur);
+    for (key, base_frac) in &base_phases {
+        let Some((_, cur_frac)) = cur_phases.iter().find(|(k, _)| k == key) else {
+            out.notes
+                .push(format!("phase {key}: missing from current report"));
+            continue;
+        };
+        out.compared += 1;
+        if cur_frac - base_frac > tol {
+            out.regressions.push(format!(
+                "phase {key}: share grew {:.1}% -> {:.1}% (tolerance {tolerance_pct} points)",
+                base_frac * 100.0,
+                cur_frac * 100.0
+            ));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -221,6 +533,37 @@ mod tests {
                     &stats,
                 ),
             ],
+            profiles: Vec::new(),
+        }
+    }
+
+    fn sample_profile() -> ProfileSection {
+        ProfileSection {
+            workload: "VecAdd".to_string(),
+            sim_threads: 4,
+            wall_ns: 1_000_000,
+            attributed_ns: 970_000,
+            phases: vec![
+                PhaseRow {
+                    path: "kernel".to_string(),
+                    total_ns: 970_000,
+                    self_ns: 10_000,
+                    calls: 1,
+                },
+                PhaseRow {
+                    path: "kernel;execute".to_string(),
+                    total_ns: 960_000,
+                    self_ns: 960_000,
+                    calls: 1,
+                },
+            ],
+            utilization: UtilizationSection {
+                workers: 4,
+                busy_ns: 300_000,
+                capacity_ns: 400_000,
+                shards: vec![(0, 150_000, 64), (1, 150_000, 64)],
+            },
+            counters: vec![("bw.claims".to_string(), 123)],
         }
     }
 
@@ -280,6 +623,109 @@ mod tests {
             r#"{{"schema": "{SCHEMA}", "git_rev": "x", "samples": 1, "sim_threads": 8, "cells": []}}"#
         );
         assert_eq!(validate(&good), Ok(0));
+    }
+
+    #[test]
+    fn profile_section_roundtrips_and_validates() {
+        let mut report = sample_report();
+        report.profiles.push(sample_profile());
+        let text = render(&report);
+        assert_eq!(validate(&text), Ok(2), "{text}");
+        let doc = Json::parse(&text).unwrap();
+        let profiles = doc.get("profiles").and_then(Json::as_array).unwrap();
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.get("workload").and_then(Json::as_str), Some("VecAdd"));
+        assert_eq!(
+            p.get("attributed_ns").and_then(Json::as_f64),
+            Some(970_000.0)
+        );
+        let cov = p.get("coverage").and_then(Json::as_f64).unwrap();
+        assert!((cov - 0.97).abs() < 1e-9);
+        let phases = p.get("phases").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            phases[1].get("path").and_then(Json::as_str),
+            Some("kernel;execute")
+        );
+        let util = p.get("utilization").unwrap();
+        let frac = util.get("busy_frac").and_then(Json::as_f64).unwrap();
+        assert!((frac - 0.75).abs() < 1e-9);
+        assert_eq!(
+            p.get("counters")
+                .and_then(|c| c.get("bw.claims"))
+                .and_then(Json::as_f64),
+            Some(123.0)
+        );
+        // Reports WITHOUT the section must not carry the key at all
+        // (additive-field discipline).
+        assert!(!render(&sample_report()).contains("profiles"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_profile_sections() {
+        let mut report = sample_report();
+        report.profiles.push(sample_profile());
+        let text = render(&report);
+        let bad_cov = text.replacen("\"coverage\": 0.97", "\"coverage\": 9.7", 1);
+        assert!(validate(&bad_cov).unwrap_err().contains("coverage"));
+        let bad_phase = text.replacen("\"total_ns\": 960000", "\"total_ns\": \"x\"", 1);
+        assert!(validate(&bad_phase).unwrap_err().contains("total_ns"));
+        let no_util = text.replacen("\"utilization\"", "\"utilisation\"", 1);
+        assert!(validate(&no_util).unwrap_err().contains("utilization"));
+    }
+
+    #[test]
+    fn check_passes_within_tolerance_and_flags_regressions() {
+        let mut report = sample_report();
+        report.profiles.push(sample_profile());
+        let baseline = render(&report);
+        // Identical reports pass.
+        let same = check(&baseline, &baseline, 10.0).unwrap();
+        assert!(same.passed(), "{:?}", same.regressions);
+        assert!(same.compared >= 4, "cells + phases compared");
+
+        // Injected synthetic throughput regression: halve one cell's
+        // sectors_per_sec (500000 = 1000/0.002).
+        let slower = baseline.replacen(
+            "\"sectors_per_sec\": 500000",
+            "\"sectors_per_sec\": 200000",
+            1,
+        );
+        let flagged = check(&slower, &baseline, 10.0).unwrap();
+        assert!(!flagged.passed());
+        assert!(
+            flagged.regressions[0].contains("sectors_per_sec"),
+            "{:?}",
+            flagged.regressions
+        );
+        // The same delta passes under a huge tolerance.
+        assert!(check(&slower, &baseline, 80.0).unwrap().passed());
+
+        // Phase-share regression: the execute phase balloons from 96%
+        // to ~99% of attributed time... simulate by shrinking
+        // attributed_ns in the baseline copy (share = total/attributed).
+        let fatter = baseline.replacen("\"total_ns\": 960000", "\"total_ns\": 969999", 1);
+        let phase_flagged = check(&fatter, &baseline, 0.5).unwrap();
+        assert!(!phase_flagged.passed());
+        assert!(
+            phase_flagged.regressions[0].contains("share grew"),
+            "{:?}",
+            phase_flagged.regressions
+        );
+
+        // Improvements and one-sided cells are notes, not failures.
+        let faster = baseline.replacen(
+            "\"sectors_per_sec\": 500000",
+            "\"sectors_per_sec\": 900000",
+            1,
+        );
+        let improved = check(&faster, &baseline, 10.0).unwrap();
+        assert!(improved.passed());
+        assert!(improved.notes.iter().any(|n| n.contains("improved")));
+
+        // Invalid inputs error out rather than passing silently.
+        assert!(check("not json", &baseline, 10.0).is_err());
+        assert!(check(&baseline, "{}", 10.0).is_err());
     }
 
     #[test]

@@ -47,13 +47,18 @@ impl TracedRun {
 /// event stream.
 pub fn trace_workload(cfg: &SimConfig, workload: &Workload, policy: &dyn Policy) -> TracedRun {
     let sink = Arc::new(RecordingSink::new());
-    let mut sys = GpuSystem::new(cfg.clone());
-    sys.set_sink(sink.clone());
+    let mut sys = {
+        let _g = ladm_obs::prof::span("sim_setup");
+        let mut sys = GpuSystem::new(cfg.clone());
+        sys.set_sink(sink.clone());
+        sys
+    };
     let mut total = KernelStats::default();
     for kernel in &workload.kernels {
         let stats = sys.run(&**kernel, policy);
         total.accumulate(&stats);
     }
+    let _g = ladm_obs::prof::span("trace_collect");
     TracedRun {
         name: workload.name.to_string(),
         policy: policy.name().to_string(),
@@ -71,7 +76,13 @@ pub fn trace_by_name(
     cfg: &SimConfig,
     policy: &dyn Policy,
 ) -> Option<TracedRun> {
-    by_name(name, scale).map(|w| trace_workload(cfg, &w, policy))
+    let w = {
+        // Workload construction is real driver time (PageRank builds its
+        // graph here); span it so `--profile` coverage attributes it.
+        let _g = ladm_obs::prof::span("workload_build");
+        by_name(name, scale)?
+    };
+    Some(trace_workload(cfg, &w, policy))
 }
 
 /// Resolves a policy by its CLI spelling (case-insensitive):

@@ -204,6 +204,7 @@ impl LadmRuntime {
         block: (u32, u32),
         params: &[(&'static str, i64)],
     ) -> Result<(LaunchInfo, KernelPlan), LaunchError> {
+        let _prof_launch = ladm_obs::prof::span("launch");
         let (kernel, pcs) = self
             .kernels
             .iter()
@@ -225,6 +226,7 @@ impl LadmRuntime {
         for &(name, value) in params {
             launch = launch.with_param(name, value);
         }
+        let _prof_plan = ladm_obs::prof::span("plan");
         let plan = match self.sink.as_deref().filter(|s| s.enabled()) {
             Some(sink) => {
                 let (plan, decisions) = self.lasp.plan_explained(&launch, &self.topo);

@@ -12,14 +12,28 @@
 //! Multi-kernel workloads restart the simulator clock at zero for each
 //! kernel; the exporter re-bases every kernel onto a monotonically
 //! advancing timeline so lanes never fold back on themselves.
+//!
+//! When a self-profile is supplied
+//! ([`chrome_trace_with_profile`]), a synthetic **driver** process
+//! ([`DRIVER_PID`]) carries two extra lanes: tid 0 renders the merged
+//! span tree as a flame chart over *wall* time (microseconds — a
+//! different clock domain from the simulated-cycle lanes, noted in the
+//! lane name), and tid 1 renders the stretches between consecutive
+//! [`Event::EpochBarrier`]s as complete (`"X"`) events so barrier
+//! cadence and epoch width are visible, not just barrier instants.
 
 use crate::event::{Event, LinkLevel, SectorRoute};
 use crate::json::{escape, number};
+use crate::prof::{ProfNode, Profile};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Cycle width of one counter-sampling epoch.
 const EPOCH_CYCLES: f64 = 1024.0;
+
+/// pid of the synthetic driver lane (self-profile + epoch spans) — far
+/// from any chiplet pid so the lanes sort last in viewers.
+pub const DRIVER_PID: u32 = 9999;
 
 /// One pending Chrome event, pre-rendered except for ordering.
 struct Raw {
@@ -49,6 +63,14 @@ impl EpochBins {
 /// Renders a recorded event stream as a Chrome trace-event JSON
 /// document (`{"traceEvents": [...], "otherData": {...}}`).
 pub fn chrome_trace(events: &[Event]) -> String {
+    chrome_trace_with_profile(events, None)
+}
+
+/// [`chrome_trace`] plus, when `profile` is given, the driver lane: the
+/// merged span tree laid out as a wall-time flame chart on
+/// [`DRIVER_PID`]. Epoch-barrier span events appear whenever the stream
+/// contains [`Event::EpochBarrier`]s, profile or not.
+pub fn chrome_trace_with_profile(events: &[Event], profile: Option<&Profile>) -> String {
     let mut raws: Vec<Raw> = Vec::new();
     let mut seq = 0usize;
     let mut push = |raws: &mut Vec<Raw>, ts: f64, json: String| {
@@ -74,6 +96,32 @@ pub fn chrome_trace(events: &[Event]) -> String {
     let mut route_bins = EpochBins::default();
     let mut link_bins = EpochBins::default();
     let mut kernels = 0u64;
+    // Open driver-lane epoch span: (start ts, epoch, pending, gen_tasks)
+    // of the barrier that opened it. Closed by the next barrier or
+    // KernelEnd.
+    let mut epoch_open: Option<(f64, u32, u32, u32)> = None;
+    let mut epoch_spans = 0u64;
+    let close_epoch = |raws: &mut Vec<Raw>,
+                       open: &mut Option<(f64, u32, u32, u32)>,
+                       end_ts: f64,
+                       spans: &mut u64| {
+        if let Some((t0, epoch, pending, gen_tasks)) = open.take() {
+            let json = format!(
+                    "{{\"name\":\"epoch\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{DRIVER_PID},\"tid\":1,\"args\":{{\"epoch\":{},\"pending\":{},\"gen_tasks\":{}}}}}",
+                    number(t0),
+                    number((end_ts - t0).max(0.0)),
+                    epoch,
+                    pending,
+                    gen_tasks
+                );
+            raws.push(Raw {
+                ts: t0,
+                seq: usize::MAX,
+                json,
+            });
+            *spans += 1;
+        }
+    };
 
     for ev in events {
         match ev {
@@ -197,9 +245,12 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     gen_tasks
                 );
                 push(&mut raws, ts, json);
+                close_epoch(&mut raws, &mut epoch_open, ts, &mut epoch_spans);
+                epoch_open = Some((ts, *epoch, *pending, *gen_tasks));
             }
             Event::KernelEnd { kernel, time } => {
                 let ts = abs(*time, &mut watermark, base);
+                close_epoch(&mut raws, &mut epoch_open, ts, &mut epoch_spans);
                 let json = format!(
                     "{{\"name\":\"kernel_end\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":0,\"s\":\"g\",\"args\":{{\"kernel\":\"{}\"}}}}",
                     number(ts),
@@ -247,6 +298,42 @@ pub fn chrome_trace(events: &[Event]) -> String {
     flush_bins(&mut raws, &route_bins, "sector_routes");
     flush_bins(&mut raws, &link_bins, "link_bytes");
 
+    // Driver lane tid 0: the merged self-profile as a flame chart. The
+    // merged tree has durations but no timeline, so spans are laid out
+    // at cumulative offsets — siblings in sequence inside their
+    // parent's interval, self time filling the remainder. Wall
+    // nanoseconds render as Chrome microseconds.
+    let mut profiled = false;
+    if let Some(p) = profile {
+        fn layout(node: &ProfNode, offset_ns: u64, raws: &mut Vec<Raw>) {
+            let ts = offset_ns as f64 / 1000.0;
+            let json = format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{DRIVER_PID},\"tid\":0,\"args\":{{\"calls\":{},\"self_ns\":{}}}}}",
+                escape(&node.name),
+                number(ts),
+                number(node.total_ns as f64 / 1000.0),
+                node.count,
+                node.self_ns()
+            );
+            raws.push(Raw {
+                ts,
+                seq: usize::MAX,
+                json,
+            });
+            let mut child_off = offset_ns;
+            for c in &node.children {
+                layout(c, child_off, raws);
+                child_off += c.total_ns;
+            }
+        }
+        let mut off = 0u64;
+        for r in &p.roots {
+            layout(r, off, &mut raws);
+            off += r.total_ns;
+        }
+        profiled = !p.roots.is_empty();
+    }
+
     // Metadata: lane names. Emitted first regardless of sort.
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
@@ -269,6 +356,30 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 node + 1
             ),
         );
+    }
+    if profiled || epoch_spans > 0 {
+        emit(
+            &mut out,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{DRIVER_PID},\"tid\":0,\"args\":{{\"name\":\"driver (self-profile)\"}}}}"
+            ),
+        );
+        if profiled {
+            emit(
+                &mut out,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{DRIVER_PID},\"tid\":0,\"args\":{{\"name\":\"phases (wall \\u00b5s)\"}}}}"
+                ),
+            );
+        }
+        if epoch_spans > 0 {
+            emit(
+                &mut out,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{DRIVER_PID},\"tid\":1,\"args\":{{\"name\":\"epochs (sim cycles)\"}}}}"
+                ),
+            );
+        }
     }
 
     raws.sort_by(|a, b| {
@@ -412,5 +523,112 @@ mod tests {
             .collect();
         assert_eq!(begins.len(), 2);
         assert!(begins[1] > 60.0, "second kernel must start after first");
+    }
+
+    #[test]
+    fn epoch_barriers_become_driver_lane_spans() {
+        let mut ev = sample_events();
+        // Two barriers mid-kernel: expect span(b0→b1) and span(b1→end).
+        ev.insert(
+            3,
+            Event::EpochBarrier {
+                time: 8.0,
+                epoch: 0,
+                pending: 5,
+                gen_tasks: 2,
+            },
+        );
+        ev.insert(
+            5,
+            Event::EpochBarrier {
+                time: 24.0,
+                epoch: 1,
+                pending: 3,
+                gen_tasks: 1,
+            },
+        );
+        let text = chrome_trace(&ev);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("epoch"))
+            .collect();
+        assert_eq!(spans.len(), 2, "one span per barrier-to-barrier stretch");
+        for s in &spans {
+            assert_eq!(s.get("ph").and_then(Json::as_str), Some("X"));
+            assert_eq!(s.get("pid").and_then(Json::as_f64), Some(DRIVER_PID as f64));
+        }
+        assert_eq!(spans[0].get("ts").and_then(Json::as_f64), Some(8.0));
+        assert_eq!(spans[0].get("dur").and_then(Json::as_f64), Some(16.0));
+        assert_eq!(spans[1].get("ts").and_then(Json::as_f64), Some(24.0));
+        assert_eq!(spans[1].get("dur").and_then(Json::as_f64), Some(36.0));
+        // The original instants are still present.
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.get("name").and_then(Json::as_str) == Some("epoch_barrier"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn profile_renders_as_flame_chart_lane() {
+        use crate::prof::ProfNode;
+        let profile = Profile {
+            roots: vec![ProfNode {
+                name: "kernel".into(),
+                total_ns: 10_000,
+                count: 1,
+                children: vec![
+                    ProfNode {
+                        name: "drain".into(),
+                        total_ns: 6_000,
+                        count: 3,
+                        children: vec![],
+                    },
+                    ProfNode {
+                        name: "gen".into(),
+                        total_ns: 3_000,
+                        count: 3,
+                        children: vec![],
+                    },
+                ],
+            }],
+            counters: Default::default(),
+        };
+        let text = chrome_trace_with_profile(&sample_events(), Some(&profile));
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let driver: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("pid").and_then(Json::as_f64) == Some(DRIVER_PID as f64)
+                    && e.get("ph").and_then(Json::as_str) == Some("X")
+            })
+            .collect();
+        assert_eq!(driver.len(), 3, "kernel + two children");
+        let by_name = |n: &str| {
+            driver
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(n))
+                .unwrap_or_else(|| panic!("missing span {n}"))
+        };
+        // Children nest inside the parent interval at cumulative
+        // offsets, in (sorted) child order: drain then gen.
+        assert_eq!(
+            by_name("kernel").get("ts").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            by_name("kernel").get("dur").and_then(Json::as_f64),
+            Some(10.0)
+        );
+        assert_eq!(by_name("drain").get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(by_name("gen").get("ts").and_then(Json::as_f64), Some(6.0));
+        // Without a profile the driver flame lane is absent.
+        let plain = chrome_trace(&sample_events());
+        assert!(!plain.contains("driver (self-profile)"));
     }
 }

@@ -87,6 +87,42 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         self.sum
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket
+    /// counts, Prometheus `histogram_quantile` style: find the bucket
+    /// holding the target rank, then interpolate linearly inside it
+    /// (the first finite bucket interpolates from zero). Ranks landing
+    /// in the `+Inf` overflow bucket clamp to the last finite bound —
+    /// the bound structure carries no information beyond it. Returns
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket;
+            if cum as f64 >= target {
+                if i >= self.bounds.len() {
+                    // +Inf bucket: clamp to the last finite bound (or
+                    // 0.0 for a boundless histogram).
+                    return Some(self.bounds.last().copied().unwrap_or(0.0));
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let below = cum - bucket;
+                let frac = if *bucket == 0 {
+                    1.0
+                } else {
+                    (target - below as f64) / *bucket as f64
+                };
+                return Some(lo + (hi - lo) * frac.clamp(0.0, 1.0));
+            }
+        }
+        Some(self.bounds.last().copied().unwrap_or(0.0))
+    }
 }
 
 impl AddAssign<&Histogram> for Histogram {
@@ -191,8 +227,10 @@ impl CounterRegistry {
     }
 
     /// Renders every metric in Prometheus text-exposition style:
-    /// `# TYPE` headers, `name{labels} value` samples, and cumulative
-    /// `_bucket`/`_sum`/`_count` series for histograms.
+    /// `# TYPE` headers, `name{labels} value` samples, cumulative
+    /// `_bucket`/`_sum`/`_count` series for histograms, and
+    /// interpolated p50/p95/p99 summary quantiles
+    /// (`name{quantile="0.5"} v`) for non-empty histograms.
     pub fn expose(&self) -> String {
         let mut out = String::new();
         for (name, series) in &self.counters {
@@ -211,6 +249,11 @@ impl CounterRegistry {
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{name}_sum {}", h.sum);
             let _ = writeln!(out, "{name}_count {}", h.count);
+            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                if let Some(v) = h.quantile(q) {
+                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {v}");
+                }
+            }
         }
         out
     }
@@ -391,6 +434,52 @@ mod tests {
         assert_eq!(lines[6], "latency_bucket{le=\"+Inf\"} 3");
         assert_eq!(lines[7], "latency_sum 11");
         assert_eq!(lines[8], "latency_count 3");
+        assert_eq!(lines[9], "latency{quantile=\"0.5\"} 1.5");
+        assert_eq!(lines[10], "latency{quantile=\"0.95\"} 2");
+        assert_eq!(lines[11], "latency{quantile=\"0.99\"} 2");
+        assert_eq!(lines.len(), 12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_known_distributions() {
+        // Uniform: 100 observations spread one per unit over (0, 100]
+        // with bounds every 10 — quantiles should land on q*100 exactly
+        // (each rank sits at a bucket-interpolation point).
+        let bounds: Vec<f64> = (1..=10).map(|i| (i * 10) as f64).collect();
+        let mut h = Histogram::new(&bounds);
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.95), Some(95.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        // q=0 resolves inside the first occupied bucket.
+        assert!(h.quantile(0.0).unwrap() <= 10.0);
+
+        // Point mass: everything in one bucket — every quantile
+        // interpolates within (20, 30].
+        let mut point = Histogram::new(&[10.0, 20.0, 30.0, 40.0]);
+        for _ in 0..1000 {
+            point.observe(25.0);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let v = point.quantile(q).unwrap();
+            assert!((20.0..=30.0).contains(&v), "q{q} -> {v}");
+        }
+        // Monotone in q.
+        assert!(point.quantile(0.5) <= point.quantile(0.99));
+
+        // Overflow mass: observations past the last bound clamp there.
+        let mut over = Histogram::new(&[1.0, 2.0]);
+        for _ in 0..10 {
+            over.observe(1e9);
+        }
+        assert_eq!(over.quantile(0.5), Some(2.0));
+        assert_eq!(over.quantile(0.99), Some(2.0));
+
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), None);
     }
 
     #[test]

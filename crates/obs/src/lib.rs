@@ -22,6 +22,9 @@
 //!   Prometheus-style text exposition and `+=` merge;
 //!   [`registry_from_events`] folds a recorded stream into the
 //!   standard metric set.
+//! * [`prof`] — the second observation axis: a zero-cost-when-disabled
+//!   hierarchical span profiler over the simulator's *own* wall-clock
+//!   time (phase attribution, shard utilization, flamegraph export).
 //! * [`json`] — a minimal parser used to validate emitted documents
 //!   without external dependencies.
 
@@ -32,11 +35,13 @@ pub mod counters;
 pub mod event;
 pub mod heatmap;
 pub mod json;
+pub mod prof;
 pub mod sink;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_with_profile};
 pub use counters::{registry_from_events, CounterRegistry, Histogram};
 pub use event::{Event, LinkLevel, SectorRoute};
 pub use heatmap::TrafficMatrix;
 pub use json::Json;
+pub use prof::{ProfNode, Profile, SpanGuard};
 pub use sink::{NullSink, RecordingSink, TraceSink};

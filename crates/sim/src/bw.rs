@@ -87,7 +87,10 @@ impl TokenBucket {
 
     /// Claims the resource for a `bytes`-sized transfer arriving at `now`;
     /// returns the departure time (≥ `now + bytes/rate`, later when the
-    /// link is saturated around `now`).
+    /// link is saturated around `now`). When the self-profiler is on,
+    /// claims whose departure slips more than one accounting bin past
+    /// the uncontended service time are counted as stalls
+    /// (`bw.stalls` / `bw.stall_cycles`).
     pub fn claim(&mut self, now: f64, bytes: u64) -> f64 {
         let now = now.max(0.0);
         self.busy_bytes += bytes as f64;
@@ -142,6 +145,14 @@ impl TokenBucket {
             }
         }
         self.prune(bin);
+        if ladm_obs::prof::profiling() {
+            ladm_obs::prof::count("bw.claims", 1);
+            let queueing = served_in - (now + bytes as f64 / self.bytes_per_cycle);
+            if queueing > BIN_CYCLES {
+                ladm_obs::prof::count("bw.stalls", 1);
+                ladm_obs::prof::count("bw.stall_cycles", queueing as u64);
+            }
+        }
         served_in
     }
 

@@ -30,7 +30,7 @@ use crate::config::SimConfig;
 use crate::stats::KernelStats;
 use ladm_core::plan::RemoteInsert;
 use ladm_core::topology::NodeId;
-use ladm_obs::{Event as TraceEvent, LinkLevel, SectorRoute, TraceSink};
+use ladm_obs::{prof, Event as TraceEvent, LinkLevel, SectorRoute, TraceSink};
 use std::collections::VecDeque;
 
 /// Execution state of one SM: free threadblock/warp slots and the issue
@@ -222,6 +222,7 @@ impl ChipletShard {
         sink: Option<&dyn TraceSink>,
         ctx: &SectorCtx,
     ) -> bool {
+        prof::count("shard.l1_probes", 1);
         if write {
             self.l1[sm_local].invalidate(addr);
             self.stats.l1_misses += 1;
@@ -264,6 +265,7 @@ impl ChipletShard {
         sink: Option<&dyn TraceSink>,
         ctx: &SectorCtx,
     ) -> f64 {
+        prof::count("shard.l2_probes", 1);
         self.stats.l2_local_local.accesses += 1;
         match self.l2.access(addr) {
             Lookup::Hit => {
@@ -297,6 +299,7 @@ impl ChipletShard {
         sink: Option<&dyn TraceSink>,
         ctx: &SectorCtx,
     ) -> Option<f64> {
+        prof::count("shard.l2_probes", 1);
         self.stats.l2_local_remote.accesses += 1;
         if self.l2.probe(addr) == Lookup::Hit {
             self.stats.l2_local_remote.hits += 1;
@@ -361,6 +364,8 @@ impl ChipletShard {
         sink: Option<&dyn TraceSink>,
         ctx: &SectorCtx,
     ) -> RemoteReply {
+        prof::count("shard.l2_probes", 1);
+        prof::count("shard.remote_serves", 1);
         self.stats.l2_remote_local.accesses += 1;
         if req.write {
             if self.l2.probe(req.addr) == Lookup::Hit {

@@ -34,7 +34,7 @@ use ladm_core::par::parallel_map_labeled;
 use ladm_core::plan::KernelPlan;
 use ladm_core::policies::Policy;
 use ladm_core::topology::NodeId;
-use ladm_obs::{Event as TraceEvent, SectorRoute, TraceSink};
+use ladm_obs::{prof, Event as TraceEvent, SectorRoute, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -275,9 +275,11 @@ impl GpuSystem {
     /// (one per argument) and all caches are flushed first — the paper's
     /// kernel-boundary L2 invalidation.
     pub fn run(&mut self, kernel: &dyn KernelExec, policy: &dyn Policy) -> KernelStats {
+        let _prof_kernel = prof::span("kernel");
         let launch = kernel.launch();
         let sink_arc = self.active_sink();
         let sink = sink_arc.as_deref();
+        let prof_plan = prof::span("plan");
         let plan = match sink {
             Some(s) => {
                 let (plan, decisions) = policy.plan_explained(launch, &self.cfg.topology);
@@ -304,12 +306,16 @@ impl GpuSystem {
             }
             None => policy.plan(launch, &self.cfg.topology),
         };
-        self.mem = AddressSpace::new(self.cfg.page_bytes);
-        for (i, arg) in launch.kernel.args.iter().enumerate() {
-            self.mem.alloc(launch.arg_bytes(i).max(1), arg.elem_bytes);
+        drop(prof_plan);
+        {
+            let _prof_setup = prof::span("setup_mem");
+            self.mem = AddressSpace::new(self.cfg.page_bytes);
+            for (i, arg) in launch.kernel.args.iter().enumerate() {
+                self.mem.alloc(launch.arg_bytes(i).max(1), arg.elem_bytes);
+            }
+            self.mem.apply_plan(&plan, &self.cfg.topology);
+            self.flush();
         }
-        self.mem.apply_plan(&plan, &self.cfg.topology);
-        self.flush();
         let stats = self.execute(kernel, &plan);
         if let Some(s) = sink {
             s.record(TraceEvent::KernelEnd {
@@ -334,6 +340,8 @@ impl GpuSystem {
     /// drives the event heap — serially, or via the epoch driver when
     /// more than one worker thread is configured.
     fn execute(&mut self, kernel: &dyn KernelExec, plan: &KernelPlan) -> KernelStats {
+        let _prof_execute = prof::span("execute");
+        let prof_setup = prof::span("setup");
         let launch = kernel.launch();
         let sink_arc = self.active_sink();
         let sink = sink_arc.as_deref();
@@ -387,11 +395,13 @@ impl GpuSystem {
         for node in 0..topo.num_nodes() {
             self.dispatch_node(&mut eng, node, 0.0, &k, sink);
         }
+        drop(prof_setup);
 
         if self.threads > 1 {
             let threads = self.threads;
             self.run_epochs(&mut eng, kernel, &k, sink, threads);
         } else {
+            let _prof_drain = prof::span("drain_serial");
             while self.step(&mut eng, kernel, &k, sink) {}
         }
 
@@ -404,6 +414,7 @@ impl GpuSystem {
         // `KernelStats::merge_shard`), truncate the off-node attribution
         // to the highest watermark, and fold in the coordinator-owned
         // counters (fabric traffic, page faults, migrations).
+        let _prof_merge = prof::span("stats_merge");
         let mut stats = KernelStats {
             offnode_by_arg: vec![0; addr_tab.len()],
             ..KernelStats::default()
@@ -516,6 +527,7 @@ impl GpuSystem {
         let Some(Reverse(ev)) = eng.heap.pop() else {
             return false;
         };
+        prof::count("engine.heap_pop", 1);
         let now = ev.time;
         let ctx = eng.warps[ev.warp as usize];
         let node = ctx.sm / k.sms_per_chiplet;
@@ -556,6 +568,7 @@ impl GpuSystem {
         } = eng;
         let slot = &mut slots[ev.warp as usize];
         if !slot.ready_for(ctx.iter, k.iter_invariant) {
+            let _prof_gen = prof::span("gen_inline");
             slot.instrs = gen_warp(kernel, k, ctx, access_buf, &mut slot.sectors);
             slot.iter = ctx.iter;
             slot.valid = true;
@@ -602,6 +615,7 @@ impl GpuSystem {
             let head_time = head.time;
             // Snapshot: every pending warp event that will need a fresh
             // sector list for the iteration it is about to execute.
+            let prof_snapshot = prof::span("snapshot");
             let mut tasks: Vec<Vec<(u32, WarpCtx)>> = vec![Vec::new(); nodes];
             let mut gen_tasks = 0u32;
             for &Reverse(ev) in eng.heap.iter() {
@@ -620,6 +634,7 @@ impl GpuSystem {
             for t in &mut tasks {
                 t.sort_unstable_by_key(|&(slot, _)| slot);
             }
+            drop(prof_snapshot);
             if let Some(s) = sink {
                 s.record(TraceEvent::EpochBarrier {
                     time: head_time,
@@ -629,13 +644,21 @@ impl GpuSystem {
                 });
             }
             if gen_tasks > 0 {
+                // The fan-out span covers job distribution, worker
+                // execution AND the coordinator's barrier wait (the
+                // join); per-shard busy time lands in the
+                // `shardNN.gen_ns` counters recorded by the workers, so
+                // barrier idle = workers × fanout wall − Σ busy.
+                let prof_fanout = prof::span("gen_fanout");
                 let produced = parallel_map_labeled(
                     nodes,
                     threads,
                     |i| format!("shard {i} gen (epoch {epoch})"),
                     |i| {
+                        let _prof_worker = prof::span("gen_worker");
+                        let busy = prof::profiling().then(std::time::Instant::now);
                         let mut access_buf: Vec<ThreadAccess> = Vec::with_capacity(256);
-                        tasks[i]
+                        let out = tasks[i]
                             .iter()
                             .map(|&(slot, ctx)| {
                                 let mut sectors: Vec<(u64, bool)> = Vec::with_capacity(64);
@@ -643,9 +666,19 @@ impl GpuSystem {
                                     gen_warp(kernel, k, ctx, &mut access_buf, &mut sectors);
                                 (slot, ctx.iter, instrs, sectors)
                             })
-                            .collect::<Vec<_>>()
+                            .collect::<Vec<_>>();
+                        if let Some(t0) = busy {
+                            prof::count_named(
+                                format!("shard{i:02}.gen_ns"),
+                                t0.elapsed().as_nanos() as u64,
+                            );
+                            prof::count_named(format!("shard{i:02}.gen_tasks"), out.len() as u64);
+                        }
+                        out
                     },
                 );
+                drop(prof_fanout);
+                let _prof_join = prof::span("join");
                 for per_shard in produced {
                     for (slot_idx, iter, instrs, sectors) in per_shard {
                         let slot = &mut eng.slots[slot_idx as usize];
@@ -657,6 +690,7 @@ impl GpuSystem {
                 }
             }
             // Drain exactly this epoch's snapshot in canonical order.
+            let _prof_drain = prof::span("drain");
             let drain = eng.heap.len();
             for _ in 0..drain {
                 if !self.step(eng, kernel, k, sink) {
@@ -801,6 +835,7 @@ impl GpuSystem {
 /// Pushes the next event for `warp` at `time` (assumes `eng.seq` was
 /// already advanced by the caller).
 fn heap_push(eng: &mut EngineState, time: f64, warp: u32) {
+    prof::count("engine.heap_push", 1);
     let seq = eng.seq;
     eng.heap.push(Reverse(Event { time, seq, warp }));
 }
