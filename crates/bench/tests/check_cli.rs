@@ -110,6 +110,27 @@ fn regression_within_tolerance_passes() {
 }
 
 #[test]
+fn threaded_profile_without_drain_par_fails_structurally() {
+    // A report whose profiles claim threaded runs but never recorded a
+    // drain_par span means the parallel drain stopped engaging; the
+    // self-comparison (current == baseline) isolates the structural
+    // gate from any wall-speed noise. CI runs exactly this self-check.
+    let threaded = report(500_000.0, 600_000).replace("\"sim_threads\": 1", "\"sim_threads\": 4");
+    let (ok, text) = run_check("nodrain", &threaded, &threaded, "30");
+    assert!(!ok, "threaded profile without drain_par must fail:\n{text}");
+    assert!(text.contains("drain_par"), "{text}");
+
+    // The same report with a drain_par phase row passes.
+    let engaged = threaded.replacen(
+        "{\"path\": \"kernel;execute;drain_serial\"",
+        "{\"path\": \"kernel;execute;drain;drain_par\", \"total_ns\": 1000, \"self_ns\": 1000, \"calls\": 1},\n        {\"path\": \"kernel;execute;drain_serial\"",
+        1,
+    );
+    let (ok, text) = run_check("drainok", &engaged, &engaged, "30");
+    assert!(ok, "threaded profile with drain_par must pass:\n{text}");
+}
+
+#[test]
 fn phase_share_growth_fails() {
     let base = report(500_000.0, 400_000); // drain ≈ 41% of attributed
     let cur = report(500_000.0, 900_000); // drain ≈ 92% of attributed

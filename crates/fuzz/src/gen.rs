@@ -470,9 +470,20 @@ pub fn sample(rng: &mut SplitMix64) -> TrialSpec {
         })
         .collect();
     let num_sites = rng.range_u32(1, 6) as usize;
-    let sites: Vec<SiteSpec> = (0..num_sites)
+    let mut sites: Vec<SiteSpec> = (0..num_sites)
         .map(|_| sample_site(rng, num_args as u64, two_d, trips))
         .collect();
+    // Dense cross-shard gather bias (1 in 8 trials): every site draws a
+    // fresh data-dependent address each loop iteration, so nearly every
+    // window carries remote sectors and the conservative drain's
+    // local-only prefix (DESIGN.md §13) degenerates toward pure serial
+    // replay. Thread-variance is at its most fragile exactly there.
+    if rng.chance(1, 8) {
+        for s in &mut sites {
+            s.c_data = 1;
+            s.data_per_iter = true;
+        }
+    }
     TrialSpec {
         grid,
         block: (bdx, bdy),
@@ -583,9 +594,22 @@ fn sample_config(rng: &mut SplitMix64) -> ConfigSpec {
         intra_bw: rng.range_u32(32, 2048),
         intra_latency: u64::from(rng.range_u32(1, 80)),
         ring_bw: rng.range_u32(16, 1024),
-        ring_latency: u64::from(rng.range_u32(10, 150)),
+        // Degenerate-lookahead machines (1 in 6 each): a latency-1 ring
+        // or switch pins the conservative-drain horizon (DESIGN.md §13)
+        // at its floor, maximizing round count and shrinking windows to
+        // near-single events — the regime where a horizon off-by-one
+        // would reorder cross-shard effects.
+        ring_latency: if rng.chance(1, 6) {
+            1
+        } else {
+            u64::from(rng.range_u32(10, 150))
+        },
         switch_bw: rng.range_u32(8, 512),
-        switch_latency: u64::from(rng.range_u32(50, 400)),
+        switch_latency: if rng.chance(1, 6) {
+            1
+        } else {
+            u64::from(rng.range_u32(50, 400))
+        },
         remote_caching: rng.chance(2, 3),
         migration_threshold: if rng.chance(1, 5) {
             rng.range_u32(2, 4)

@@ -1,0 +1,437 @@
+//! Conservative-lookahead parallel drain: windowed-round execution of
+//! the event heap that runs the *stateful* half of warp steps on worker
+//! threads — the half the epoch-prefetch driver (`GpuSystem::run_epochs`)
+//! leaves serial — while keeping [`crate::stats::KernelStats`]
+//! bit-identical to the serial engine at every thread count.
+//!
+//! ## The window and why it is safe
+//!
+//! Each round opens a window `[W0, W0 + Δ)` at the heap's head time `W0`
+//! with `Δ = min(kernel compute block, topology lookahead)`
+//! ([`crate::horizon::lookahead`]) and pops every pending event below
+//! the cap — the round's *candidates*, already in canonical
+//! `(time, seq)` order.
+//!
+//! This engine applies remote effects at the canonical position of the
+//! *triggering* event (the coordinator charges fabric hops and the home
+//! shard inline), so the binding bound on the window is not message
+//! arrival — it is how soon a processed event can schedule *new* work
+//! inside the window. A non-retiring warp step issues at
+//! `issue ≥ now ≥ W0` and re-queues at `done ≥ issue + compute ≥ W0 + Δ`
+//! (`Δ ≤ compute`): strictly outside the window. Warp retirement is the
+//! one exception — `dispatch_node` queues fresh warps *at* the retire
+//! time — so a retire terminates the parallel prefix and is replayed
+//! serially, where the dispatch lands in canonical order.
+//!
+//! ## Round anatomy
+//!
+//! 1. **snapshot** — pop the window's candidates.
+//! 2. **gen_fanout** — fan the pure generation work (sector lists) out
+//!    per shard, exactly like the epoch driver, but over the pool's
+//!    persistent workers ([`ladm_core::par::PhasedPool`]).
+//! 3. **classify** — find the longest candidate prefix whose every
+//!    sector is *bound to the executing shard's own memory*
+//!    ([`crate::mem::AddressSpace::resolve_bound`] — a pure probe).
+//!    Within the window, such events touch only their own shard's
+//!    state (L1/L2/crossbar/DRAM/stats) plus their own warp slot, so
+//!    executing them grouped per shard — canonical order within each
+//!    shard — is observationally identical to the serial interleaving.
+//! 4. **drain / drain_par** — execute the local prefix on the pool with
+//!    seqs preassigned to the exact values the serial engine would have
+//!    used (`seq0 + 1 + i` for prefix position `i`), then replay the
+//!    window's tail (boundary/retire/first-touch events) serially
+//!    through [`GpuSystem::step`].
+//!
+//! Rounds whose window or prefix is smaller than [`PAR_MIN`] skip the
+//! fan-out and run serially — the cutoff is a constant (never derived
+//! from the thread count) so the round structure, and with it the
+//! merged profiler-span shape, is identical at any worker count
+//! (pinned by `tests/prof_golden.rs`). When [`DEMOTE_AFTER`]
+//! consecutive rounds execute nothing in parallel, the drain demotes
+//! itself: the rest of the kernel runs under the epoch-prefetch driver,
+//! which recovers the parallel generation fan-out that narrow-window or
+//! remote-heavy kernels would otherwise lose to per-round windowing.
+//!
+//! See DESIGN.md §13 for the full correctness argument.
+
+use crate::exec::KernelExec;
+use crate::shard::{ChipletShard, SectorCtx};
+use crate::system::{gen_warp, EngineConsts, EngineState, Event, GpuSystem, SlotCache, WarpCtx};
+use ladm_core::par::with_phased_pool;
+use ladm_core::topology::NodeId;
+use ladm_obs::prof;
+use std::cmp::Reverse;
+use std::time::Instant;
+
+/// Fan-out cutoff: rounds with fewer window candidates (or a shorter
+/// local prefix) than this run serially. A constant, deliberately not a
+/// function of the thread count, so round decisions — and the profiler
+/// span shape they produce — are identical at any worker count.
+pub(crate) const PAR_MIN: usize = 64;
+
+/// Demotion threshold: after this many *consecutive* rounds in which no
+/// parallel prefix executed (window under [`PAR_MIN`], or the local
+/// prefix cut short by remote/unbound sectors), the drain hands the
+/// rest of the kernel to the epoch-prefetch driver
+/// (`GpuSystem::run_epochs`), which at least parallelizes generation.
+/// Remote-heavy workloads (a GEMM whose every warp step touches a
+/// remote B tile, gather-heavy PageRank) would otherwise pay the
+/// windowing overhead round after round and forfeit the epoch driver's
+/// generation fan-out too. A constant — never derived from the thread
+/// count — so the decision point, and the merged span shape, are
+/// identical at any worker count.
+pub(crate) const DEMOTE_AFTER: u32 = 64;
+
+/// Shared-access capability for the parallel prefix: raw views of the
+/// shard array and the warp table handed to pool jobs.
+///
+/// Safety contract (upheld by `drain_conservative`):
+/// * job `j` dereferences `shards.add(j)` only — shards are disjoint;
+/// * each warp index appears at most once across the whole prefix
+///   (a warp has exactly one in-flight event), so `warps` writes are
+///   disjoint too.
+struct EngineAccess {
+    shards: *mut ChipletShard,
+    warps: *mut WarpCtx,
+}
+
+// SAFETY: see the disjointness contract on the type.
+unsafe impl Sync for EngineAccess {}
+
+impl EngineAccess {
+    /// # Safety
+    /// Caller must be job `j` — the sole accessor of shard `j`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn shard(&self, j: usize) -> &mut ChipletShard {
+        unsafe { &mut *self.shards.add(j) }
+    }
+
+    /// # Safety
+    /// Warp `w` must belong to the calling job's index list only.
+    unsafe fn warp(&self, w: usize) -> WarpCtx {
+        unsafe { *self.warps.add(w) }
+    }
+
+    /// # Safety
+    /// Warp `w` must belong to the calling job's index list only.
+    unsafe fn bump_iter(&self, w: usize) {
+        unsafe { (*self.warps.add(w)).iter += 1 }
+    }
+}
+
+impl GpuSystem {
+    /// Drains the event heap in conservative windowed rounds, fanning
+    /// the local-only event prefix of each window out per shard.
+    ///
+    /// Preconditions (checked by the caller, `GpuSystem::execute`):
+    /// no trace sink, reactive migration disabled, `threads > 1`, and
+    /// `0 < delta ≤ k.compute_cycles`.
+    pub(crate) fn drain_conservative(
+        &mut self,
+        eng: &mut EngineState,
+        kernel: &dyn KernelExec,
+        k: &EngineConsts,
+        threads: usize,
+        delta: f64,
+    ) {
+        let topo = self.cfg.topology;
+        let nodes = self.shards.len();
+        let page_bytes = self.cfg.page_bytes;
+        let sector_bytes = self.cfg.l1.sector_bytes;
+        let demoted = with_phased_pool(threads, |pool| {
+            let mut cand: Vec<Event> = Vec::new();
+            let mut barren: u32 = 0;
+            while let Some(&Reverse(head)) = eng.heap.peek() {
+                if barren >= DEMOTE_AFTER {
+                    return true;
+                }
+                let cap = head.time + delta;
+                prof::count("drain.rounds", 1);
+
+                // 1. Window snapshot: every pending event strictly below
+                // the cap, popped in canonical order.
+                let prof_snapshot = prof::span("snapshot");
+                cand.clear();
+                while let Some(&Reverse(ev)) = eng.heap.peek() {
+                    if ev.time >= cap {
+                        break;
+                    }
+                    cand.push(eng.heap.pop().expect("peeked non-empty").0);
+                }
+                prof::count("drain.window_events", cand.len() as u64);
+                drop(prof_snapshot);
+
+                if cand.len() < PAR_MIN {
+                    prof::count("drain.serial_events", cand.len() as u64);
+                    let _prof_drain = prof::span("drain");
+                    self.replay_serial(eng, kernel, k, &cand, cap);
+                    barren += 1;
+                    continue;
+                }
+
+                // 2. Generation fan-out: fill the slot caches of every
+                // candidate that needs one, grouped per shard. Pure with
+                // respect to the machine, so thread placement is free;
+                // jobs are pinned to the spawned workers so their
+                // `gen_worker` spans merge as thread-local roots
+                // regardless of claim timing.
+                let mut tasks: Vec<Vec<(u32, WarpCtx)>> = vec![Vec::new(); nodes];
+                let mut gen_tasks = 0usize;
+                for ev in &cand {
+                    let ctx = eng.warps[ev.warp as usize];
+                    if ctx.iter >= k.trips {
+                        continue;
+                    }
+                    if eng.slots[ev.warp as usize].ready_for(ctx.iter, k.iter_invariant) {
+                        continue;
+                    }
+                    tasks[(ctx.sm / k.sms_per_chiplet) as usize].push((ev.warp, ctx));
+                    gen_tasks += 1;
+                }
+                if gen_tasks > 0 {
+                    let prof_fanout = prof::span("gen_fanout");
+                    let produced = pool.map_on_workers(nodes, |i| {
+                        let _prof_worker = prof::span("gen_worker");
+                        let busy = prof::profiling().then(Instant::now);
+                        let mut access_buf = Vec::with_capacity(256);
+                        let out = tasks[i]
+                            .iter()
+                            .map(|&(slot, ctx)| {
+                                let mut sectors: Vec<(u64, bool)> = Vec::with_capacity(64);
+                                let instrs =
+                                    gen_warp(kernel, k, ctx, &mut access_buf, &mut sectors);
+                                (slot, ctx.iter, instrs, sectors)
+                            })
+                            .collect::<Vec<_>>();
+                        if let Some(t0) = busy {
+                            prof::count_named(
+                                format!("shard{i:02}.gen_ns"),
+                                t0.elapsed().as_nanos() as u64,
+                            );
+                            prof::count_named(format!("shard{i:02}.gen_tasks"), out.len() as u64);
+                        }
+                        out
+                    });
+                    drop(prof_fanout);
+                    let _prof_join = prof::span("join");
+                    for per_shard in produced {
+                        for (slot_idx, iter, instrs, sectors) in per_shard {
+                            let slot = &mut eng.slots[slot_idx as usize];
+                            slot.valid = true;
+                            slot.iter = iter;
+                            slot.instrs = instrs;
+                            slot.sectors = sectors;
+                        }
+                    }
+                }
+
+                // 3. Classification: the longest prefix of events whose
+                // every sector is statically bound to its own shard.
+                // `resolve_bound` is pure, and bound pages cannot rebind
+                // mid-kernel (migration is excluded by eligibility), so
+                // the classification cannot go stale.
+                let prof_classify = prof::span("classify");
+                let mut b = 0usize;
+                for ev in &cand {
+                    let ctx = eng.warps[ev.warp as usize];
+                    if ctx.iter >= k.trips {
+                        break; // retire dispatches new work at `now`
+                    }
+                    let slot = &eng.slots[ev.warp as usize];
+                    if !slot.ready_for(ctx.iter, k.iter_invariant) {
+                        break; // defensive: phase 2 fills every candidate
+                    }
+                    let own = NodeId(ctx.sm / k.sms_per_chiplet);
+                    let local = slot
+                        .sectors
+                        .iter()
+                        .all(|&(addr, _)| self.mem.resolve_bound(addr, &topo) == Some(own));
+                    if !local {
+                        break; // remote / unbound / first-touch sector
+                    }
+                    b += 1;
+                }
+                drop(prof_classify);
+
+                let _prof_drain = prof::span("drain");
+                if b < PAR_MIN {
+                    prof::count("drain.serial_events", cand.len() as u64);
+                    self.replay_serial(eng, kernel, k, &cand, cap);
+                    barren += 1;
+                    continue;
+                }
+                barren = 0;
+                prof::count("drain.parallel_events", b as u64);
+                prof::count("drain.serial_events", (cand.len() - b) as u64);
+                prof::count("engine.heap_pop", b as u64);
+                prof::count("engine.heap_push", b as u64);
+
+                // 4a. Parallel prefix: group by shard (canonical order
+                // within each group) and execute on the pool. Each
+                // continuation's seq is preassigned to the exact value
+                // the serial engine would have used: the serial step of
+                // prefix position `i` advances `eng.seq` to
+                // `seq0 + 1 + i` before pushing.
+                let seq0 = eng.seq;
+                let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+                for (i, ev) in cand[..b].iter().enumerate() {
+                    let node = eng.warps[ev.warp as usize].sm / k.sms_per_chiplet;
+                    per_shard[node as usize].push(i);
+                }
+                let done = {
+                    let prof_par = prof::span("drain_par");
+                    let EngineState { warps, slots, .. } = &mut *eng;
+                    let acc = EngineAccess {
+                        shards: self.shards.as_mut_ptr(),
+                        warps: warps.as_mut_ptr(),
+                    };
+                    let cand_ref: &[Event] = &cand;
+                    let slots_ref: &[SlotCache] = slots;
+                    let per: &[Vec<usize>] = &per_shard;
+                    let results = pool.map(nodes, |j| {
+                        let busy = prof::profiling().then(Instant::now);
+                        // SAFETY: job `j` is the only accessor of shard
+                        // `j` (per-shard grouping above).
+                        let shard = unsafe { acc.shard(j) };
+                        let mut out = Vec::with_capacity(per[j].len());
+                        for &idx in &per[j] {
+                            let ev = cand_ref[idx];
+                            let w = ev.warp as usize;
+                            // SAFETY: a warp has exactly one in-flight
+                            // event, so `w` appears in exactly one job's
+                            // index list — reads and the write below are
+                            // disjoint across jobs.
+                            let ctx = unsafe { acc.warp(w) };
+                            let t = exec_local(
+                                shard,
+                                &slots_ref[w],
+                                ctx,
+                                ev.time,
+                                k,
+                                page_bytes,
+                                sector_bytes,
+                            );
+                            // SAFETY: as above — sole accessor of `w`.
+                            unsafe { acc.bump_iter(w) };
+                            out.push((idx, t));
+                        }
+                        if let Some(t0) = busy {
+                            prof::count_named(
+                                format!("shard{j:02}.drain_ns"),
+                                t0.elapsed().as_nanos() as u64,
+                            );
+                            prof::count_named(
+                                format!("shard{j:02}.drain_events"),
+                                per[j].len() as u64,
+                            );
+                        }
+                        out
+                    });
+                    drop(prof_par);
+                    let mut done = vec![0.0f64; b];
+                    for per_job in results {
+                        for (idx, t) in per_job {
+                            done[idx] = t;
+                        }
+                    }
+                    done
+                };
+                for (i, &t) in done.iter().enumerate() {
+                    eng.heap.push(Reverse(Event {
+                        time: t,
+                        seq: seq0 + 1 + i as u64,
+                        warp: cand[i].warp,
+                    }));
+                }
+                eng.seq = seq0 + b as u64;
+
+                // 4b. The window's tail — boundary, retire and unbound
+                // events — replays serially in canonical order, together
+                // with anything a retire's dispatch queues inside the
+                // window.
+                self.replay_serial(eng, kernel, k, &cand[b..], cap);
+            }
+            false
+        });
+
+        // Demotion: the window structure is not paying for this kernel
+        // (remote-heavy access pattern, or windows too narrow for the
+        // fan-out cutoff). Finish the heap under the epoch-prefetch
+        // driver so generation at least runs in parallel. Both drivers
+        // replay events in exact canonical order, so the hand-off is
+        // invisible to `KernelStats`; the decision depends only on the
+        // (thread-invariant) event stream and two constants, so it is
+        // identical at every worker count.
+        if demoted {
+            prof::count("drain.demotions", 1);
+            self.run_epochs(eng, kernel, k, None, threads);
+        }
+    }
+
+    /// Re-queues `tail` (preserving each event's original canonical
+    /// `(time, seq)` key) and steps the engine serially until the heap's
+    /// head reaches `cap`. Also consumes events that serial processing
+    /// itself queues inside the window (threadblock dispatch after a
+    /// retire).
+    fn replay_serial(
+        &mut self,
+        eng: &mut EngineState,
+        kernel: &dyn KernelExec,
+        k: &EngineConsts,
+        tail: &[Event],
+        cap: f64,
+    ) {
+        for ev in tail {
+            eng.heap.push(Reverse(*ev));
+        }
+        while let Some(&Reverse(head)) = eng.heap.peek() {
+            if head.time >= cap {
+                break;
+            }
+            if !self.step(eng, kernel, k, None) {
+                break;
+            }
+        }
+    }
+}
+
+/// One warp step whose every sector is bound to `shard`'s own memory:
+/// the exact serial sequence of `GpuSystem::step` +
+/// `GpuSystem::route_sector` for the LOCAL-LOCAL path, minus the
+/// (pure, bound-page) home resolution that classification already did.
+/// Returns the warp's completion time.
+fn exec_local(
+    shard: &mut ChipletShard,
+    slot: &SlotCache,
+    ctx: WarpCtx,
+    now: f64,
+    k: &EngineConsts,
+    page_bytes: u64,
+    sector_bytes: u32,
+) -> f64 {
+    shard.stats.cycles = shard.stats.cycles.max(now);
+    let instrs = slot.instrs;
+    shard.stats.warp_instructions += instrs;
+    let sm_local = (ctx.sm % k.sms_per_chiplet) as usize;
+    let sm_state = &mut shard.sms[sm_local];
+    let issue = now.max(sm_state.next_issue);
+    sm_state.next_issue = issue + k.issue_cost * instrs as f64;
+    let mut done = issue + k.compute_cycles;
+    for &(sector, write) in slot.sectors.iter() {
+        let sctx = SectorCtx {
+            issue_t: issue,
+            requester: shard.node(),
+            page: sector / page_bytes,
+            bytes: sector_bytes,
+            write,
+        };
+        let t = if shard.l1_access(sm_local, sector, write, None, &sctx) {
+            issue + shard.l1_latency()
+        } else {
+            let t = shard.xbar_hop(issue + shard.l1_latency(), None);
+            shard.local_access(t, sector, write, None, &sctx)
+        };
+        done = done.max(t);
+    }
+    done
+}

@@ -1,0 +1,107 @@
+//! Conservative-lookahead horizon derivation for the parallel drain.
+//!
+//! A Chandy–Misra–Bryant-style conservative scheme needs a *lookahead*:
+//! a lower bound on how long any cross-shard interaction takes, so each
+//! shard can safely advance its private state some distance past the
+//! global watermark without waiting for messages from its peers. In
+//! this machine the only paths between shards are the inter-chiplet
+//! ring (within a GPU) and the inter-GPU switch, so the lookahead is
+//! the minimum hop latency among the link levels the topology actually
+//! has — a topology property, not a workload property.
+//!
+//! The drain itself ([`crate::drain`]) tightens this further to
+//! `min(lookahead, kernel compute cycles)`: remote effects in this
+//! engine apply at the canonical position of the *triggering* event,
+//! not at its simulated arrival time, so the binding bound on the
+//! parallel window is how soon a processed event can schedule its
+//! continuation (one compute block later). See DESIGN.md §13 for the
+//! full correctness argument.
+
+use crate::config::SimConfig;
+
+/// The topology's conservative lookahead: the minimum cross-shard link
+/// latency in cycles, or `None` when no cross-shard link exists (a
+/// single-chiplet, single-GPU machine — nothing to overlap) or when a
+/// degenerate zero-latency link makes the horizon empty.
+pub fn lookahead(cfg: &SimConfig) -> Option<f64> {
+    let topo = &cfg.topology;
+    let mut min: Option<u64> = None;
+    if topo.chiplets_per_gpu > 1 {
+        min = Some(cfg.ring_latency);
+    }
+    if topo.num_gpus > 1 {
+        min = Some(match min {
+            Some(m) => m.min(cfg.switch_latency),
+            None => cfg.switch_latency,
+        });
+    }
+    match min {
+        Some(0) | None => None,
+        Some(m) => Some(m as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ladm_core::topology::Topology;
+
+    fn cfg(gpus: u32, chiplets: u32, ring: u64, switch: u64) -> SimConfig {
+        SimConfig {
+            topology: Topology::new(gpus, chiplets),
+            ring_latency: ring,
+            switch_latency: switch,
+            ..SimConfig::paper_multi_gpu()
+        }
+    }
+
+    #[test]
+    fn multi_gpu_multi_chiplet_takes_the_minimum_link() {
+        // Symmetric paper machine: ring (80) < switch (250).
+        let c = SimConfig::paper_multi_gpu();
+        assert_eq!(lookahead(&c), Some(c.ring_latency as f64));
+        // Asymmetric the other way: a fast switch under a slow ring.
+        let c = cfg(4, 4, 300, 40);
+        assert_eq!(lookahead(&c), Some(40.0));
+        let c = cfg(2, 2, 7, 500);
+        assert_eq!(lookahead(&c), Some(7.0));
+    }
+
+    #[test]
+    fn single_gpu_multi_chiplet_uses_the_ring_only() {
+        // fig4-style 1 GPU x 4 chiplets: the switch latency must be
+        // ignored even when it is smaller than the ring's.
+        let c = cfg(1, 4, 80, 3);
+        assert_eq!(lookahead(&c), Some(80.0));
+    }
+
+    #[test]
+    fn multi_gpu_single_chiplet_uses_the_switch_only() {
+        // DGX-1-style 4 GPUs x 1 chiplet: no ring exists, so a tiny
+        // ring latency must not leak into the horizon.
+        let c = cfg(4, 1, 2, 250);
+        assert_eq!(lookahead(&c), Some(250.0));
+    }
+
+    #[test]
+    fn monolithic_has_no_horizon() {
+        // Xbar-only machine: every access is intra-shard; there is no
+        // cross-shard link to bound, hence no conservative window.
+        let c = cfg(1, 1, 80, 250);
+        assert_eq!(lookahead(&c), None);
+        assert_eq!(lookahead(&SimConfig::monolithic()), None);
+    }
+
+    #[test]
+    fn zero_latency_links_disable_the_horizon() {
+        // A degenerate zero-cycle link means a remote effect could land
+        // "immediately"; the conservative window collapses to nothing
+        // and the driver must fall back to the serial-order path.
+        assert_eq!(lookahead(&cfg(1, 4, 0, 250)), None);
+        assert_eq!(lookahead(&cfg(4, 4, 0, 250)), None);
+        assert_eq!(lookahead(&cfg(4, 1, 80, 0)), None);
+        // But a zero ring with a real switch on a switch-only machine
+        // still has a horizon.
+        assert_eq!(lookahead(&cfg(4, 1, 0, 9)), Some(9.0));
+    }
+}

@@ -41,10 +41,10 @@ use std::sync::Arc;
 
 /// Event-heap key with deterministic total order.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    time: f64,
-    seq: u64,
-    warp: u32,
+pub(crate) struct Event {
+    pub(crate) time: f64,
+    pub(crate) seq: u64,
+    pub(crate) warp: u32,
 }
 
 impl Eq for Event {}
@@ -64,17 +64,17 @@ impl Ord for Event {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct WarpCtx {
-    bx: u32,
-    by: u32,
-    warp: u32,
-    iter: u32,
-    sm: u32,
-    tb: u32,
+pub(crate) struct WarpCtx {
+    pub(crate) bx: u32,
+    pub(crate) by: u32,
+    pub(crate) warp: u32,
+    pub(crate) iter: u32,
+    pub(crate) sm: u32,
+    pub(crate) tb: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct TbCtx {
+pub(crate) struct TbCtx {
     live_warps: u32,
     node: u32,
 }
@@ -85,15 +85,15 @@ struct TbCtx {
 /// epoch driver's prefetch target; invalidated when the slot is
 /// recycled, with the sector allocation retained.
 #[derive(Debug, Default)]
-struct SlotCache {
-    valid: bool,
-    iter: u32,
-    instrs: u64,
-    sectors: Vec<(u64, bool)>,
+pub(crate) struct SlotCache {
+    pub(crate) valid: bool,
+    pub(crate) iter: u32,
+    pub(crate) instrs: u64,
+    pub(crate) sectors: Vec<(u64, bool)>,
 }
 
 impl SlotCache {
-    fn ready_for(&self, iter: u32, iter_invariant: bool) -> bool {
+    pub(crate) fn ready_for(&self, iter: u32, iter_invariant: bool) -> bool {
         self.valid && (iter_invariant || self.iter == iter)
     }
 }
@@ -101,32 +101,32 @@ impl SlotCache {
 /// Dynamic engine state for one `execute` call: warp/threadblock slot
 /// tables, the event heap and the per-slot generation caches.
 #[derive(Debug, Default)]
-struct EngineState {
-    warps: Vec<WarpCtx>,
-    free_warp_slots: Vec<u32>,
-    tbs: Vec<TbCtx>,
-    free_tb_slots: Vec<u32>,
-    heap: BinaryHeap<Reverse<Event>>,
-    seq: u64,
-    slots: Vec<SlotCache>,
-    access_buf: Vec<ThreadAccess>,
+pub(crate) struct EngineState {
+    pub(crate) warps: Vec<WarpCtx>,
+    pub(crate) free_warp_slots: Vec<u32>,
+    pub(crate) tbs: Vec<TbCtx>,
+    pub(crate) free_tb_slots: Vec<u32>,
+    pub(crate) heap: BinaryHeap<Reverse<Event>>,
+    pub(crate) seq: u64,
+    pub(crate) slots: Vec<SlotCache>,
+    pub(crate) access_buf: Vec<ThreadAccess>,
 }
 
 /// Hoisted per-kernel constants — the engine loop never clones
 /// `SimConfig` or chases `self.cfg` per event.
-struct EngineConsts<'a> {
-    warps_per_tb: u32,
-    sms_per_chiplet: u32,
-    trips: u32,
-    compute_cycles: f64,
-    issue_cost: f64,
-    iter_invariant: bool,
-    warp_size: u32,
-    sector_mask: u64,
+pub(crate) struct EngineConsts<'a> {
+    pub(crate) warps_per_tb: u32,
+    pub(crate) sms_per_chiplet: u32,
+    pub(crate) trips: u32,
+    pub(crate) compute_cycles: f64,
+    pub(crate) issue_cost: f64,
+    pub(crate) iter_invariant: bool,
+    pub(crate) warp_size: u32,
+    pub(crate) sector_mask: u64,
     /// Per-allocation `(base, elems, elem_bytes)` so coalescing resolves
     /// addresses from a local table instead of re-deriving the extent
     /// per thread access through `AddressSpace::addr_of`.
-    addr_tab: &'a [(u64, u64, u64)],
+    pub(crate) addr_tab: &'a [(u64, u64, u64)],
 }
 
 /// Generates one warp iteration's accesses and coalesces them into
@@ -135,7 +135,7 @@ struct EngineConsts<'a> {
 /// Pure with respect to the machine: reads only the (immutable) kernel
 /// and the per-kernel constants, which is what lets the epoch driver
 /// compute it on worker threads without perturbing determinism.
-fn gen_warp(
+pub(crate) fn gen_warp(
     kernel: &dyn KernelExec,
     k: &EngineConsts,
     ctx: WarpCtx,
@@ -194,9 +194,9 @@ fn threads_from_env() -> usize {
 /// plus the shared fabric and page-home table.
 #[derive(Debug)]
 pub struct GpuSystem {
-    cfg: SimConfig,
-    mem: AddressSpace,
-    shards: Vec<ChipletShard>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) mem: AddressSpace,
+    pub(crate) shards: Vec<ChipletShard>,
     fabric: Fabric,
     sink: Option<Arc<dyn TraceSink>>,
     threads: usize,
@@ -399,7 +399,26 @@ impl GpuSystem {
 
         if self.threads > 1 {
             let threads = self.threads;
-            self.run_epochs(&mut eng, kernel, &k, sink, threads);
+            // The conservative-lookahead drain executes local-only event
+            // prefixes on the shards concurrently. It is sound only when
+            // every cross-thread effect is excluded from the parallel
+            // window: no trace sink (events must be emitted in canonical
+            // interleaved order), no reactive migration (remote accesses
+            // mutate the shared page table), and a positive horizon
+            // (`min(compute block, minimum cross-shard link latency)`).
+            // Everything else falls back to the epoch-prefetch driver —
+            // as does the drain itself, mid-kernel, when enough
+            // consecutive rounds execute nothing in parallel (see
+            // `drain::DEMOTE_AFTER`).
+            let delta = crate::horizon::lookahead(&self.cfg)
+                .map(|l| l.min(k.compute_cycles))
+                .filter(|&d| d > 0.0);
+            match delta {
+                Some(delta) if sink.is_none() && self.cfg.migration_threshold == 0 => {
+                    self.drain_conservative(&mut eng, kernel, &k, threads, delta);
+                }
+                _ => self.run_epochs(&mut eng, kernel, &k, sink, threads),
+            }
         } else {
             let _prof_drain = prof::span("drain_serial");
             while self.step(&mut eng, kernel, &k, sink) {}
@@ -436,7 +455,7 @@ impl GpuSystem {
 
     /// Dispatches threadblocks from shard `node`'s queue onto its SMs
     /// until no SM has room for a whole block.
-    fn dispatch_node(
+    pub(crate) fn dispatch_node(
         &mut self,
         eng: &mut EngineState,
         node: u32,
@@ -517,7 +536,7 @@ impl GpuSystem {
 
     /// Pops and resolves one event in canonical global order. Returns
     /// `false` when the heap is empty.
-    fn step(
+    pub(crate) fn step(
         &mut self,
         eng: &mut EngineState,
         kernel: &dyn KernelExec,
@@ -601,7 +620,7 @@ impl GpuSystem {
     /// early simply fall back to inline generation). No shard state is
     /// touched off the caller thread, so results are bit-identical to
     /// the serial loop for any thread count.
-    fn run_epochs(
+    pub(crate) fn run_epochs(
         &mut self,
         eng: &mut EngineState,
         kernel: &dyn KernelExec,

@@ -1,16 +1,19 @@
-//! Thread-count determinism suite: the epoch-parallel engine must be a
-//! pure wall-clock optimization. The full 27-workload suite at
+//! Thread-count determinism suite: the threaded engine must be a pure
+//! wall-clock optimization. The full 27-workload suite at
 //! `Scale::Test`, run under LADM and the baseline round-robin policy,
-//! must produce bit-identical [`KernelStats`] at 1, 2 and 8 worker
+//! must produce bit-identical [`KernelStats`] at 1, 2, 4 and 8 worker
 //! threads — and that digest must equal the serial-engine golden fixture
 //! (`tests/fixtures/stats_digest.txt`), so threading cannot drift even
 //! in lockstep with itself.
 //!
-//! The determinism argument (DESIGN.md §10): worker threads only run the
-//! *pure* per-warp access-generation phase; every stateful transition —
-//! cache fills, bandwidth-bucket claims, first-touch page homing,
-//! threadblock dispatch — is resolved by the coordinator in exact global
-//! `(time, seq)` event order, identical to the serial engine's order.
+//! Two threaded drivers are covered. The epoch-prefetch driver
+//! (DESIGN.md §10) parallelizes only the *pure* per-warp
+//! access-generation phase; every stateful transition is resolved by
+//! the coordinator in exact global `(time, seq)` event order. The
+//! conservative-lookahead drain (DESIGN.md §13) additionally executes
+//! each round's local-only event prefix on the shards concurrently;
+//! its windows are bounded so the parallel prefix is exactly the
+//! serial prefix, with seqs preassigned to the serial values.
 
 use ladm::core::policies::{BaselineRr, Lasp, Policy};
 use ladm::sim::{GpuSystem, KernelStats, SimConfig};
@@ -45,7 +48,7 @@ fn digest_lines(threads: usize) -> Vec<String> {
 #[test]
 fn full_suite_is_bit_identical_across_thread_counts() {
     let serial = digest_lines(1);
-    for threads in [2, 8] {
+    for threads in [2, 4, 8] {
         let threaded = digest_lines(threads);
         assert_eq!(
             serial.len(),
