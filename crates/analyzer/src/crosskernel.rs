@@ -33,7 +33,10 @@
 use crate::diag::{Diagnostic, LintCode, Report, Severity};
 use ladm_core::analysis::classify;
 use ladm_core::launch::LaunchInfo;
-use ladm_core::policies::Policy;
+use ladm_core::plan::KernelPlan;
+use ladm_core::policies::{Lasp, Policy};
+use ladm_core::sequence::LaunchSequence;
+use ladm_core::session::{PlacementSession, PlanProvenance, SessionPlan};
 use ladm_core::topology::Topology;
 use ladm_sim::homes::{static_home, StaticHome};
 use ladm_sim::KernelExec;
@@ -70,6 +73,21 @@ pub fn check_pair(
 ) {
     let plan_p = policy.plan(lp, topo);
     let plan_c = policy.plan(lc, topo);
+    check_pair_plans(lp, &plan_p, lc, &plan_c, topo, report);
+}
+
+/// The page-walk core of [`check_pair`], over *given* plans — the entry
+/// point the session-aware pass uses to grade what a
+/// [`PlacementSession`] actually decided rather than what per-launch
+/// planning would have decided.
+pub fn check_pair_plans(
+    lp: &LaunchInfo,
+    plan_p: &KernelPlan,
+    lc: &LaunchInfo,
+    plan_c: &KernelPlan,
+    topo: &Topology,
+    report: &mut Report,
+) {
     for (jc, arg_c) in lc.kernel.args.iter().enumerate() {
         let Some(jp) = lp.kernel.args.iter().position(|a| a.name == arg_c.name) else {
             continue;
@@ -158,6 +176,126 @@ pub fn check_pair(
             },
             notes,
         });
+    }
+}
+
+/// The session-aware cross-kernel pass: plans the whole sequence through
+/// a [`PlacementSession`] (placement memory on, so every repeated
+/// allocation is adopted) and grades consecutive pairs against the
+/// *session* plans instead of independent per-launch plans.
+///
+/// A hazard the stateless pass would warn about (L009) that disappears
+/// under adoption — both launches now use the committed layout — is
+/// reported as a **note** saying so ("resolved by session adoption"),
+/// keeping the finding visible without failing `--deny warnings`.
+/// Residual disagreements that survive adoption keep their stateless
+/// severity. Finally the session's own provenance is audited for
+/// replanned hot shared arguments ([`check_session_replans`], L011).
+pub fn check_session(
+    kernels: &[Box<dyn KernelExec>],
+    lasp: &Lasp,
+    topo: &Topology,
+    report: &mut Report,
+) {
+    if kernels.len() < 2 {
+        return;
+    }
+    let launches: Vec<LaunchInfo> = kernels.iter().map(|k| k.launch().clone()).collect();
+    let seq = LaunchSequence::new(launches.clone());
+    let mut session = PlacementSession::new(*topo, *lasp);
+    let plans = session.plan_sequence(&seq);
+
+    for (i, pair) in launches.windows(2).enumerate() {
+        let (lp, lc) = (&pair[0], &pair[1]);
+        let mut stateless = Report::new(report.workload);
+        check_pair(lp, lc, lasp, topo, &mut stateless);
+        let mut adopted = Report::new(report.workload);
+        check_pair_plans(
+            lp,
+            &plans[i].plan,
+            lc,
+            &plans[i + 1].plan,
+            topo,
+            &mut adopted,
+        );
+
+        for d in &stateless.diagnostics {
+            let still_warned = adopted
+                .diagnostics
+                .iter()
+                .any(|a| a.severity == Severity::Warning && a.kernel == d.kernel && a.arg == d.arg);
+            if d.severity == Severity::Warning && !still_warned {
+                let arg = d.arg.unwrap_or("?");
+                report.diagnostics.push(Diagnostic {
+                    code: LintCode::CrossKernelConflict,
+                    severity: Severity::Note,
+                    workload: report.workload,
+                    kernel: d.kernel,
+                    arg: d.arg,
+                    site: None,
+                    message: format!(
+                        "pinning hazard on `{arg}` resolved by session adoption: \
+                         producer and consumer both use the committed layout"
+                    ),
+                    notes: vec![format!(
+                        "per-launch planning would have warned: {}",
+                        d.message
+                    )],
+                });
+            }
+        }
+        report.diagnostics.extend(adopted.diagnostics);
+    }
+
+    check_session_replans(&seq, &plans, report);
+}
+
+/// L011: flags a session that **replans a hot shared argument** — the
+/// provenance says an earlier launch committed a layout for the
+/// allocation and this launch moved it anyway (placement memory off or
+/// overridden) while the consumer has row/column locality. Moving a
+/// shared structure mid-sequence is exactly the migration storm the
+/// session exists to avoid, so it is graded a warning. A session with
+/// pinning on never triggers this: valid commitments are always adopted.
+pub fn check_session_replans(seq: &LaunchSequence, plans: &[SessionPlan], report: &mut Report) {
+    for (li, sp) in plans.iter().enumerate() {
+        let launch = &seq.launches()[li];
+        for (ai, prov) in sp.provenance.iter().enumerate() {
+            let PlanProvenance::Replanned {
+                was_pinned_by,
+                reuse_lost,
+            } = prov
+            else {
+                continue;
+            };
+            let arg = &launch.kernel.args[ai];
+            let shared = arg
+                .accesses
+                .iter()
+                .any(|index| classify(index, launch.kernel.grid_shape, 0).is_shared());
+            if !shared {
+                continue;
+            }
+            report.diagnostics.push(Diagnostic {
+                code: LintCode::SessionReplan,
+                severity: Severity::Warning,
+                workload: report.workload,
+                kernel: launch.kernel.name,
+                arg: Some(arg.name),
+                site: None,
+                message: format!(
+                    "session replans hot shared arg `{}`: layout committed by \
+                     `{was_pinned_by}` is discarded instead of adopted",
+                    arg.name
+                ),
+                notes: vec![
+                    format!("the committed layout had been reused {reuse_lost} time(s)"),
+                    "re-placing a shared structure mid-sequence moves its pages; \
+                     enable session pinning so later launches adopt the layout"
+                        .into(),
+                ],
+            });
+        }
     }
 }
 
@@ -266,5 +404,69 @@ mod tests {
         let mut report = Report::new("seq");
         check_pair(&p, &row_major_consumer(), &Lasp::ladm(), &topo, &mut report);
         assert!(report.diagnostics.is_empty());
+    }
+
+    fn boxed(launch: LaunchInfo) -> Box<dyn KernelExec> {
+        Box::new(ladm_workloads::AffineKernel::new(launch, 1, 1))
+    }
+
+    /// The pair that warns under per-launch planning resolves under the
+    /// session: lookahead commits the consumer's banding, the producer
+    /// adopts it, and the warning becomes a "resolved" note.
+    #[test]
+    fn session_adoption_downgrades_the_conflict_to_a_note() {
+        let topo = Topology::paper_multi_gpu();
+        let kernels = vec![boxed(producer()), boxed(row_major_consumer())];
+        let mut report = Report::new("seq");
+        check_session(&kernels, &Lasp::ladm(), &topo, &mut report);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::CrossKernelConflict
+                    && d.severity == Severity::Note
+                    && d.message.contains("resolved by session adoption")),
+            "expected a resolution note, got:\n{}",
+            report.render_text()
+        );
+        assert!(
+            report.worst() <= Some(Severity::Note),
+            "session-planned pair must be warning-free:\n{}",
+            report.render_text()
+        );
+    }
+
+    /// A session with pinning disabled replans the shared consumer arg:
+    /// L011 fires on the discarded commitment.
+    #[test]
+    fn replanning_session_draws_l011_on_the_shared_arg() {
+        let topo = Topology::paper_multi_gpu();
+        let seq = LaunchSequence::new(vec![producer(), row_major_consumer()]);
+        let mut session = PlacementSession::new(topo, Lasp::ladm()).without_pinning();
+        let plans = session.plan_sequence(&seq);
+        let mut report = Report::new("seq");
+        check_session_replans(&seq, &plans, &mut report);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::SessionReplan
+                    && d.severity == Severity::Warning
+                    && d.arg == Some("a")),
+            "expected L011 on `a`, got:\n{}",
+            report.render_text()
+        );
+    }
+
+    /// The default (pinning) session never replans, so L011 stays quiet.
+    #[test]
+    fn pinning_session_is_l011_clean() {
+        let topo = Topology::paper_multi_gpu();
+        let seq = LaunchSequence::new(vec![producer(), row_major_consumer()]);
+        let mut session = PlacementSession::new(topo, Lasp::ladm());
+        let plans = session.plan_sequence(&seq);
+        let mut report = Report::new("seq");
+        check_session_replans(&seq, &plans, &mut report);
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
     }
 }

@@ -58,11 +58,16 @@ pub enum LintCode {
     /// access site symbolically (runtime data, symbolic trip count,
     /// arithmetic overflow) and fell back to a coarse worst-case count.
     UnanalyzableSite,
+    /// `L011 session-replan`: a placement session replans a hot shared
+    /// argument — a layout an earlier launch committed is discarded
+    /// instead of adopted, moving the shared structure's pages
+    /// mid-sequence.
+    SessionReplan,
 }
 
 impl LintCode {
     /// Every lint code, in catalog order.
-    pub const ALL: [LintCode; 10] = [
+    pub const ALL: [LintCode; 11] = [
         LintCode::UnclassifiedAccess,
         LintCode::SchedulerConflict,
         LintCode::FootprintMismatch,
@@ -73,6 +78,7 @@ impl LintCode {
         LintCode::BoundMismatch,
         LintCode::CrossKernelConflict,
         LintCode::UnanalyzableSite,
+        LintCode::SessionReplan,
     ];
 
     /// The `Lnnn` code string.
@@ -88,6 +94,7 @@ impl LintCode {
             LintCode::BoundMismatch => "L008",
             LintCode::CrossKernelConflict => "L009",
             LintCode::UnanalyzableSite => "L010",
+            LintCode::SessionReplan => "L011",
         }
     }
 
@@ -104,6 +111,7 @@ impl LintCode {
             LintCode::BoundMismatch => "bound-mismatch",
             LintCode::CrossKernelConflict => "cross-kernel-conflict",
             LintCode::UnanalyzableSite => "unanalyzable-site",
+            LintCode::SessionReplan => "session-replan",
         }
     }
 }
@@ -140,7 +148,7 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     /// `workload/kernel[/arg[@site]]` source location — the one format
-    /// every lint code (L001–L010) renders, so findings from different
+    /// every lint code (L001–L011) renders, so findings from different
     /// passes sort and grep uniformly.
     pub fn location(&self) -> String {
         let mut loc = format!("{}/{}", self.workload, self.kernel);
@@ -322,7 +330,10 @@ mod tests {
         let codes: Vec<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
         assert_eq!(
             codes,
-            vec!["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010"]
+            vec![
+                "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
+                "L011"
+            ]
         );
         assert_eq!(LintCode::BoundMismatch.name(), "bound-mismatch");
         assert_eq!(
@@ -330,6 +341,8 @@ mod tests {
             "cross-kernel-conflict"
         );
         assert_eq!(LintCode::UnanalyzableSite.name(), "unanalyzable-site");
+        assert_eq!(LintCode::SessionReplan.code(), "L011");
+        assert_eq!(LintCode::SessionReplan.name(), "session-replan");
     }
 
     #[test]

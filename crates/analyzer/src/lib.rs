@@ -50,7 +50,9 @@ pub mod linter;
 pub mod scheduler;
 pub mod traffic;
 
-pub use crosskernel::check_sequence;
+pub use crosskernel::{check_sequence, check_session, check_session_replans};
 pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use linter::{classification_report, lint_suite, lint_workload};
-pub use traffic::{predict, traffic_suite, KernelTraffic, TrafficKnobs, TrafficTable};
+pub use traffic::{
+    predict, traffic_suite, traffic_workloads, KernelTraffic, TrafficKnobs, TrafficTable,
+};

@@ -15,8 +15,11 @@
 //!    concrete `(block, thread, iteration)` points and convicts locality
 //!    claims the numbers contradict.
 //! 5. **Cross-kernel placement pass** ([`crate::crosskernel`]) — for
-//!    multi-kernel workloads, walks consecutive launch pairs and flags
-//!    producer/consumer placement conflicts (`L009`).
+//!    multi-kernel workloads, plans the whole sequence through a
+//!    [`ladm_core::session::PlacementSession`] and flags
+//!    producer/consumer placement conflicts (`L009`, downgraded to a
+//!    "resolved" note when session adoption removes the hazard) and
+//!    replanned hot shared arguments (`L011`).
 
 use crate::diag::Report;
 use crate::{bounds, classification, crosskernel, footprint, scheduler};
@@ -38,7 +41,7 @@ pub fn lint_workload(w: &Workload) -> Report {
         bounds::check(w, launch, trips, &mut report);
         footprint::validate(w.name, launch, table.entries(), &mut report);
     }
-    crosskernel::check_sequence(
+    crosskernel::check_session(
         &w.kernels,
         &Lasp::ladm(),
         &Topology::paper_multi_gpu(),

@@ -420,13 +420,25 @@ impl TrafficTable {
 /// Runs the whole Table IV suite under LADM at `scale`: predicts every
 /// kernel symbolically, simulates it, and compares per argument.
 pub fn traffic_suite(scale: Scale) -> TrafficTable {
+    traffic_workloads(&suite(scale))
+}
+
+/// Runs the predicted-vs-simulated comparison over an explicit workload
+/// selection (the `ladm-lint --traffic WORKLOAD...` path). Multi-kernel
+/// workloads additionally get the session-aware cross-kernel pass
+/// ([`crate::crosskernel::check_session`]) appended to their report, so
+/// a decode sequence shows its L009 hazards — resolved or residual —
+/// next to its traffic rows.
+pub fn traffic_workloads(workloads: &[Workload]) -> TrafficTable {
     let cfg = SimConfig::paper_multi_gpu();
     let policy = Lasp::ladm();
     let knobs = TrafficKnobs::from_config(&cfg);
     let mut rows = Vec::new();
     let mut reports = Vec::new();
-    for w in suite(scale) {
-        reports.push(traffic_check_workload(&w, &cfg, &policy, &knobs, &mut rows));
+    for w in workloads {
+        let mut report = traffic_check_workload(w, &cfg, &policy, &knobs, &mut rows);
+        crate::crosskernel::check_session(&w.kernels, &policy, &cfg.topology, &mut report);
+        reports.push(report);
     }
     TrafficTable { rows, reports }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--bench] [--threads N] [--sim-threads N] <experiment>
-//!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 lint dgx1 summary all
+//!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 lint dgx1 decode summary all
 //! repro --trace <workload>...
 //! repro --profile <workload>...
 //! ```
@@ -32,14 +32,18 @@
 //! a driver lane showing where the *simulator* spent its wall time.
 
 use ladm_bench::experiments::{
-    default_threads, dgx1, fig11, fig4, fig9_10, fmt_fig11, fmt_lint, fmt_table1, fmt_table4, lint,
-    table1, table4, Fig10,
+    decode, default_threads, dgx1, fig11, fig4, fig9_10, fmt_decode, fmt_fig11, fmt_lint,
+    fmt_table1, fmt_table4, lint, table1, table4, Fig10,
 };
 use ladm_core::analysis::{classify, GridShape};
 use ladm_core::expr::{Expr, Poly, Var};
 use ladm_sim::SimConfig;
 use ladm_workloads::Scale;
 use std::time::Instant;
+
+/// Decode iterations for the `decode` session experiment — enough that
+/// the steady state (steps 2+) dominates the first placing step.
+const DECODE_STEPS: usize = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,7 +99,7 @@ fn main() {
     let list: Vec<&str> = if what.iter().any(|w| w == "all") {
         vec![
             "tab2", "tab3", "lint", "tab1", "tab4", "fig4", "fig9", "fig10", "fig11", "dgx1",
-            "summary",
+            "decode", "summary",
         ]
     } else {
         what.iter().map(|s| s.as_str()).collect()
@@ -125,6 +129,7 @@ fn main() {
             "tab4" => println!("{}", fmt_table4(&table4(scale, threads))),
             "lint" => println!("{}", fmt_lint(&lint(scale, threads))),
             "dgx1" => println!("{}", dgx1(scale, threads)),
+            "decode" => println!("{}", fmt_decode(&decode(scale, DECODE_STEPS, threads))),
             "summary" => {
                 let f = fig9_cache.get_or_insert_with(|| fig9_10(scale, threads));
                 println!("{}", f.summary());
@@ -140,7 +145,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--bench] [--threads N] [--sim-threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|summary|all>\n\
+        "usage: repro [--bench] [--threads N] [--sim-threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|decode|summary|all>\n\
          \u{20}      repro [--bench] --trace <workload>...\n\
          \u{20}      repro [--bench] --profile <workload>...\n\
          \n\

@@ -813,6 +813,200 @@ pub fn fmt_lint(rows: &[LintRow]) -> String {
     s
 }
 
+// ---------------------------------------------------------------------
+// Attention decode: session placement memory
+// ---------------------------------------------------------------------
+
+/// One decode step's traffic under one planning mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecodeStep {
+    /// Off-node sectors attributed to the KV cache (`kv_k` + `kv_v`)
+    /// across the step's four kernels.
+    pub kv_offnode: u64,
+    /// Off-node sectors across all arguments of the step.
+    pub total_offnode: u64,
+    /// Pages whose home moved *between* launches of the step — the
+    /// re-placement a replanning launch pays that an adopting one
+    /// does not.
+    pub replaced_pages: u64,
+    /// `replaced_pages` × page size.
+    pub replaced_bytes: u64,
+}
+
+/// The session-memory experiment: attention decode with placement
+/// pinning on vs off ([`ladm_sim::SessionSim`]).
+#[derive(Debug, Clone)]
+pub struct DecodeExp {
+    /// Decode steps per mode.
+    pub steps: usize,
+    /// Off-node sector size in bytes (converts demand sectors to bytes
+    /// for the net comparison against page movement).
+    pub sector_bytes: u64,
+    /// Per-step traffic under the pinned session (commitments adopted).
+    pub pinned: Vec<DecodeStep>,
+    /// Per-step traffic under the replanning baseline (pinning off:
+    /// every launch recommits its own optimal maps).
+    pub replanned: Vec<DecodeStep>,
+}
+
+/// Runs `steps` decode iterations of the `AttnDecode` sequence through
+/// one [`ladm_sim::SessionSim`] and attributes traffic per step.
+fn run_decode_mode(scale: Scale, steps: usize, pinning: bool) -> Vec<DecodeStep> {
+    let w = ladm_workloads::attn_decode(scale);
+    let mut sim = ladm_sim::SessionSim::new(SimConfig::paper_multi_gpu(), Lasp::ladm(), pinning);
+    (0..steps)
+        .map(|_| {
+            let runs = sim.run_step(&w.kernels);
+            // Session attribution is per pool allocation, not per
+            // kernel argument: resolve the KV buffers' pool slots.
+            let kv_slots: Vec<usize> = ["kv_k", "kv_v"]
+                .iter()
+                .filter_map(|n| sim.alloc_index(n))
+                .collect();
+            let mut step = DecodeStep::default();
+            for run in &runs {
+                for &slot in &kv_slots {
+                    step.kv_offnode += run.stats.offnode_by_arg.get(slot).copied().unwrap_or(0);
+                }
+                step.total_offnode += run.stats.sectors_offnode;
+                step.replaced_pages += run.replaced_pages;
+                step.replaced_bytes += run.replaced_bytes;
+            }
+            step
+        })
+        .collect()
+}
+
+/// The headline session experiment: runs the attention decode sequence
+/// for `steps` iterations under a pinned session and under the
+/// replan-every-launch baseline, on identical machines.
+pub fn decode(scale: Scale, steps: usize, threads: usize) -> DecodeExp {
+    let mut modes = parallel_map_labeled(
+        2,
+        threads,
+        |i| {
+            format!(
+                "AttnDecode ({})",
+                if i == 0 { "pinned" } else { "replanned" }
+            )
+        },
+        |i| run_decode_mode(scale, steps, i == 0),
+    );
+    let replanned = modes.pop().expect("two modes ran");
+    let pinned = modes.pop().expect("two modes ran");
+    DecodeExp {
+        steps,
+        sector_bytes: u64::from(SimConfig::paper_multi_gpu().l2.sector_bytes),
+        pinned,
+        replanned,
+    }
+}
+
+impl DecodeExp {
+    /// Total bytes of inter-launch page movement saved by pinning over
+    /// the whole run (replanned − pinned).
+    pub fn moved_bytes_saved(&self) -> u64 {
+        let total = |steps: &[DecodeStep]| steps.iter().map(|s| s.replaced_bytes).sum::<u64>();
+        total(&self.replanned).saturating_sub(total(&self.pinned))
+    }
+
+    /// Total cross-chiplet bytes of one mode: off-node demand sectors
+    /// converted to bytes, plus inter-launch page movement (each moved
+    /// page counted once — conservative, a real migration crosses the
+    /// interconnect at least once).
+    pub fn cross_chiplet_bytes(&self, steps: &[DecodeStep]) -> u64 {
+        steps
+            .iter()
+            .map(|s| s.total_offnode * self.sector_bytes + s.replaced_bytes)
+            .sum()
+    }
+}
+
+/// Formats the per-step pinned-vs-replanned comparison.
+pub fn fmt_decode(e: &DecodeExp) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "Attention decode: per-step KV-cache traffic, session pinning on vs off"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<6} {:>12} {:>12} {:>11}   {:>12} {:>12} {:>11}",
+        "", "pinned", "pinned", "pinned", "replanned", "replanned", "replanned"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<6} {:>12} {:>12} {:>11}   {:>12} {:>12} {:>11}",
+        "step",
+        "KV off-node",
+        "all off-node",
+        "moved KiB",
+        "KV off-node",
+        "all off-node",
+        "moved KiB"
+    )
+    .unwrap();
+    for (i, (p, r)) in e.pinned.iter().zip(&e.replanned).enumerate() {
+        writeln!(
+            s,
+            "{:<6} {:>12} {:>12} {:>11}   {:>12} {:>12} {:>11}",
+            i + 1,
+            p.kv_offnode,
+            p.total_offnode,
+            p.replaced_bytes / 1024,
+            r.kv_offnode,
+            r.total_offnode,
+            r.replaced_bytes / 1024,
+        )
+        .unwrap();
+    }
+    let sum = |steps: &[DecodeStep]| {
+        steps.iter().fold(DecodeStep::default(), |mut a, s| {
+            a.kv_offnode += s.kv_offnode;
+            a.total_offnode += s.total_offnode;
+            a.replaced_pages += s.replaced_pages;
+            a.replaced_bytes += s.replaced_bytes;
+            a
+        })
+    };
+    let (p, r) = (sum(&e.pinned), sum(&e.replanned));
+    writeln!(
+        s,
+        "{:<6} {:>12} {:>12} {:>11}   {:>12} {:>12} {:>11}",
+        "TOTAL",
+        p.kv_offnode,
+        p.total_offnode,
+        p.replaced_bytes / 1024,
+        r.kv_offnode,
+        r.total_offnode,
+        r.replaced_bytes / 1024,
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "pinning saves {} KiB of inter-launch page movement over {} steps",
+        e.moved_bytes_saved() / 1024,
+        e.steps
+    )
+    .unwrap();
+    let (pb, rb) = (
+        e.cross_chiplet_bytes(&e.pinned),
+        e.cross_chiplet_bytes(&e.replanned),
+    );
+    writeln!(
+        s,
+        "net cross-chiplet bytes (demand + movement): pinned {} KiB, replanned {} KiB ({:+.1}%)",
+        pb / 1024,
+        rb / 1024,
+        (pb as f64 / rb as f64 - 1.0) * 100.0,
+    )
+    .unwrap();
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -889,6 +1083,27 @@ mod tests {
             d.speedup_vs_kernel_wide()
         );
         assert!(!d.to_string().is_empty());
+    }
+
+    #[test]
+    fn decode_pinning_beats_replanning_on_page_movement() {
+        let e = decode(Scale::Test, 3, default_threads());
+        assert_eq!(e.pinned.len(), 3);
+        assert_eq!(e.replanned.len(), 3);
+        // Steady state: an adopting session never moves a page after the
+        // first step, while the replanning baseline keeps flip-flopping
+        // the shared buffers between each kernel's preferred map.
+        for step in &e.pinned[1..] {
+            assert_eq!(step.replaced_pages, 0, "adopted layouts must not move");
+        }
+        assert!(
+            e.replanned.iter().skip(1).any(|s| s.replaced_pages > 0),
+            "the replanning baseline should pay inter-launch page movement"
+        );
+        assert!(e.moved_bytes_saved() > 0);
+        let text = fmt_decode(&e);
+        assert!(text.contains("TOTAL"), "{text}");
+        assert!(text.contains("pinning saves"), "{text}");
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub mod plan;
 pub mod policies;
 pub mod rng;
 pub mod runtime;
+pub mod sequence;
+pub mod session;
 pub mod table;
 pub mod topology;
 
@@ -68,5 +70,7 @@ pub use policies::{
     ArgDecision, BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Manual, Policy,
 };
 pub use runtime::{LadmRuntime, LaunchError};
+pub use sequence::{LaunchSequence, SeqAlloc};
+pub use session::{PlacementSession, PlanProvenance, SessionPlan};
 pub use table::{LocalityTable, MallocPc};
 pub use topology::{GpuId, NodeId, Topology};

@@ -146,6 +146,67 @@ impl Lasp {
             .collect();
         KernelPlan { args, schedule }
     }
+
+    /// The cross-kernel-aware planning variant used by
+    /// [`crate::session::PlacementSession`]: arguments with an adopted
+    /// (already committed) placement keep it verbatim, only the
+    /// remaining arguments are placed fresh, and the scheduler
+    /// tie-break prefers an adopted structure over an equally-sized
+    /// fresh one (moving threadblocks is free; moving committed pages
+    /// is not). With no adoptions this is exactly [`Policy::plan`].
+    pub fn plan_adopting(
+        &self,
+        launch: &LaunchInfo,
+        topo: &Topology,
+        adopted: &[Option<&ArgPlan>],
+    ) -> KernelPlan {
+        self.plan_adopting_explained(launch, topo, adopted).0
+    }
+
+    /// [`Lasp::plan_adopting`] plus the [`ArgDecision`] chain, the
+    /// session counterpart of [`Policy::plan_explained`]. With no
+    /// adoptions both outputs are bit-identical to the stateless ones.
+    pub fn plan_adopting_explained(
+        &self,
+        launch: &LaunchInfo,
+        topo: &Topology,
+        adopted: &[Option<&ArgPlan>],
+    ) -> (KernelPlan, Vec<ArgDecision>) {
+        assert_eq!(
+            adopted.len(),
+            launch.kernel.args.len(),
+            "one adoption slot per kernel argument"
+        );
+        let env = launch.env();
+        let views = classify_args(launch);
+        let flags: Vec<bool> = adopted.iter().map(Option::is_some).collect();
+        let winner = winner_index_pref(&views, &flags);
+        let decisions = views
+            .iter()
+            .enumerate()
+            .map(|(i, view)| ArgDecision {
+                arg: i,
+                name: launch.kernel.args[i].name,
+                class: view.class.to_string(),
+                preference: preference_of(&view.class),
+                bytes: view.bytes,
+                winner: winner == Some(i),
+            })
+            .collect();
+        let schedule = select_schedule_pref(launch, topo, &views, &env, &flags);
+        let args = views
+            .iter()
+            .zip(adopted)
+            .map(|(view, adopt)| match adopt {
+                Some(plan) => (*plan).clone(),
+                None => ArgPlan {
+                    pages: place_arg(launch, topo, view, &schedule, &env),
+                    remote_insert: self.remote_insert_for(&view.class),
+                },
+            })
+            .collect();
+        (KernelPlan { args, schedule }, decisions)
+    }
 }
 
 /// The scheduler each locality class votes for in the tie-break.
@@ -169,11 +230,18 @@ fn preference_of(class: &AccessClass) -> &'static str {
 /// dominant structure when it has no locality (the Spread fallback has
 /// no winner).
 fn winner_index(views: &[ArgView<'_>]) -> Option<usize> {
-    let shared = first_max_index(
+    winner_index_pref(views, &[])
+}
+
+/// [`winner_index`] with the adopted-argument tie-break preference of
+/// [`select_schedule_pref`].
+fn winner_index_pref(views: &[ArgView<'_>], adopted: &[bool]) -> Option<usize> {
+    let shared = first_max_by_bytes_pref(
         views
             .iter()
             .enumerate()
             .filter(|(_, v)| v.class.is_shared()),
+        adopted,
     );
     if shared.is_some() {
         return shared;
@@ -267,12 +335,36 @@ fn select_schedule(
     views: &[ArgView<'_>],
     env: &Env,
 ) -> TbMap {
+    select_schedule_pref(launch, topo, views, env, &[])
+}
+
+/// [`select_schedule`] with an adopted-argument preference: among
+/// equally-sized largest shared structures, one whose placement is
+/// already committed in a session wins the tie-break (the schedule can
+/// chase the committed pages for free, while the first-listed rule
+/// might band around a structure whose pages must then move). An empty
+/// or all-`false` `adopted` reproduces the stateless rule exactly.
+fn select_schedule_pref(
+    launch: &LaunchInfo,
+    topo: &Topology,
+    views: &[ArgView<'_>],
+    env: &Env,
+    adopted: &[bool],
+) -> TbMap {
     let n = topo.num_nodes();
     let (gdx, gdy) = launch.grid;
 
     // Input-size-aware tie break: the largest shared structure wins
-    // (first-listed on equal sizes, so square GEMM favours row-binding).
-    let shared_winner = first_max_by_bytes(views.iter().filter(|v| v.class.is_shared()));
+    // (first-listed on equal sizes, so square GEMM favours row-binding;
+    // an adopted structure of the same size beats a fresh one).
+    let shared_winner = first_max_by_bytes_pref(
+        views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.class.is_shared()),
+        adopted,
+    )
+    .map(|i| &views[i]);
     if let Some(winner) = shared_winner {
         if let AccessClass::Shared { sharing, .. } = &winner.class {
             match sharing {
@@ -333,6 +425,28 @@ fn nl_chunk_bytes(launch: &LaunchInfo, view: &ArgView<'_>, env: &Env) -> u64 {
     let db = datablock_bytes(view, env);
     let per_tb = view.bytes / launch.total_tbs().max(1);
     db.max(per_tb).max(1)
+}
+
+/// Index of the tie-break winner among `iter`: largest byte count, and
+/// among equal largest, the earliest *adopted* argument if any (else
+/// the earliest, matching [`first_max_by_bytes`]). `adopted` may be
+/// shorter than the argument list; missing slots count as not adopted.
+fn first_max_by_bytes_pref<'a, 'b: 'a, I>(iter: I, adopted: &[bool]) -> Option<usize>
+where
+    I: Iterator<Item = (usize, &'a ArgView<'b>)>,
+{
+    let mut best: Option<(usize, u64, bool)> = None;
+    for (i, view) in iter {
+        let adopt = adopted.get(i).copied().unwrap_or(false);
+        let wins = match best {
+            None => true,
+            Some((_, b, badopt)) => view.bytes > b || (view.bytes == b && adopt && !badopt),
+        };
+        if wins {
+            best = Some((i, view.bytes, adopt));
+        }
+    }
+    best.map(|(i, _, _)| i)
 }
 
 /// First element with the (strictly) largest byte count — unlike

@@ -12,6 +12,7 @@
 use crate::launch::{KernelStatic, LaunchInfo};
 use crate::plan::KernelPlan;
 use crate::policies::{CacheMode, Lasp, Policy};
+use crate::session::PlacementSession;
 use crate::table::{LocalityTable, MallocPc};
 use crate::topology::Topology;
 use ladm_obs::{Event, TraceSink};
@@ -227,9 +228,24 @@ impl LadmRuntime {
             launch = launch.with_param(name, value);
         }
         let _prof_plan = ladm_obs::prof::span("plan");
+        // The one-shot path is a trivial single-launch session: every
+        // argument registers without a commitment, so the decision
+        // table degenerates to "plan fresh" and the output is
+        // bit-identical to the stateless planner. Callers that want
+        // placement memory carried across launches build a long-lived
+        // session via [`LadmRuntime::session`] instead.
+        let mut session = self.session();
+        let binding: Vec<usize> = launch
+            .kernel
+            .args
+            .iter()
+            .enumerate()
+            .map(|(i, arg)| session.alloc(arg.name, launch.arg_bytes(i).max(1), arg.elem_bytes))
+            .collect();
         let plan = match self.sink.as_deref().filter(|s| s.enabled()) {
             Some(sink) => {
-                let (plan, decisions) = self.lasp.plan_explained(&launch, &self.topo);
+                let (sp, decisions) = session.plan_launch_explained(&launch, &binding);
+                let plan = sp.plan;
                 sink.record(Event::KernelBegin {
                     kernel: kernel_name.to_string(),
                     policy: self.lasp.name().to_string(),
@@ -251,9 +267,15 @@ impl LadmRuntime {
                 }
                 plan
             }
-            None => self.lasp.plan(&launch, &self.topo),
+            None => session.plan_launch(&launch, &binding).plan,
         };
         Ok((launch, plan))
+    }
+
+    /// A fresh [`PlacementSession`] sharing this runtime's topology and
+    /// policy — the entry point for cross-kernel placement memory.
+    pub fn session(&self) -> PlacementSession {
+        PlacementSession::new(self.topo, self.lasp)
     }
 
     /// The completed locality table (for inspection / display).

@@ -1,0 +1,197 @@
+//! Multi-launch kernel sequences sharing allocations by argument name.
+//!
+//! The cross-kernel analyzer pass, the fuzz corpus fixtures and the
+//! placement session all reason about the same object: an ordered list
+//! of launches where arguments with the same name alias the same
+//! device allocation (the `cudaMallocManaged` interposition hands the
+//! same pointer to every kernel that takes it). [`LaunchSequence`] is
+//! the shared description, so the three consumers stop redeclaring the
+//! producer/consumer pair shape ad hoc.
+
+use crate::launch::LaunchInfo;
+
+/// One distinct allocation referenced by a [`LaunchSequence`], derived
+/// by aliasing arguments across launches by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqAlloc {
+    /// The argument name every aliased use shares.
+    pub name: &'static str,
+    /// Allocation size in bytes: the maximum over all aliased uses (a
+    /// launch that views fewer elements still reads from the same
+    /// buffer).
+    pub bytes: u64,
+    /// Element size in bytes of the first use (diagnosed if uses
+    /// disagree — see [`LaunchSequence::new`]).
+    pub elem_bytes: u32,
+    /// Whether any launch in the sequence writes the allocation.
+    pub written: bool,
+    /// `(launch index, argument index)` of every use, in launch order.
+    pub uses: Vec<(usize, usize)>,
+}
+
+/// An ordered sequence of kernel launches aliasing arguments by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSequence {
+    launches: Vec<LaunchInfo>,
+    allocs: Vec<SeqAlloc>,
+    /// Per launch, per argument: index into `allocs`.
+    bindings: Vec<Vec<usize>>,
+}
+
+impl LaunchSequence {
+    /// Builds the sequence and the name-aliased allocation table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two aliased uses of a name disagree on element size —
+    /// that would mean two kernels reinterpret the same buffer, which
+    /// no modeled workload does and the session's address arithmetic
+    /// cannot represent.
+    pub fn new(launches: Vec<LaunchInfo>) -> Self {
+        let mut allocs: Vec<SeqAlloc> = Vec::new();
+        let mut bindings = Vec::with_capacity(launches.len());
+        for (li, launch) in launches.iter().enumerate() {
+            let mut binding = Vec::with_capacity(launch.kernel.args.len());
+            for (ai, arg) in launch.kernel.args.iter().enumerate() {
+                let slot = match allocs.iter().position(|a| a.name == arg.name) {
+                    Some(slot) => {
+                        let a = &mut allocs[slot];
+                        assert_eq!(
+                            a.elem_bytes, arg.elem_bytes,
+                            "aliased uses of `{}` disagree on element size",
+                            arg.name
+                        );
+                        a.bytes = a.bytes.max(launch.arg_bytes(ai));
+                        a.written |= arg.is_written;
+                        a.uses.push((li, ai));
+                        slot
+                    }
+                    None => {
+                        allocs.push(SeqAlloc {
+                            name: arg.name,
+                            bytes: launch.arg_bytes(ai).max(1),
+                            elem_bytes: arg.elem_bytes,
+                            written: arg.is_written,
+                            uses: vec![(li, ai)],
+                        });
+                        allocs.len() - 1
+                    }
+                };
+                binding.push(slot);
+            }
+            bindings.push(binding);
+        }
+        LaunchSequence {
+            launches,
+            allocs,
+            bindings,
+        }
+    }
+
+    /// The canonical producer/consumer pair (the shape `crosskernel.rs`
+    /// and the corpus fixtures check).
+    pub fn pair(producer: LaunchInfo, consumer: LaunchInfo) -> Self {
+        LaunchSequence::new(vec![producer, consumer])
+    }
+
+    /// The launches in execution order.
+    pub fn launches(&self) -> &[LaunchInfo] {
+        &self.launches
+    }
+
+    /// The distinct name-aliased allocations, in first-use order.
+    pub fn allocs(&self) -> &[SeqAlloc] {
+        &self.allocs
+    }
+
+    /// For launch `li`: the allocation index each argument binds to.
+    pub fn binding(&self, li: usize) -> &[usize] {
+        &self.bindings[li]
+    }
+
+    /// Consecutive `(producer, consumer)` launch pairs, the windows the
+    /// cross-kernel pass walks.
+    pub fn pairs(&self) -> impl Iterator<Item = (&LaunchInfo, &LaunchInfo)> {
+        self.launches.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// Whether allocation `slot` is used by more than one launch (the
+    /// only allocations cross-kernel placement memory can help).
+    pub fn is_shared(&self, slot: usize) -> bool {
+        let mut launches = self.allocs[slot].uses.iter().map(|&(li, _)| li);
+        let first = launches.next();
+        launches.any(|li| Some(li) != first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GridShape;
+    use crate::expr::{Expr, Var};
+    use crate::launch::{ArgStatic, KernelStatic};
+
+    fn tid() -> Expr {
+        Expr::var(Var::Bx) * Expr::var(Var::Bdx) + Expr::var(Var::Tx)
+    }
+
+    fn writer() -> LaunchInfo {
+        let k = KernelStatic {
+            name: "writer",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::write("a", 4, tid().to_poly())],
+        };
+        LaunchInfo::new(k, (64, 1), (128, 1), vec![64 * 128])
+    }
+
+    fn reader() -> LaunchInfo {
+        let k = KernelStatic {
+            name: "reader",
+            grid_shape: GridShape::OneD,
+            args: vec![
+                ArgStatic::read("a", 4, tid().to_poly()),
+                ArgStatic::write("b", 4, tid().to_poly()),
+            ],
+        };
+        LaunchInfo::new(k, (64, 1), (128, 1), vec![64 * 128, 64 * 128])
+    }
+
+    #[test]
+    fn aliases_by_name_across_launches() {
+        let seq = LaunchSequence::pair(writer(), reader());
+        assert_eq!(seq.allocs().len(), 2);
+        assert_eq!(seq.allocs()[0].name, "a");
+        assert_eq!(seq.allocs()[0].uses, vec![(0, 0), (1, 0)]);
+        assert!(seq.allocs()[0].written);
+        assert_eq!(seq.binding(0), &[0]);
+        assert_eq!(seq.binding(1), &[0, 1]);
+        assert!(seq.is_shared(0));
+        assert!(!seq.is_shared(1));
+    }
+
+    #[test]
+    fn allocation_size_is_the_max_over_uses() {
+        let mut small = writer();
+        small.arg_lens[0] = 16;
+        let seq = LaunchSequence::pair(small, reader());
+        assert_eq!(seq.allocs()[0].bytes, 64 * 128 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "element size")]
+    fn elem_size_mismatch_panics() {
+        let mut r = reader();
+        r.kernel.args[0].elem_bytes = 8;
+        let _ = LaunchSequence::pair(writer(), r);
+    }
+
+    #[test]
+    fn pairs_walk_consecutive_windows() {
+        let seq = LaunchSequence::new(vec![writer(), reader(), writer()]);
+        let names: Vec<_> = seq
+            .pairs()
+            .map(|(p, c)| (p.kernel.name, c.kernel.name))
+            .collect();
+        assert_eq!(names, vec![("writer", "reader"), ("reader", "writer")]);
+    }
+}

@@ -7,12 +7,17 @@
 //! exact equality of every field including event-order-sensitive
 //! floating-point sums.
 
-use crate::gen::TrialSpec;
+use crate::gen::{SessionSpec, TrialSpec};
 use ladm_analyzer::{predict, TrafficKnobs};
 use ladm_core::analysis::classify;
 use ladm_core::plan::PageMap;
 use ladm_core::policies::{BaselineRr, BatchFt, Lasp, Policy};
-use ladm_sim::{GpuSystem, KernelExec, KernelStats, OracleSystem, SimConfig};
+use ladm_core::sequence::LaunchSequence;
+use ladm_core::session::PlacementSession;
+use ladm_sim::{
+    replay_independent, GpuSystem, KernelExec, KernelStats, OracleSystem, SessionRunStats,
+    SimConfig,
+};
 use ladm_workloads::AffineKernel;
 use std::any::Any;
 use std::fmt;
@@ -88,6 +93,18 @@ pub enum Failure {
         /// The analyzer's symbolic upper bound.
         bound: u64,
     },
+    /// A fully-adopting placement session attributed off-node traffic
+    /// differently than an independent replay of the same plans —
+    /// adopted (stateless) placements must make the carried page state
+    /// indistinguishable from a fresh application of the maps.
+    SessionDivergence {
+        /// Index of the diverging launch within the session.
+        launch: usize,
+        /// Session-run attribution rendering.
+        session: String,
+        /// Independent-replay attribution rendering.
+        replay: String,
+    },
 }
 
 impl Failure {
@@ -103,6 +120,7 @@ impl Failure {
             Failure::InterleaveImbalance { .. } => "interleave-imbalance",
             Failure::LaspRegression { .. } => "lasp-regression",
             Failure::BoundViolation { .. } => "traffic-bound",
+            Failure::SessionDivergence { .. } => "session-divergence",
         }
     }
 }
@@ -154,6 +172,14 @@ impl fmt::Display for Failure {
                     "symbolic kernel-total traffic bound violated: measured {measured} off-node sectors, bound {bound}"
                 ),
             },
+            Failure::SessionDivergence {
+                launch,
+                session,
+                replay,
+            } => write!(
+                f,
+                "session/replay attribution divergence at launch {launch}:\n  session: {session}\n  replay:  {replay}"
+            ),
         }
     }
 }
@@ -241,6 +267,117 @@ fn run_trial_inner(spec: &TrialSpec) -> Result<KernelStats, Failure> {
     check_traffic_bound(spec, &kernel, &cfg, &*policy, &base)?;
     check_lasp_vs_first_touch(spec, &kernel, &cfg)?;
     Ok(base)
+}
+
+/// Runs one multi-launch session trial end to end: the session plans the
+/// sequence once (pinning on, so every shared argument is pre-committed
+/// and every launch adopts), executes on a machine whose page homes
+/// carry across launches, and checks:
+///
+/// 1. a fresh session machine replays bit-identically,
+/// 2. the sharded driver is invariant to its worker-thread count, and
+/// 3. **adoption transparency** — when no committed map is stateful
+///    (no first-touch placements, migration off), the session's per-arg
+///    off-node attribution is bit-identical to independently replaying
+///    the same plans on fresh machines. Carried page state under
+///    adopted stateless maps must be indistinguishable from applying
+///    the maps anew.
+///
+/// Panics anywhere in the trial become [`Failure::Panic`].
+pub fn run_session_trial(spec: &SessionSpec) -> Result<(), Failure> {
+    match catch_unwind(AssertUnwindSafe(|| run_session_inner(spec))) {
+        Ok(result) => result,
+        Err(payload) => Err(Failure::Panic {
+            message: panic_message(&payload),
+        }),
+    }
+}
+
+fn render_session_runs(runs: &[SessionRunStats]) -> String {
+    let parts: Vec<String> = runs.iter().map(|r| format!("{r:?}")).collect();
+    parts.join("\n  ")
+}
+
+fn run_session_inner(spec: &SessionSpec) -> Result<(), Failure> {
+    let kernels = spec.build_kernels();
+    let cfg = spec.config.build();
+    cfg.validate();
+    let seq = LaunchSequence::new(kernels.iter().map(|k| k.launch().clone()).collect());
+    let mut session = PlacementSession::new(cfg.topology, Lasp::ladm());
+    let plans = session.plan_sequence(&seq);
+    let pool: Vec<(u64, u32)> = session
+        .allocations()
+        .iter()
+        .map(|&(_, b, e)| (b, e))
+        .collect();
+
+    let run = |threads: usize| -> Vec<SessionRunStats> {
+        let mut sys = GpuSystem::new(cfg.clone());
+        sys.set_threads(threads);
+        sys.begin_session(&pool);
+        kernels
+            .iter()
+            .zip(&plans)
+            .map(|(k, p)| sys.run_session(k, p))
+            .collect()
+    };
+    let base = run(1);
+    let base_dbg = render_session_runs(&base);
+
+    let again = render_session_runs(&run(1));
+    if again != base_dbg {
+        return Err(Failure::NonDeterministic {
+            first: base_dbg,
+            second: again,
+        });
+    }
+
+    for threads in [2usize, 8] {
+        let got = render_session_runs(&run(threads));
+        if got != base_dbg {
+            return Err(Failure::ThreadVariance {
+                threads,
+                expected: base_dbg,
+                got,
+            });
+        }
+    }
+
+    // Adoption transparency is only claimed for stateless maps: an
+    // adopted first-touch placement carries pins an independent replay
+    // cannot reproduce, and reactive migration moves pages mid-launch.
+    if cfg.migration_threshold != 0 {
+        return Ok(());
+    }
+    if plans.iter().any(|p| {
+        p.plan
+            .args
+            .iter()
+            .any(|a| matches!(a.pages, PageMap::FirstTouch))
+    }) {
+        return Ok(());
+    }
+    let refs: Vec<&dyn KernelExec> = kernels.iter().map(|k| k as &dyn KernelExec).collect();
+    let replayed = replay_independent(&cfg, 1, &pool, &refs, &plans);
+    for (i, (s, r)) in base.iter().zip(&replayed).enumerate() {
+        if s.stats.offnode_by_arg != r.stats.offnode_by_arg
+            || s.stats.sectors_offnode != r.stats.sectors_offnode
+            || s.stats.sectors_offgpu != r.stats.sectors_offgpu
+        {
+            return Err(Failure::SessionDivergence {
+                launch: i,
+                session: format!(
+                    "offnode {} (by arg {:?}), offgpu {}",
+                    s.stats.sectors_offnode, s.stats.offnode_by_arg, s.stats.sectors_offgpu
+                ),
+                replay: format!(
+                    "offnode {} (by arg {:?}), offgpu {}",
+                    r.stats.sectors_offnode, r.stats.offnode_by_arg, r.stats.sectors_offgpu
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Metamorphic soundness property for the symbolic traffic analyzer:

@@ -437,10 +437,215 @@ impl TrialSpec {
     }
 }
 
+/// Most launches a session trial may chain (bounded by the static
+/// kernel-name table).
+pub const MAX_LAUNCHES: usize = 4;
+
+const SESSION_KERNEL_NAMES: [&str; MAX_LAUNCHES] = ["fz0", "fz1", "fz2", "fz3"];
+
+/// One launch of a session trial: geometry plus access sites over the
+/// launch's *view* of the shared pool ([`SiteSpec::arg`] indexes into
+/// [`LaunchSpec::arg_idx`], not the pool directly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSpec {
+    /// `gridDim = (x, y)`.
+    pub grid: (u32, u32),
+    /// `blockDim = (x, y)`.
+    pub block: (u32, u32),
+    /// Outer-loop iterations.
+    pub trips: u32,
+    /// Compute intensity multiplier.
+    pub intensity: u32,
+    /// 2-D grid contract.
+    pub two_d: bool,
+    /// Pool indices of the launch's arguments, in call order (distinct,
+    /// in range of the pool).
+    pub arg_idx: Vec<u32>,
+    /// Access sites over local argument positions.
+    pub sites: Vec<SiteSpec>,
+}
+
+/// A multi-launch placement-session trial: 2–4 launches drawn over one
+/// shared allocation pool on one machine. Pool entries keep one name,
+/// size and element width across every launch that references them, so
+/// the [`ladm_core::session::PlacementSession`] aliases them by name
+/// exactly as the attention decode sequence does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// The shared argument pool.
+    pub args: Vec<ArgSpec>,
+    /// Launches in session order.
+    pub launches: Vec<LaunchSpec>,
+    /// Machine description.
+    pub config: ConfigSpec,
+}
+
+impl SessionSpec {
+    /// Expands the spec into one runnable kernel per launch, each with
+    /// the launch page size synchronized to the machine's. Arguments
+    /// referencing the same pool slot get the same name (and length)
+    /// in every kernel, which is what makes the session share them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range pool references, duplicate references
+    /// within one launch, or more than [`MAX_LAUNCHES`] launches
+    /// (corpus files are validated at parse time).
+    pub fn build_kernels(&self) -> Vec<AffineKernel> {
+        assert!(
+            (2..=MAX_LAUNCHES).contains(&self.launches.len()),
+            "between 2 and {MAX_LAUNCHES} launches"
+        );
+        assert!(
+            self.args.len() <= MAX_ARGS && !self.args.is_empty(),
+            "between 1 and {MAX_ARGS} pool arguments"
+        );
+        self.launches
+            .iter()
+            .enumerate()
+            .map(|(j, l)| {
+                assert!(!l.arg_idx.is_empty(), "launch {j} references no arguments");
+                let mut seen = [false; MAX_ARGS];
+                for &pi in &l.arg_idx {
+                    let pi = pi as usize;
+                    assert!(pi < self.args.len(), "launch {j} references pool slot {pi}");
+                    assert!(!seen[pi], "launch {j} references pool slot {pi} twice");
+                    seen[pi] = true;
+                }
+                assert!(
+                    l.sites.iter().all(|s| (s.arg as usize) < l.arg_idx.len()),
+                    "launch {j} site references an argument out of range"
+                );
+                let args: Vec<ArgStatic> = l
+                    .arg_idx
+                    .iter()
+                    .enumerate()
+                    .map(|(local, &pi)| {
+                        let a = &self.args[pi as usize];
+                        ArgStatic {
+                            name: ARG_NAMES[pi as usize],
+                            elem_bytes: a.elem_bytes,
+                            accesses: l
+                                .sites
+                                .iter()
+                                .filter(|s| s.arg as usize == local)
+                                .map(SiteSpec::index_poly)
+                                .collect(),
+                            is_written: a.written,
+                        }
+                    })
+                    .collect();
+                let kernel = KernelStatic {
+                    name: SESSION_KERNEL_NAMES[j],
+                    grid_shape: if l.two_d {
+                        GridShape::TwoD
+                    } else {
+                        GridShape::OneD
+                    },
+                    args,
+                };
+                let lens: Vec<u64> = l
+                    .arg_idx
+                    .iter()
+                    .map(|&pi| self.args[pi as usize].len)
+                    .collect();
+                let launch = LaunchInfo::new(kernel, l.grid, l.block, lens)
+                    .with_page_bytes(self.config.page_bytes);
+                let mut exec = AffineKernel::new(launch, l.trips, l.intensity);
+                let mut site = 0usize;
+                for local in 0..l.arg_idx.len() {
+                    for s in l.sites.iter().filter(|s| s.arg as usize == local) {
+                        if s.lane_group > 1 {
+                            exec = exec.with_lane_group(site, s.lane_group);
+                        }
+                        if s.epilogue {
+                            exec = exec.with_epilogue(site);
+                        }
+                        if s.data_per_iter && s.c_data != 0 {
+                            exec = exec.with_data_per_iter(site);
+                        }
+                        site += 1;
+                    }
+                }
+                exec
+            })
+            .collect()
+    }
+}
+
 /// The spec for trial number `trial` of master seed `seed`.
 pub fn trial_spec(seed: u64, trial: u64) -> TrialSpec {
     let mut rng = SplitMix64::new(seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     sample(&mut rng)
+}
+
+/// The session spec for trial number `trial` of master seed `seed`
+/// (a distinct stream from [`trial_spec`]).
+pub fn session_spec(seed: u64, trial: u64) -> SessionSpec {
+    let mut rng = SplitMix64::new(!seed ^ trial.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    sample_session(&mut rng)
+}
+
+/// Samples a complete session trial from `rng`.
+pub fn sample_session(rng: &mut SplitMix64) -> SessionSpec {
+    let num_args = rng.range_u32(2, 4) as usize;
+    let args: Vec<ArgSpec> = (0..num_args)
+        .map(|_| ArgSpec {
+            elem_bytes: if rng.chance(1, 4) { 8 } else { 4 },
+            len: rng.range_i64(64, 20_000) as u64,
+            written: rng.chance(1, 3),
+        })
+        .collect();
+    let num_launches = rng.range_u32(2, MAX_LAUNCHES as u32) as usize;
+    let launches = (0..num_launches)
+        .map(|_| sample_launch(rng, num_args))
+        .collect();
+    SessionSpec {
+        args,
+        launches,
+        config: sample_config(rng),
+    }
+}
+
+fn sample_launch(rng: &mut SplitMix64, num_args: usize) -> LaunchSpec {
+    let two_d = rng.chance(1, 2);
+    let bdx = [8u32, 16, 32, 64, 128, 256][rng.below(6) as usize];
+    let bdy = if two_d && bdx <= 64 {
+        rng.range_u32(1, 4)
+    } else {
+        1
+    };
+    let grid = (
+        rng.range_u32(1, 48),
+        if two_d { rng.range_u32(1, 6) } else { 1 },
+    );
+    let trips = if rng.chance(1, 2) {
+        1
+    } else {
+        rng.range_u32(2, 4)
+    };
+    // Every launch references pool slot 0, so the session always has a
+    // buffer shared by all launches (the KV-cache shape); the remaining
+    // slots join each launch independently.
+    let mut arg_idx = vec![0u32];
+    for pi in 1..num_args {
+        if rng.chance(2, 3) {
+            arg_idx.push(pi as u32);
+        }
+    }
+    let num_sites = rng.range_u32(1, 5) as usize;
+    let sites = (0..num_sites)
+        .map(|_| sample_site(rng, arg_idx.len() as u64, two_d, trips))
+        .collect();
+    LaunchSpec {
+        grid,
+        block: (bdx, bdy),
+        trips,
+        intensity: rng.range_u32(1, 4),
+        two_d,
+        arg_idx,
+        sites,
+    }
 }
 
 /// Samples a complete trial from `rng`.
@@ -665,6 +870,33 @@ mod tests {
             let plan = policy.plan(kernel.launch(), &cfg.topology);
             assert_eq!(plan.args.len(), spec.args.len(), "trial {trial}");
         }
+    }
+
+    #[test]
+    fn session_specs_build_and_share_the_pool() {
+        for trial in 0..30 {
+            let spec = session_spec(5, trial);
+            let kernels = spec.build_kernels();
+            assert!((2..=MAX_LAUNCHES).contains(&kernels.len()), "trial {trial}");
+            spec.config.build().validate();
+            // Pool slot 0 appears in every launch under one name.
+            for k in &kernels {
+                assert!(
+                    k.launch()
+                        .kernel
+                        .args
+                        .iter()
+                        .any(|a| a.name == ARG_NAMES[0]),
+                    "trial {trial}: a launch dropped the shared slot"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_specs_are_reproducible() {
+        assert_eq!(session_spec(3, 11), session_spec(3, 11));
+        assert_ne!(session_spec(3, 11), session_spec(3, 12));
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! balanced, and LASP never sends more off-node traffic than the
 //! first-touch baseline on cleanly row/column-classified kernels.
 //!
+//! Session trials ([`gen::SessionSpec`]) chain 2–4 launches over one
+//! shared allocation pool through a
+//! [`ladm_core::session::PlacementSession`] and check adoption
+//! transparency: a fully-adopting session's per-arg off-node
+//! attribution is bit-identical to independently replaying the same
+//! plans (gated to stateless maps — no first-touch, no migration).
+//!
 //! A failing trial is greedily shrunk ([`shrink`]) and serialized as a
 //! replayable JSON spec ([`corpus`]); the checked-in corpus under
 //! `tests/fixtures/fuzz_corpus/` is replayed by `cargo test`.
@@ -27,5 +34,5 @@ pub mod diff;
 pub mod gen;
 pub mod shrink;
 
-pub use diff::{run_trial, Failure};
-pub use gen::{trial_spec, TrialSpec};
+pub use diff::{run_session_trial, run_trial, Failure};
+pub use gen::{session_spec, trial_spec, SessionSpec, TrialSpec};

@@ -3,8 +3,12 @@
 //! a hand-picked generator output covering a feature combination
 //! (policy family, topology shape, migration, faults, 2-D tiling);
 //! each must run clean against the current engine and oracle.
+//! Entries are dispatched on their schema tag: `ladm-fuzz-v1` runs the
+//! single-launch differential harness, `ladm-fuzz-session-v1` the
+//! multi-launch session adoption-transparency harness.
 
-use ladm_fuzz::{corpus, run_trial};
+use ladm_fuzz::corpus::{self, AnySpec};
+use ladm_fuzz::{run_session_trial, run_trial};
 
 fn corpus_dir() -> &'static str {
     concat!(
@@ -27,11 +31,23 @@ fn corpus_replays_clean() {
         "expected at least 8 corpus entries, found {}",
         paths.len()
     );
+    let mut sessions = 0usize;
     for path in paths {
         let text = std::fs::read_to_string(&path).expect("corpus entry readable");
-        let spec = corpus::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        if let Err(failure) = run_trial(&spec) {
+        let spec = corpus::parse_any(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let result = match &spec {
+            AnySpec::Trial(t) => run_trial(t).map(|_| ()),
+            AnySpec::Session(s) => {
+                sessions += 1;
+                run_session_trial(s)
+            }
+        };
+        if let Err(failure) = result {
             panic!("{}: {failure}", path.display());
         }
     }
+    assert!(
+        sessions >= 2,
+        "expected at least 2 session corpus entries, found {sessions}"
+    );
 }

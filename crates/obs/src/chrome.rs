@@ -261,6 +261,57 @@ pub fn chrome_trace_with_profile(events: &[Event], profile: Option<&Profile>) ->
                 // far, on an epoch boundary for tidy counter lanes.
                 base = (watermark / EPOCH_CYCLES + 1.0).floor() * EPOCH_CYCLES;
             }
+            Event::PlanAdopted {
+                kernel,
+                arg,
+                name,
+                pinned_by,
+                reuse,
+            } => {
+                let ts = abs(0.0, &mut watermark, base);
+                let json = format!(
+                    "{{\"name\":\"plan_adopted\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":0,\"s\":\"p\",\"args\":{{\"kernel\":\"{}\",\"arg\":{},\"arg_name\":\"{}\",\"pinned_by\":\"{}\",\"reuse\":{}}}}}",
+                    number(ts),
+                    escape(kernel),
+                    arg,
+                    escape(name),
+                    escape(pinned_by),
+                    reuse
+                );
+                push(&mut raws, ts, json);
+            }
+            Event::PlanReplanned {
+                kernel,
+                arg,
+                name,
+                page_map,
+            } => {
+                let ts = abs(0.0, &mut watermark, base);
+                let json = format!(
+                    "{{\"name\":\"plan_replanned\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":0,\"s\":\"p\",\"args\":{{\"kernel\":\"{}\",\"arg\":{},\"arg_name\":\"{}\",\"page_map\":\"{}\"}}}}",
+                    number(ts),
+                    escape(kernel),
+                    arg,
+                    escape(name),
+                    escape(page_map)
+                );
+                push(&mut raws, ts, json);
+            }
+            Event::PlanInvalidated {
+                alloc,
+                name,
+                reason,
+            } => {
+                let ts = abs(0.0, &mut watermark, base);
+                let json = format!(
+                    "{{\"name\":\"plan_invalidated\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":0,\"s\":\"p\",\"args\":{{\"alloc\":{},\"arg_name\":\"{}\",\"reason\":\"{}\"}}}}",
+                    number(ts),
+                    alloc,
+                    escape(name),
+                    escape(reason)
+                );
+                push(&mut raws, ts, json);
+            }
         }
     }
 

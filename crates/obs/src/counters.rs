@@ -353,6 +353,9 @@ pub fn registry_from_events(events: &[Event]) -> CounterRegistry {
                 reg.add("ladm_epoch_gen_tasks_total", u64::from(*gen_tasks));
             }
             Event::KernelEnd { .. } => {}
+            Event::PlanAdopted { .. } => reg.inc("ladm_plan_adopted_total"),
+            Event::PlanReplanned { .. } => reg.inc("ladm_plan_replanned_total"),
+            Event::PlanInvalidated { .. } => reg.inc("ladm_plan_invalidated_total"),
         }
     }
     reg

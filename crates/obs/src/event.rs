@@ -240,6 +240,43 @@ pub enum Event {
         /// Final simulator cycle of the kernel.
         time: f64,
     },
+    /// A session launch adopted an argument's committed page-home
+    /// layout instead of replanning it (cross-kernel placement memory).
+    PlanAdopted {
+        /// Kernel name of the adopting launch.
+        kernel: String,
+        /// Argument index in the adopting launch.
+        arg: usize,
+        /// Argument / allocation name.
+        name: String,
+        /// Kernel name of the launch that committed the placement.
+        pinned_by: String,
+        /// How many launches (including this one) have adopted it.
+        reuse: u32,
+    },
+    /// A session launch replanned an argument that already had a
+    /// committed placement (pinning disabled, or deliberate override);
+    /// the previous layout is superseded.
+    PlanReplanned {
+        /// Kernel name of the replanning launch.
+        kernel: String,
+        /// Argument index in the replanning launch.
+        arg: usize,
+        /// Argument / allocation name.
+        name: String,
+        /// Display form of the newly committed `PageMap`.
+        page_map: String,
+    },
+    /// A session allocation's committed placement was invalidated
+    /// (e.g. the allocation was resized); the next launch plans fresh.
+    PlanInvalidated {
+        /// Session allocation index.
+        alloc: usize,
+        /// Allocation name.
+        name: String,
+        /// Why the commitment was dropped.
+        reason: String,
+    },
 }
 
 impl Event {
@@ -255,6 +292,9 @@ impl Event {
             Event::FirstTouch { .. } => "first_touch",
             Event::EpochBarrier { .. } => "epoch_barrier",
             Event::KernelEnd { .. } => "kernel_end",
+            Event::PlanAdopted { .. } => "plan_adopted",
+            Event::PlanReplanned { .. } => "plan_replanned",
+            Event::PlanInvalidated { .. } => "plan_invalidated",
         }
     }
 }

@@ -42,6 +42,7 @@ pub mod homes;
 pub mod horizon;
 pub mod mem;
 pub mod oracle;
+pub mod session;
 pub mod shard;
 pub mod stats;
 pub mod system;
@@ -50,6 +51,7 @@ pub use config::{CacheConfig, SimConfig};
 pub use exec::{thread_xy, warp_thread_range, KernelExec, ThreadAccess};
 pub use homes::{plan_tb_node, range_is_local, static_home, StaticHome};
 pub use oracle::OracleSystem;
+pub use session::{replay_independent, SessionSim};
 pub use shard::{ChipletShard, RemoteReply, RemoteRequest};
 pub use stats::{ClassStats, KernelStats};
-pub use system::GpuSystem;
+pub use system::{GpuSystem, SessionRunStats};

@@ -11,7 +11,7 @@
 //! and reactive migrations are written back into the same table, so the
 //! per-sector hot path never touches a hash map or a binary search.
 
-use ladm_core::plan::{KernelPlan, PageHomeKind, PageMap, RemoteInsert};
+use ladm_core::plan::{ArgPlan, KernelPlan, PageHomeKind, PageMap, RemoteInsert};
 use ladm_core::topology::{NodeId, Topology};
 
 /// [`PageHome::home`] sentinel: placement deferred to the first toucher.
@@ -198,6 +198,51 @@ impl AddressSpace {
         self.rebuild_table(topo);
         self.migration_streaks.clear();
         self.migrations = 0;
+    }
+
+    /// Applies one argument's plan to a single allocation, leaving every
+    /// other allocation's state — first-touch pins, migrated homes,
+    /// in-flight streaks — untouched. This is the session-mode
+    /// counterpart of [`AddressSpace::apply_plan`]: a launch that
+    /// *adopts* an allocation's committed layout never calls it, so the
+    /// pages stay exactly where the previous kernels left them.
+    ///
+    /// Returns the number of already-placed pages whose home changed
+    /// (the re-placement cost a replan pays on real hardware; pages
+    /// that were still first-touch-unbound move for free).
+    pub fn apply_arg_plan(&mut self, idx: usize, arg: &ArgPlan, topo: &Topology) -> u64 {
+        debug_assert!(topo.num_nodes() < HOME_SUB_PAGE);
+        let alloc = &mut self.allocs[idx];
+        alloc.page_map = arg.pages.clone();
+        alloc.remote_insert = arg.remote_insert;
+        let first = (alloc.base >> self.page_shift) as usize;
+        let pages = alloc.pages(self.page_bytes) as usize;
+        let map = alloc.page_map.clone();
+        let remote_insert = alloc.remote_insert;
+        let mut moved = 0u64;
+        for (p, entry) in self.page_homes[first..first + pages].iter_mut().enumerate() {
+            let home = match map.page_home(p as u64, topo) {
+                PageHomeKind::Node(n) => n.0,
+                PageHomeKind::FirstTouch => HOME_FIRST_TOUCH,
+                PageHomeKind::SubPage => HOME_SUB_PAGE,
+            };
+            if entry.home < HOME_SUB_PAGE && entry.home != home {
+                moved += 1;
+            }
+            *entry = PageHome {
+                home,
+                arg: idx as u32,
+                remote_insert,
+            };
+        }
+        // Only this allocation's migration streaks reset; other
+        // allocations keep their in-flight state.
+        if !self.migration_streaks.is_empty() {
+            for s in self.migration_streaks.iter_mut().skip(first).take(pages) {
+                *s = NO_STREAK;
+            }
+        }
+        moved
     }
 
     /// Recomputes every table entry from the allocations' current maps.

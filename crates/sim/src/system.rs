@@ -33,6 +33,7 @@ use crate::stats::KernelStats;
 use ladm_core::par::parallel_map_labeled;
 use ladm_core::plan::KernelPlan;
 use ladm_core::policies::Policy;
+use ladm_core::session::SessionPlan;
 use ladm_core::topology::NodeId;
 use ladm_obs::{prof, Event as TraceEvent, SectorRoute, TraceSink};
 use std::cmp::Reverse;
@@ -190,6 +191,24 @@ fn threads_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// One session launch's results: the kernel statistics plus the
+/// re-placement cost the launch paid *before* running — pages whose
+/// committed home changed because the launch replanned (or planned
+/// fresh over) an already-placed allocation. Kept outside
+/// [`KernelStats`] so the per-kernel statistics stay bit-compatible
+/// with the stateless path; re-placement is a session-level effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRunStats {
+    /// The kernel's execution statistics (off-node attribution is per
+    /// *session allocation*, in pool order, not per kernel argument).
+    pub stats: KernelStats,
+    /// Already-placed pages whose home the launch's plan moved.
+    pub replaced_pages: u64,
+    /// `replaced_pages` × page size: the migration traffic a real
+    /// machine would pay to honour the replan.
+    pub replaced_bytes: u64,
+}
+
 /// The simulated hierarchical multi-GPU machine: one shard per chiplet
 /// plus the shared fabric and page-home table.
 #[derive(Debug)]
@@ -326,6 +345,82 @@ impl GpuSystem {
         stats
     }
 
+    /// Seeds the address space with a session's allocation pool — one
+    /// `(bytes, elem_bytes)` allocation per session slot, in slot order
+    /// (the shape [`ladm_core::session::PlacementSession::allocations`]
+    /// reports) — replacing whatever a previous kernel left. Unlike
+    /// [`GpuSystem::run`], subsequent [`GpuSystem::run_session`] calls
+    /// do *not* re-seed memory: page homes carry across launches, which
+    /// is the whole point of a session.
+    pub fn begin_session(&mut self, allocs: &[(u64, u32)]) {
+        self.mem = AddressSpace::new(self.cfg.page_bytes);
+        for &(bytes, elem_bytes) in allocs {
+            self.mem.alloc(bytes.max(1), elem_bytes);
+        }
+    }
+
+    /// Executes one session launch: applies the plan's page maps to the
+    /// fresh/replanned arguments only (adopted arguments keep the page
+    /// homes — including first-touch pins and migrations — that earlier
+    /// launches established), flushes caches at the kernel boundary,
+    /// and runs the kernel with its arguments bound to the session
+    /// allocations named by `splan.binding`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`GpuSystem::begin_session`] has not seeded enough
+    /// allocations, or the plan/binding shapes disagree with the
+    /// kernel's argument list.
+    pub fn run_session(&mut self, kernel: &dyn KernelExec, splan: &SessionPlan) -> SessionRunStats {
+        let _prof_kernel = prof::span("kernel");
+        let launch = kernel.launch();
+        let nargs = launch.kernel.args.len();
+        assert_eq!(splan.binding.len(), nargs, "one binding per argument");
+        assert_eq!(splan.plan.args.len(), nargs, "one arg plan per argument");
+        assert!(
+            splan
+                .binding
+                .iter()
+                .all(|&b| b < self.mem.allocations().len()),
+            "binding names an allocation the session never seeded"
+        );
+
+        let topo = self.cfg.topology;
+        let mut replaced_pages = 0u64;
+        {
+            let _prof_setup = prof::span("setup_mem");
+            for (i, prov) in splan.provenance.iter().enumerate() {
+                if prov.needs_apply() {
+                    replaced_pages +=
+                        self.mem
+                            .apply_arg_plan(splan.binding[i], &splan.plan.args[i], &topo);
+                }
+            }
+            self.flush();
+        }
+
+        // Per-launch migration accounting: the session's table is never
+        // rebuilt wholesale, so the space-wide counter is monotonic and
+        // this launch's share is a delta.
+        let migrations_before = self.mem.migrations();
+        let addr_tab: Vec<(u64, u64, u64)> = splan
+            .binding
+            .iter()
+            .map(|&b| {
+                let a = &self.mem.allocations()[b];
+                (a.base, a.elems, u64::from(a.elem_bytes))
+            })
+            .collect();
+        let attr_args = self.mem.allocations().len();
+        let mut stats = self.execute_bound(kernel, &splan.plan, &addr_tab, attr_args);
+        stats.page_migrations -= migrations_before;
+        SessionRunStats {
+            replaced_bytes: replaced_pages * self.cfg.page_bytes,
+            replaced_pages,
+            stats,
+        }
+    }
+
     /// Flushes all caches, fabric queues and DRAM queues (kernel
     /// boundary).
     pub fn flush(&mut self) {
@@ -340,6 +435,28 @@ impl GpuSystem {
     /// drives the event heap — serially, or via the epoch driver when
     /// more than one worker thread is configured.
     fn execute(&mut self, kernel: &dyn KernelExec, plan: &KernelPlan) -> KernelStats {
+        let addr_tab: Vec<(u64, u64, u64)> = self
+            .mem
+            .allocations()
+            .iter()
+            .map(|a| (a.base, a.elems, u64::from(a.elem_bytes)))
+            .collect();
+        let attr_args = addr_tab.len();
+        self.execute_bound(kernel, plan, &addr_tab, attr_args)
+    }
+
+    /// [`GpuSystem::execute`] with an explicit argument→address binding:
+    /// `addr_tab[i]` is the `(base, elems, elem_bytes)` the kernel's
+    /// argument `i` generates addresses through, and `attr_args` sizes
+    /// the off-node attribution (the allocation count — in session mode
+    /// the pool can be larger than one kernel's argument list).
+    fn execute_bound(
+        &mut self,
+        kernel: &dyn KernelExec,
+        plan: &KernelPlan,
+        addr_tab: &[(u64, u64, u64)],
+        attr_args: usize,
+    ) -> KernelStats {
         let _prof_execute = prof::span("execute");
         let prof_setup = prof::span("setup");
         let launch = kernel.launch();
@@ -351,12 +468,6 @@ impl GpuSystem {
         let threads_per_tb = launch.threads_per_tb() as u32;
         let warps_per_tb = threads_per_tb.div_ceil(warp_size).max(1);
         let trips = kernel.trips().max(1);
-        let addr_tab: Vec<(u64, u64, u64)> = self
-            .mem
-            .allocations()
-            .iter()
-            .map(|a| (a.base, a.elems, u64::from(a.elem_bytes)))
-            .collect();
         let k = EngineConsts {
             warps_per_tb,
             sms_per_chiplet: self.cfg.sms_per_chiplet,
@@ -370,7 +481,7 @@ impl GpuSystem {
             iter_invariant: trips > 1 && kernel.iter_invariant(),
             warp_size,
             sector_mask: !(u64::from(self.cfg.l1.sector_bytes) - 1),
-            addr_tab: &addr_tab,
+            addr_tab,
         };
 
         let tb_slots_per_sm = self
@@ -380,7 +491,7 @@ impl GpuSystem {
             .max(1);
         let warp_budget = self.cfg.warps_per_sm.max(warps_per_tb);
         for shard in &mut self.shards {
-            shard.begin_kernel(addr_tab.len(), tb_slots_per_sm, warp_budget);
+            shard.begin_kernel(attr_args, tb_slots_per_sm, warp_budget);
         }
         // Threadblock queues per shard, in dispatch (linear) order.
         for by in 0..gdy {
@@ -435,7 +546,7 @@ impl GpuSystem {
         // counters (fabric traffic, page faults, migrations).
         let _prof_merge = prof::span("stats_merge");
         let mut stats = KernelStats {
-            offnode_by_arg: vec![0; addr_tab.len()],
+            offnode_by_arg: vec![0; attr_args],
             ..KernelStats::default()
         };
         let mut remote_args = 0usize;

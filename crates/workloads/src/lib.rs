@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attention;
 pub mod expect;
 pub mod graphs;
 pub mod irregular;
@@ -34,6 +35,7 @@ pub mod regular;
 pub mod spec;
 pub mod suite;
 
+pub use attention::{attention, attn_decode, DecodeShape};
 pub use expect::{SiteExpectation, Waiver};
 pub use graphs::Csr;
 pub use spec::{AffineKernel, Scale};

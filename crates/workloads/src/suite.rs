@@ -213,10 +213,12 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
     ]
 }
 
-/// Looks a workload up by its Table IV name (case-insensitive).
+/// Looks a workload up by name (case-insensitive) — the Table IV suite
+/// plus the attention/KV decode family ([`crate::attention`]).
 pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
     suite(scale)
         .into_iter()
+        .chain(crate::attention::attention(scale))
         .find(|w| w.name.eq_ignore_ascii_case(name))
 }
 

@@ -13,15 +13,17 @@
 //!     --table           print the per-site Table II classification
 //!                       (the golden-fixture format) and exit
 //!     --traffic         run the symbolic traffic analyzer over the
-//!                       suite and print the predicted-vs-simulated
-//!                       off-node sector table
+//!                       selected workloads (default: the whole suite)
+//!                       and print the predicted-vs-simulated off-node
+//!                       sector table; multi-kernel workloads also get
+//!                       the session-aware cross-kernel pass
 //!     --quiet           suppress clean reports, print findings only
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when errors (or warnings under
 //! `--deny warnings`) were found, 2 on usage errors.
 
-use ladm_analyzer::{classification_report, lint_workload, traffic_suite, Report, Severity};
+use ladm_analyzer::{classification_report, lint_workload, traffic_workloads, Report, Severity};
 use ladm_workloads::{by_name, suite, Scale, Workload};
 use std::process::ExitCode;
 
@@ -110,7 +112,14 @@ fn main() -> ExitCode {
     }
 
     if opts.traffic {
-        let table = traffic_suite(opts.scale);
+        let workloads = match selected_workloads(&opts) {
+            Ok(w) => w,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        let table = traffic_workloads(&workloads);
         let mut failed = false;
         for report in &table.reports {
             failed |= report.fails(opts.deny_warnings);

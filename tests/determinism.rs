@@ -16,12 +16,17 @@
 //! serial prefix, with seqs preassigned to the serial values.
 
 use ladm::core::policies::{BaselineRr, Lasp, Policy};
-use ladm::sim::{GpuSystem, KernelStats, SimConfig};
-use ladm::workloads::{suite, Scale};
+use ladm::sim::{GpuSystem, KernelStats, SessionSim, SimConfig};
+use ladm::workloads::{attn_decode, suite, Scale};
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/stats_digest.txt"
+);
+
+const SESSION_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/session_decode_digest.txt"
 );
 
 /// Same digest as `tests/stats_golden.rs`, with the engine pinned to
@@ -72,5 +77,55 @@ fn full_suite_is_bit_identical_across_thread_counts() {
         got == want,
         "serial digest no longer matches tests/fixtures/stats_digest.txt; \
          the threaded-engine refactor must not change the model"
+    );
+}
+
+/// Session-mode digest: three attention decode steps through a
+/// [`SessionSim`] (pinning on and off), one line per (mode, step,
+/// kernel) holding the full `Debug` rendering of the
+/// [`ladm::sim::SessionRunStats`] — page-home state carried across
+/// launches, replaced-page movement and all.
+fn session_digest_lines(threads: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    for pinning in [true, false] {
+        let w = attn_decode(Scale::Test);
+        let mut sim = SessionSim::new(SimConfig::paper_multi_gpu(), Lasp::ladm(), pinning);
+        sim.set_threads(threads);
+        let mode = if pinning { "pinned" } else { "replanned" };
+        for step in 0..3 {
+            for (kernel, run) in w.kernels.iter().zip(sim.run_step(&w.kernels)) {
+                lines.push(format!(
+                    "{mode} step{step} {} {run:?}",
+                    kernel.launch().kernel.name
+                ));
+            }
+        }
+    }
+    lines
+}
+
+#[test]
+fn session_decode_is_bit_identical_across_thread_counts() {
+    let serial = session_digest_lines(1);
+    for threads in [2, 8] {
+        let threaded = session_digest_lines(threads);
+        assert_eq!(
+            serial, threaded,
+            "session digest diverged at {threads} threads"
+        );
+    }
+
+    let got = serial.join("\n") + "\n";
+    if std::env::var_os("LADM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(SESSION_FIXTURE, &got).expect("fixture written");
+        return;
+    }
+    let want = std::fs::read_to_string(SESSION_FIXTURE)
+        .expect("fixture missing — run with LADM_UPDATE_GOLDEN=1 to create it");
+    assert!(
+        got == want,
+        "session decode digest no longer matches \
+         tests/fixtures/session_decode_digest.txt; if intentional, regenerate with \
+         LADM_UPDATE_GOLDEN=1 cargo test --test determinism"
     );
 }
