@@ -139,7 +139,9 @@ fn usage(msg: &str) -> ! {
         "usage: ladm-trace [--bench] [--policy NAME] [--out FILE] [--heatmap FILE] <workload>\n\
          \u{20}      ladm-trace --validate FILE\n\
          \u{20}      ladm-trace --list\n\
-         policies: baseline-rr batch-ft kernel-wide coda h-coda lasp-rtwice lasp-ronce ladm"
+         policies: baseline-rr batch-ft kernel-wide coda h-coda lasp-rtwice lasp-ronce ladm\n\
+         \u{20}         swizzle-blk swizzle-morton swizzle-hilbert swizzle-hilbert-2l\n\
+         \u{20}         swizzle-hilbert+rr lasp+swizzle-hilbert lasp+swizzle-blk"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

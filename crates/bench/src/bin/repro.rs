@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--bench] [--threads N] [--sim-threads N] <experiment>
-//!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 lint dgx1 decode summary all
+//!   experiments: fig4 fig9 fig10 fig11 tab1 tab2 tab3 tab4 lint dgx1 decode
+//!                swizzle swizzle-smoke summary all
 //! repro --trace <workload>...
 //! repro --profile <workload>...
 //! ```
@@ -33,7 +34,7 @@
 
 use ladm_bench::experiments::{
     decode, default_threads, dgx1, fig11, fig4, fig9_10, fmt_decode, fmt_fig11, fmt_lint,
-    fmt_table1, fmt_table4, lint, table1, table4, Fig10,
+    fmt_table1, fmt_table4, lint, swizzle, table1, table4, Fig10,
 };
 use ladm_core::analysis::{classify, GridShape};
 use ladm_core::expr::{Expr, Poly, Var};
@@ -44,6 +45,11 @@ use std::time::Instant;
 /// Decode iterations for the `decode` session experiment — enough that
 /// the steady state (steps 2+) dominates the first placing step.
 const DECODE_STEPS: usize = 8;
+
+/// Workloads the `swizzle-smoke` CI step runs — the first entries of
+/// `SWIZZLE_WORKLOADS` (one GEMM, two FC layers), enough to exercise
+/// every policy in the lineup without the full suite's wall time.
+const SWIZZLE_SMOKE_WORKLOADS: usize = 3;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,7 +105,7 @@ fn main() {
     let list: Vec<&str> = if what.iter().any(|w| w == "all") {
         vec![
             "tab2", "tab3", "lint", "tab1", "tab4", "fig4", "fig9", "fig10", "fig11", "dgx1",
-            "decode", "summary",
+            "decode", "swizzle", "summary",
         ]
     } else {
         what.iter().map(|s| s.as_str()).collect()
@@ -130,6 +136,10 @@ fn main() {
             "lint" => println!("{}", fmt_lint(&lint(scale, threads))),
             "dgx1" => println!("{}", dgx1(scale, threads)),
             "decode" => println!("{}", fmt_decode(&decode(scale, DECODE_STEPS, threads))),
+            "swizzle" => println!("{}", swizzle(scale, threads, None)),
+            "swizzle-smoke" => {
+                println!("{}", swizzle(scale, threads, Some(SWIZZLE_SMOKE_WORKLOADS)))
+            }
             "summary" => {
                 let f = fig9_cache.get_or_insert_with(|| fig9_10(scale, threads));
                 println!("{}", f.summary());
@@ -145,7 +155,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--bench] [--threads N] [--sim-threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|decode|summary|all>\n\
+        "usage: repro [--bench] [--threads N] [--sim-threads N] <fig4|fig9|fig10|fig11|tab1|tab2|tab3|tab4|lint|dgx1|decode|swizzle|swizzle-smoke|summary|all>\n\
          \u{20}      repro [--bench] --trace <workload>...\n\
          \u{20}      repro [--bench] --profile <workload>...\n\
          \n\

@@ -4,7 +4,7 @@
 //! share one implementation.
 
 use crate::harness::{geomean, parallel_map_labeled, run_workload};
-use ladm_core::policies::{BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Policy};
+use ladm_core::policies::{registry, CacheMode, Coda, KernelWide, Lasp, Policy};
 use ladm_sim::{KernelStats, SimConfig};
 use ladm_workloads::{by_name, dl_gemms, suite, Scale, WorkloadKind};
 use std::fmt;
@@ -21,18 +21,10 @@ fn run_named(cfg: &SimConfig, name: &str, scale: Scale, policy: &dyn Policy) -> 
     run_workload(cfg, &w, policy)
 }
 
-fn policy_by_index(i: usize) -> Box<dyn Policy> {
-    match i {
-        0 => Box::new(BaselineRr::new()),
-        1 => Box::new(BatchFt::new()),
-        2 => Box::new(KernelWide::new()),
-        3 => Box::new(Coda::flat()),
-        4 => Box::new(Coda::hierarchical()),
-        5 => Box::new(Lasp::new(CacheMode::Rtwice)),
-        6 => Box::new(Lasp::new(CacheMode::Ronce)),
-        7 => Box::new(Lasp::new(CacheMode::Crb)),
-        _ => panic!("no policy with index {i}"),
-    }
+/// Resolves a policy through the core registry, so experiment lineups
+/// are name lists and cannot drift from the shipped policy set.
+fn policy_by_name(name: &str) -> Box<dyn Policy> {
+    registry::build(name).unwrap_or_else(|| panic!("unknown policy '{name}'"))
 }
 
 // ---------------------------------------------------------------------
@@ -61,7 +53,7 @@ pub fn fig4(scale: Scale, threads: usize) -> Fig4 {
         ("ring-1.4TB/s", SimConfig::fig4_ring(1400)),
         ("ring-2.8TB/s", SimConfig::fig4_ring(2800)),
     ];
-    let policy_indices = [0usize, 1, 2, 3]; // RR, Batch+FT, Kernel-wide, CODA
+    let policy_names = ["Baseline-RR", "Batch+FT", "Kernel-Wide", "CODA"];
     let names: Vec<&'static str> = suite(scale).iter().map(|w| w.name).collect();
 
     // Monolithic baseline per workload.
@@ -73,10 +65,10 @@ pub fn fig4(scale: Scale, threads: usize) -> Fig4 {
         |i| run_named(&mono_cfg, names[i], scale, &Lasp::ladm()).cycles,
     );
 
-    let jobs = configs.len() * policy_indices.len() * names.len();
+    let jobs = configs.len() * policy_names.len() * names.len();
     let split = |j: usize| {
-        let c = j / (policy_indices.len() * names.len());
-        let rest = j % (policy_indices.len() * names.len());
+        let c = j / (policy_names.len() * names.len());
+        let rest = j % (policy_names.len() * names.len());
         (c, rest / names.len(), rest % names.len())
     };
     let cycles: Vec<f64> = parallel_map_labeled(
@@ -88,7 +80,7 @@ pub fn fig4(scale: Scale, threads: usize) -> Fig4 {
         },
         |j| {
             let (c, p, w) = split(j);
-            let policy = policy_by_index(policy_indices[p]);
+            let policy = policy_by_name(policy_names[p]);
             run_named(&configs[c].1, names[w], scale, &*policy).cycles
         },
     );
@@ -96,10 +88,10 @@ pub fn fig4(scale: Scale, threads: usize) -> Fig4 {
     let mut norm_perf = Vec::new();
     for c in 0..configs.len() {
         let mut per_policy = Vec::new();
-        for p in 0..policy_indices.len() {
+        for p in 0..policy_names.len() {
             let ratios: Vec<f64> = (0..names.len())
                 .map(|w| {
-                    let idx = c * policy_indices.len() * names.len() + p * names.len() + w;
+                    let idx = c * policy_names.len() * names.len() + p * names.len() + w;
                     (mono[w] / cycles[idx]).min(4.0)
                 })
                 .collect();
@@ -168,28 +160,28 @@ pub struct Fig9 {
 
 /// Runs the Figure 9/10 experiment.
 pub fn fig9_10(scale: Scale, threads: usize) -> Fig9 {
-    let policy_indices = [4usize, 5, 6, 7]; // H-CODA, RTWICE, RONCE, LADM
+    let policy_names = ["H-CODA", "LASP+RTWICE", "LASP+RONCE", "LADM"];
     let names: Vec<(&'static str, WorkloadKind)> =
         suite(scale).iter().map(|w| (w.name, w.kind)).collect();
     let cfg = SimConfig::paper_multi_gpu();
     let mono_cfg = SimConfig::monolithic();
 
-    let jobs = names.len() * (policy_indices.len() + 1);
+    let jobs = names.len() * (policy_names.len() + 1);
     let stats: Vec<KernelStats> = parallel_map_labeled(
         jobs,
         threads,
         |j| {
-            let w = j / (policy_indices.len() + 1);
-            let p = j % (policy_indices.len() + 1);
+            let w = j / (policy_names.len() + 1);
+            let p = j % (policy_names.len() + 1);
             format!("{} (policy slot {p})", names[w].0)
         },
         |j| {
-            let w = j / (policy_indices.len() + 1);
-            let p = j % (policy_indices.len() + 1);
-            if p == policy_indices.len() {
+            let w = j / (policy_names.len() + 1);
+            let p = j % (policy_names.len() + 1);
+            if p == policy_names.len() {
                 run_named(&mono_cfg, names[w].0, scale, &Lasp::ladm())
             } else {
-                let policy = policy_by_index(policy_indices[p]);
+                let policy = policy_by_name(policy_names[p]);
                 run_named(&cfg, names[w].0, scale, &*policy)
             }
         },
@@ -199,17 +191,17 @@ pub fn fig9_10(scale: Scale, threads: usize) -> Fig9 {
         .iter()
         .enumerate()
         .map(|(w, &(name, kind))| {
-            let base = w * (policy_indices.len() + 1);
-            let slice = &stats[base..base + policy_indices.len() + 1];
+            let base = w * (policy_names.len() + 1);
+            let slice = &stats[base..base + policy_names.len() + 1];
             Fig9Row {
                 name,
                 kind,
                 cycles: slice.iter().map(|s| s.cycles).collect(),
-                offchip: slice[..policy_indices.len()]
+                offchip: slice[..policy_names.len()]
                     .iter()
                     .map(|s| s.offchip_fraction())
                     .collect(),
-                inter_gpu_bytes: slice[..policy_indices.len()]
+                inter_gpu_bytes: slice[..policy_names.len()]
                     .iter()
                     .map(|s| s.inter_gpu_bytes)
                     .collect(),
@@ -499,7 +491,6 @@ pub const TAB1_CAPTURE_THRESHOLD: f64 = 0.25;
 /// [`TAB1_CAPTURE_THRESHOLD`].
 pub fn table1(scale: Scale, threads: usize) -> (Vec<&'static str>, Vec<Tab1Row>) {
     let cfg = SimConfig::paper_multi_gpu();
-    let policy_indices = [0usize, 1, 2, 3, 7]; // RR, Batch+FT, KW, CODA, LADM
     let policy_names = vec!["Baseline-RR", "Batch+FT", "Kernel-Wide", "CODA", "LADM"];
     let patterns: Vec<(&'static str, &'static str)> = vec![
         ("Page alignment", "VecAdd"),
@@ -509,21 +500,21 @@ pub fn table1(scale: Scale, threads: usize) -> (Vec<&'static str>, Vec<Tab1Row>)
         ("Adjacent (stencil)", "SRAD"),
         ("Intra-thread loc", "SpMV-jds"),
     ];
-    let jobs = patterns.len() * policy_indices.len();
+    let jobs = patterns.len() * policy_names.len();
     let offchip: Vec<f64> = parallel_map_labeled(
         jobs,
         threads,
         |j| {
             format!(
                 "{} (policy slot {})",
-                patterns[j / policy_indices.len()].1,
-                j % policy_indices.len()
+                patterns[j / policy_names.len()].1,
+                j % policy_names.len()
             )
         },
         |j| {
-            let pat = j / policy_indices.len();
-            let pol = j % policy_indices.len();
-            let policy = policy_by_index(policy_indices[pol]);
+            let pat = j / policy_names.len();
+            let pol = j % policy_names.len();
+            let policy = policy_by_name(policy_names[pol]);
             run_named(&cfg, patterns[pat].1, scale, &*policy).offchip_fraction()
         },
     );
@@ -533,7 +524,7 @@ pub fn table1(scale: Scale, threads: usize) -> (Vec<&'static str>, Vec<Tab1Row>)
         .map(|(i, &(pattern, workload))| Tab1Row {
             pattern,
             workload,
-            offchip: offchip[i * policy_indices.len()..(i + 1) * policy_indices.len()].to_vec(),
+            offchip: offchip[i * policy_names.len()..(i + 1) * policy_names.len()].to_vec(),
         })
         .collect();
     (policy_names, rows)
@@ -1007,6 +998,263 @@ pub fn fmt_decode(e: &DecodeExp) -> String {
     s
 }
 
+// ---------------------------------------------------------------------
+// Swizzle-scheduler comparison
+// ---------------------------------------------------------------------
+
+/// Workloads for the swizzle comparison: the GEMM family plus the 2-D
+/// stencils — the shapes where CTA rasterization order actually changes
+/// reuse distance. 1-D streaming kernels are omitted because every curve
+/// degenerates to row-major on a 1×N grid.
+pub const SWIZZLE_WORKLOADS: &[&str] = &[
+    "SQ-GEMM",
+    "Alexnet-FC-2",
+    "VGGnet-FC-2",
+    "LSTM-1",
+    "TRA",
+    "SRAD",
+    "HS",
+    "Hotspot3D",
+    "CONV",
+];
+
+/// One workload row of the swizzle comparison.
+#[derive(Debug, Clone)]
+pub struct SwizzleRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Cycles per policy, in [`registry::SWIZZLE_LINEUP`] order.
+    pub cycles: Vec<f64>,
+    /// Off-chip traffic fraction per policy.
+    pub offchip: Vec<f64>,
+    /// Intra-GPU cross-chiplet bytes per policy.
+    pub inter_chiplet_bytes: Vec<u64>,
+    /// Inter-GPU bytes per policy.
+    pub inter_gpu_bytes: Vec<u64>,
+}
+
+/// The swizzle-scheduler family vs first-touch, LASP/LADM and H-CODA:
+/// can a smarter CTA rasterization order alone recover the win LASP gets
+/// from placement, and do the two compose?
+#[derive(Debug, Clone)]
+pub struct SwizzleExp {
+    /// Policy column headers, [`registry::SWIZZLE_LINEUP`] order.
+    pub policies: Vec<&'static str>,
+    /// Per-workload rows in [`SWIZZLE_WORKLOADS`] order.
+    pub rows: Vec<SwizzleRow>,
+}
+
+/// Runs the swizzle comparison. `limit` truncates the workload list (the
+/// CI smoke runs the first 3); `None` runs all of [`SWIZZLE_WORKLOADS`].
+pub fn swizzle(scale: Scale, threads: usize, limit: Option<usize>) -> SwizzleExp {
+    let policy_names = registry::SWIZZLE_LINEUP;
+    let mut names: Vec<&'static str> = SWIZZLE_WORKLOADS.to_vec();
+    if let Some(n) = limit {
+        names.truncate(n);
+    }
+    let cfg = SimConfig::paper_multi_gpu();
+
+    let jobs = names.len() * policy_names.len();
+    let stats: Vec<KernelStats> = parallel_map_labeled(
+        jobs,
+        threads,
+        |j| {
+            format!(
+                "{} / {}",
+                names[j / policy_names.len()],
+                policy_names[j % policy_names.len()]
+            )
+        },
+        |j| {
+            let policy = policy_by_name(policy_names[j % policy_names.len()]);
+            run_named(&cfg, names[j / policy_names.len()], scale, &*policy)
+        },
+    );
+
+    let rows = names
+        .iter()
+        .enumerate()
+        .map(|(w, &name)| {
+            let slice = &stats[w * policy_names.len()..(w + 1) * policy_names.len()];
+            SwizzleRow {
+                name,
+                cycles: slice.iter().map(|s| s.cycles).collect(),
+                offchip: slice.iter().map(|s| s.offchip_fraction()).collect(),
+                inter_chiplet_bytes: slice.iter().map(|s| s.inter_chiplet_bytes).collect(),
+                inter_gpu_bytes: slice.iter().map(|s| s.inter_gpu_bytes).collect(),
+            }
+        })
+        .collect();
+
+    SwizzleExp {
+        policies: policy_names.to_vec(),
+        rows,
+    }
+}
+
+/// The experiment's headline answers, computed from a [`SwizzleExp`].
+#[derive(Debug, Clone, Copy)]
+pub struct SwizzleVerdict {
+    /// Geomean speedup over Batch+FT of the best scheduling-only curve.
+    pub best_curve_speedup: f64,
+    /// Name of that curve.
+    pub best_curve: &'static str,
+    /// Geomean speedup over Batch+FT of LADM (placement, row-major order).
+    pub ladm_speedup: f64,
+    /// Geomean speedup over Batch+FT of the best LASP+swizzle stack.
+    pub best_stacked_speedup: f64,
+    /// Name of that stacked policy.
+    pub best_stacked: &'static str,
+    /// Cross-chiplet bytes of the best curve / cross-chiplet bytes of
+    /// Batch+FT (geomean over workloads where both are nonzero).
+    pub curve_chiplet_traffic_ratio: f64,
+    /// Same ratio for LADM.
+    pub ladm_chiplet_traffic_ratio: f64,
+}
+
+impl SwizzleExp {
+    fn col(&self, name: &str) -> usize {
+        self.policies
+            .iter()
+            .position(|&p| p == name)
+            .unwrap_or_else(|| panic!("policy '{name}' not in lineup"))
+    }
+
+    /// Geomean speedup of policy column `p` over column `base`.
+    pub fn geomean_speedup(&self, p: usize, base: usize) -> f64 {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|r| r.cycles[base] / r.cycles[p])
+            .collect();
+        geomean(&v)
+    }
+
+    /// Geomean cross-chiplet traffic ratio of column `p` vs column
+    /// `base`, over workloads where both are nonzero.
+    pub fn chiplet_traffic_ratio(&self, p: usize, base: usize) -> f64 {
+        let v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.inter_chiplet_bytes[p] > 0 && r.inter_chiplet_bytes[base] > 0)
+            .map(|r| r.inter_chiplet_bytes[p] as f64 / r.inter_chiplet_bytes[base] as f64)
+            .collect();
+        if v.is_empty() {
+            1.0
+        } else {
+            geomean(&v)
+        }
+    }
+
+    /// Answers the headline questions: does a rasterization curve alone
+    /// recover LASP's placement win, and do the two stack?
+    pub fn verdict(&self) -> SwizzleVerdict {
+        let base = self.col("Batch+FT");
+        let pick_best = |candidates: &[&'static str]| {
+            candidates
+                .iter()
+                .filter(|n| self.policies.contains(*n))
+                .map(|&n| (n, self.geomean_speedup(self.col(n), base)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("lineup carries at least one candidate")
+        };
+        let (best_curve, best_curve_speedup) = pick_best(&[
+            "Swizzle-Blk",
+            "Swizzle-Morton",
+            "Swizzle-Hilbert",
+            "Swizzle-Hilbert-2L",
+        ]);
+        let (best_stacked, best_stacked_speedup) =
+            pick_best(&["LASP+Swizzle-Hilbert", "LASP+Swizzle-Blk"]);
+        let ladm = self.col("LADM");
+        SwizzleVerdict {
+            best_curve_speedup,
+            best_curve,
+            ladm_speedup: self.geomean_speedup(ladm, base),
+            best_stacked_speedup,
+            best_stacked,
+            curve_chiplet_traffic_ratio: self.chiplet_traffic_ratio(self.col(best_curve), base),
+            ladm_chiplet_traffic_ratio: self.chiplet_traffic_ratio(ladm, base),
+        }
+    }
+}
+
+impl fmt::Display for SwizzleExp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = self.col("Batch+FT");
+        writeln!(
+            f,
+            "Swizzle comparison: speedup over Batch+FT (row-major, first-touch)"
+        )?;
+        write!(f, "{:<14}", "workload")?;
+        for p in &self.policies {
+            write!(f, " {p:>19}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:<14}", row.name)?;
+            for p in 0..self.policies.len() {
+                write!(f, " {:>19.2}", row.cycles[base] / row.cycles[p])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:<14}", "GEOMEAN")?;
+        for p in 0..self.policies.len() {
+            write!(f, " {:>19.2}", self.geomean_speedup(p, base))?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<14}", "xchiplet B")?;
+        for p in 0..self.policies.len() {
+            write!(f, " {:>18.2}x", self.chiplet_traffic_ratio(p, base))?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<14}", "offchip %")?;
+        for p in 0..self.policies.len() {
+            let v: Vec<f64> = self.rows.iter().map(|r| r.offchip[p]).collect();
+            write!(
+                f,
+                " {:>18.1}%",
+                100.0 * v.iter().sum::<f64>() / v.len().max(1) as f64
+            )?;
+        }
+        writeln!(f)?;
+
+        let v = self.verdict();
+        writeln!(f)?;
+        writeln!(
+            f,
+            "best scheduling-only curve: {} at {:.2}x over Batch+FT \
+             (cross-chiplet traffic {:.2}x)",
+            v.best_curve, v.best_curve_speedup, v.curve_chiplet_traffic_ratio
+        )?;
+        writeln!(
+            f,
+            "LADM placement (row-major order): {:.2}x over Batch+FT \
+             (cross-chiplet traffic {:.2}x)",
+            v.ladm_speedup, v.ladm_chiplet_traffic_ratio
+        )?;
+        writeln!(
+            f,
+            "best stacked (LASP placement + curve): {} at {:.2}x",
+            v.best_stacked, v.best_stacked_speedup
+        )?;
+        writeln!(
+            f,
+            "verdict: swizzling alone {} LADM's placement win; stacking {} over LADM alone",
+            if v.best_curve_speedup >= v.ladm_speedup * 0.99 {
+                "RECOVERS"
+            } else {
+                "does NOT recover"
+            },
+            if v.best_stacked_speedup > v.ladm_speedup * 1.005 {
+                "GAINS"
+            } else {
+                "does not gain"
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1104,6 +1352,38 @@ mod tests {
         let text = fmt_decode(&e);
         assert!(text.contains("TOTAL"), "{text}");
         assert!(text.contains("pinning saves"), "{text}");
+    }
+
+    #[test]
+    fn swizzle_structure_and_verdict() {
+        // The CI smoke shape: first three workloads, full lineup.
+        let e = swizzle(Scale::Test, default_threads(), Some(3));
+        assert_eq!(e.rows.len(), 3);
+        assert_eq!(e.policies, registry::SWIZZLE_LINEUP);
+        for row in &e.rows {
+            assert_eq!(row.cycles.len(), e.policies.len(), "{}", row.name);
+            assert!(row.cycles.iter().all(|&c| c > 0.0), "{}", row.name);
+            assert_eq!(row.inter_chiplet_bytes.len(), e.policies.len());
+        }
+        // Batch+FT normalizes to itself.
+        let base = e.policies.iter().position(|&p| p == "Batch+FT").unwrap();
+        assert!((e.geomean_speedup(base, base) - 1.0).abs() < 1e-12);
+        let v = e.verdict();
+        assert!(v.best_curve_speedup > 0.0 && v.ladm_speedup > 0.0);
+        let text = e.to_string();
+        for row in &e.rows {
+            assert!(text.contains(row.name), "missing {}", row.name);
+        }
+        assert!(text.contains("verdict:"), "{text}");
+    }
+
+    #[test]
+    fn swizzle_workloads_resolve_at_all_scales() {
+        for scale in [Scale::Test, Scale::Bench] {
+            for name in SWIZZLE_WORKLOADS {
+                assert!(by_name(name, scale).is_some(), "unknown workload {name}");
+            }
+        }
     }
 
     #[test]

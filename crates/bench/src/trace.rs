@@ -2,7 +2,7 @@
 //! sink attached and packages the exporters (`repro --trace` and the
 //! `ladm-trace` binary sit on top of this).
 
-use ladm_core::policies::{BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Policy};
+use ladm_core::policies::{registry, Policy};
 use ladm_obs::{
     chrome_trace, registry_from_events, CounterRegistry, Event, RecordingSink, TrafficMatrix,
 };
@@ -85,26 +85,33 @@ pub fn trace_by_name(
     Some(trace_workload(cfg, &w, policy))
 }
 
-/// Resolves a policy by its CLI spelling (case-insensitive):
-/// `baseline-rr`, `batch-ft`, `kernel-wide`, `coda`, `h-coda`,
-/// `lasp-rtwice`, `lasp-ronce`, `ladm`.
+/// Resolves a policy by its CLI spelling: any registry name
+/// (case-insensitive — `baseline-rr`, `coda`, `h-coda`, `ladm`,
+/// `swizzle-hilbert`, `lasp+swizzle-blk`, ...) plus the historical
+/// hyphenated aliases `batch-ft`, `lasp-rtwice`, `lasp-ronce` and the
+/// bare `baseline`.
 pub fn policy_by_name(name: &str) -> Option<Box<dyn Policy>> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "baseline-rr" | "baseline" => Box::new(BaselineRr::new()) as Box<dyn Policy>,
-        "batch-ft" | "batch+ft" => Box::new(BatchFt::new()),
-        "kernel-wide" => Box::new(KernelWide::new()),
-        "coda" => Box::new(Coda::flat()),
-        "h-coda" => Box::new(Coda::hierarchical()),
-        "lasp-rtwice" | "lasp+rtwice" => Box::new(Lasp::new(CacheMode::Rtwice)),
-        "lasp-ronce" | "lasp+ronce" => Box::new(Lasp::new(CacheMode::Ronce)),
-        "ladm" => Box::new(Lasp::ladm()),
-        _ => return None,
-    })
+    // Legacy CLI aliases first; everything else — including the swizzle
+    // family — resolves through the policy registry, case-insensitively.
+    let canon = match name.to_ascii_lowercase().as_str() {
+        "baseline" => "Baseline-RR",
+        "batch-ft" => "Batch+FT",
+        "lasp-rtwice" => "LASP+RTWICE",
+        "lasp-ronce" => "LASP+RONCE",
+        _ => {
+            return registry::entries()
+                .into_iter()
+                .find(|e| e.name.eq_ignore_ascii_case(name))
+                .map(|e| (e.build)());
+        }
+    };
+    registry::build(canon)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ladm_core::policies::Lasp;
     use ladm_obs::Json;
 
     #[test]
@@ -148,9 +155,24 @@ mod tests {
             "lasp-rtwice",
             "lasp-ronce",
             "LADM",
+            "swizzle-hilbert",
+            "Swizzle-Blk",
+            "swizzle-hilbert-2l",
+            "LASP+Swizzle-Blk",
         ] {
             assert!(policy_by_name(name).is_some(), "{name}");
         }
         assert!(policy_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_registry_policy_is_traceable_by_its_own_name() {
+        for entry in registry::entries() {
+            assert!(
+                policy_by_name(entry.name).is_some(),
+                "registry policy {} must resolve through the trace CLI",
+                entry.name
+            );
+        }
     }
 }

@@ -7,8 +7,10 @@
 //! (per `cudaMallocManaged` allocation), plus a single [`TbMap`] assigning
 //! threadblocks to NUMA nodes.
 
+use crate::policies::curve::Curve;
 use crate::topology::{NodeId, Topology};
 use std::fmt;
+use std::sync::Arc;
 
 /// Round-robin visiting order across the two hierarchy levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,9 +212,121 @@ pub enum TbMap {
         /// Grid columns per node (≥ 1).
         cols_per_node: u64,
     },
+    /// Curve-rasterized scheduling: blocks are renumbered along a
+    /// space-filling [`Curve`] and the curve positions are assigned to
+    /// nodes by `assign`. Changes both the node assignment *and* the
+    /// dispatch order (see [`TbMap::dispatch_order`]) — each node's
+    /// share is a contiguous, spatially-compact curve segment.
+    ///
+    /// Build with [`TbMap::swizzled`], which precomputes `ranks` from
+    /// the curve so per-block resolution stays O(1); the invariant is
+    /// `ranks == curve.ranks(grid)` for the launch grid.
+    Swizzled {
+        /// The rasterization order.
+        curve: Curve,
+        /// `ranks[by*gdx + bx]` = curve position of block `(bx, by)`.
+        /// Shared so cloning a plan does not copy the table.
+        ranks: Arc<Vec<u32>>,
+        /// Curve-position → node mapping.
+        assign: SwizzleAssign,
+    },
+}
+
+/// How a swizzled schedule maps curve positions to NUMA nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwizzleAssign {
+    /// `N` contiguous curve segments, one per node in nested node order
+    /// (tail clamps to the last node) — the flat split.
+    Chunk {
+        /// Curve positions per node (≥ 1).
+        per_node: u64,
+    },
+    /// Hierarchical two-level split: a contiguous curve super-segment
+    /// per GPU, then `batch`-sized sub-segments round-robin across that
+    /// GPU's chiplets. Keeps each GPU's share spatially compact while
+    /// still load-balancing its chiplets at fine grain.
+    TwoLevel {
+        /// Curve positions per GPU (≥ 1).
+        per_gpu: u64,
+        /// Consecutive curve positions per chiplet per round (≥ 1).
+        batch: u64,
+    },
+}
+
+impl SwizzleAssign {
+    /// Resolves the node that runs the block at curve position `rank`.
+    pub fn node_of_rank(self, rank: u64, topo: &Topology) -> NodeId {
+        let n = u64::from(topo.num_nodes());
+        match self {
+            SwizzleAssign::Chunk { per_node } => {
+                let pn = per_node.max(1);
+                NodeId(((rank / pn).min(n - 1)) as u32)
+            }
+            SwizzleAssign::TwoLevel { per_gpu, batch } => {
+                let g = u64::from(topo.num_gpus);
+                let c = u64::from(topo.chiplets_per_gpu);
+                let pg = per_gpu.max(1);
+                let b = batch.max(1);
+                let gpu = (rank / pg).min(g - 1);
+                let chiplet = ((rank % pg) / b) % c;
+                NodeId((gpu * c + chiplet) as u32)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SwizzleAssign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwizzleAssign::Chunk { per_node } => write!(f, "chunk({per_node}tb/node)"),
+            SwizzleAssign::TwoLevel { per_gpu, batch } => {
+                write!(f, "2level({per_gpu}tb/gpu,batch={batch})")
+            }
+        }
+    }
 }
 
 impl TbMap {
+    /// Builds a curve-rasterized schedule for `grid`: the permutation is
+    /// materialized once here so every later `node_of_tb` lookup is O(1).
+    pub fn swizzled(curve: Curve, grid: (u32, u32), assign: SwizzleAssign) -> TbMap {
+        TbMap::Swizzled {
+            curve,
+            ranks: Arc::new(curve.ranks(grid)),
+            assign,
+        }
+    }
+
+    /// The order in which the machine dispatches the grid's blocks to
+    /// their queues. Row-major (hardware order) for every classic map;
+    /// curve order for [`TbMap::Swizzled`]. Both the engine and the
+    /// reference oracle enumerate through this one helper so their
+    /// dispatch orders cannot drift.
+    pub fn dispatch_order(&self, grid: (u32, u32)) -> Vec<(u32, u32)> {
+        match self {
+            TbMap::Swizzled { curve, ranks, .. } => {
+                let total = u64::from(grid.0) * u64::from(grid.1);
+                if ranks.len() as u64 == total && total > 0 {
+                    // Invert the rank table: position -> cell.
+                    let mut order = vec![(0u32, 0u32); ranks.len()];
+                    let mut lin = 0usize;
+                    for by in 0..grid.1 {
+                        for bx in 0..grid.0 {
+                            order[ranks[lin] as usize] = (bx, by);
+                            lin += 1;
+                        }
+                    }
+                    order
+                } else {
+                    // Plan built for a different grid (identity-fallback
+                    // path of `node_of_tb`): derive from the curve.
+                    curve.enumerate(grid)
+                }
+            }
+            _ => Curve::RowMajor.enumerate(grid),
+        }
+    }
+
     /// Resolves the node that runs block `(bx, by)` of a `grid = (gdx, gdy)`
     /// launch. Linearization is row-major (`lin = by*gdx + bx`), matching
     /// hardware dispatch order.
@@ -240,6 +354,12 @@ impl TbMap {
                 let cpn = (*cols_per_node).max(1);
                 NodeId(((u64::from(bx) / cpn).min(n - 1)) as u32)
             }
+            TbMap::Swizzled { ranks, assign, .. } => {
+                // Identity fallback keeps the map total if the plan was
+                // built for a different grid than it is applied to.
+                let rank = ranks.get(lin as usize).copied().map_or(lin, u64::from);
+                assign.node_of_rank(rank, topo)
+            }
         }
     }
 }
@@ -252,6 +372,7 @@ impl fmt::Display for TbMap {
             TbMap::Spread { total } => write!(f, "kernel-wide({total}tb)"),
             TbMap::RowBinding { rows_per_node } => write!(f, "row-binding({rows_per_node}r/node)"),
             TbMap::ColBinding { cols_per_node } => write!(f, "col-binding({cols_per_node}c/node)"),
+            TbMap::Swizzled { curve, assign, .. } => write!(f, "swizzle({curve},{assign})"),
         }
     }
 }
@@ -539,6 +660,123 @@ mod tests {
             order: RrOrder::Hierarchical,
         };
         assert_eq!(s.node_of_tb(3, 0, (64, 1), &t), NodeId(3));
+    }
+
+    #[test]
+    fn swizzled_chunk_assigns_contiguous_curve_segments() {
+        let t = topo();
+        // 8×8 grid, 64 blocks over 16 nodes -> 4 curve positions each.
+        let map = TbMap::swizzled(Curve::Hilbert, (8, 8), SwizzleAssign::Chunk { per_node: 4 });
+        let order = map.dispatch_order((8, 8));
+        assert_eq!(order.len(), 64);
+        for (pos, (bx, by)) in order.iter().enumerate() {
+            assert_eq!(
+                map.node_of_tb(*bx, *by, (8, 8), &t),
+                NodeId((pos / 4) as u32),
+                "position {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn swizzled_two_level_keeps_gpus_contiguous() {
+        let t = topo(); // 4 GPUs × 4 chiplets
+        let map = TbMap::swizzled(
+            Curve::Morton,
+            (8, 8),
+            SwizzleAssign::TwoLevel {
+                per_gpu: 16,
+                batch: 2,
+            },
+        );
+        for (pos, (bx, by)) in map.dispatch_order((8, 8)).iter().enumerate() {
+            let node = map.node_of_tb(*bx, *by, (8, 8), &t);
+            assert_eq!(u64::from(t.gpu_of(node).0), (pos / 16) as u64, "pos {pos}");
+            assert_eq!(t.chiplet_within_gpu(node), ((pos % 16) / 2 % 4) as u32);
+        }
+    }
+
+    #[test]
+    fn swizzle_assign_clamps_degenerate_parameters() {
+        let t = topo();
+        // Zero sizes clamp to 1; ranks past the last node clamp to it.
+        assert_eq!(
+            SwizzleAssign::Chunk { per_node: 0 }.node_of_rank(3, &t),
+            NodeId(3)
+        );
+        assert_eq!(
+            SwizzleAssign::Chunk { per_node: 1 }.node_of_rank(500, &t),
+            NodeId(15)
+        );
+        assert_eq!(
+            SwizzleAssign::TwoLevel {
+                per_gpu: 0,
+                batch: 0
+            }
+            .node_of_rank(0, &t),
+            NodeId(0)
+        );
+        assert_eq!(
+            SwizzleAssign::TwoLevel {
+                per_gpu: 4,
+                batch: 1
+            }
+            .node_of_rank(999, &t),
+            // Past the last GPU: clamps to GPU 3, chiplet (999%4)/1 % 4 = 3.
+            NodeId(15)
+        );
+    }
+
+    #[test]
+    fn dispatch_order_is_row_major_for_classic_maps() {
+        let maps = [
+            TbMap::RoundRobinBatch {
+                batch: 4,
+                order: RrOrder::Hierarchical,
+            },
+            TbMap::Chunk { per_node: 7 },
+            TbMap::RowBinding { rows_per_node: 2 },
+        ];
+        let expect: Vec<(u32, u32)> = (0..3).flat_map(|y| (0..5).map(move |x| (x, y))).collect();
+        for map in maps {
+            assert_eq!(map.dispatch_order((5, 3)), expect, "{map}");
+        }
+    }
+
+    #[test]
+    fn swizzled_dispatch_order_is_a_permutation_on_awkward_grids() {
+        let curves = [
+            Curve::BlockGroup { group: 3 },
+            Curve::Morton,
+            Curve::Hilbert,
+        ];
+        for curve in curves {
+            for grid in [(13u32, 7u32), (1, 17), (16, 1), (1, 1)] {
+                let map = TbMap::swizzled(curve, grid, SwizzleAssign::Chunk { per_node: 2 });
+                let mut order = map.dispatch_order(grid);
+                assert_eq!(order, curve.enumerate(grid), "{curve} on {grid:?}");
+                order.sort_unstable_by_key(|&(x, y)| (y, x));
+                let expect: Vec<(u32, u32)> = (0..grid.1)
+                    .flat_map(|y| (0..grid.0).map(move |x| (x, y)))
+                    .collect();
+                assert_eq!(order, expect, "{curve} on {grid:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn swizzled_falls_back_to_identity_off_grid() {
+        let t = topo();
+        // Plan built for 4×4 but applied to an 8×8 grid: blocks beyond
+        // the rank table resolve by their linear index.
+        let map = TbMap::swizzled(
+            Curve::RowMajor,
+            (4, 4),
+            SwizzleAssign::Chunk { per_node: 4 },
+        );
+        assert_eq!(map.node_of_tb(7, 7, (8, 8), &t), NodeId(15)); // lin 63/4 clamps
+                                                                  // And dispatch_order re-derives from the curve for the real grid.
+        assert_eq!(map.dispatch_order((8, 8)).len(), 64);
     }
 
     #[test]

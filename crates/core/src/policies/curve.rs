@@ -1,0 +1,460 @@
+//! Space-filling CTA rasterization curves — pure, total permutations of
+//! a 2-D grid's threadblock indices.
+//!
+//! Hardware dispatches threadblocks in row-major order, which walks a
+//! long thin strip of the output tile space and shares almost nothing
+//! between consecutively-resident CTAs. Production GPU kernels instead
+//! *swizzle* the CTA order (CUTLASS `ThreadblockSwizzle`, Triton's
+//! grouped launch) so that temporally-adjacent blocks touch overlapping
+//! rows/columns. This module provides the curve half of that machinery
+//! as standalone math; [`crate::plan::TbMap::Swizzled`] carries the
+//! resulting permutation to the machine and
+//! [`crate::policies::Swizzle`] composes it with a placement policy.
+//!
+//! Every curve is a **bijection on arbitrary grids**, including
+//! non-power-of-two, prime-sized and degenerate (`1×N`, `N×1`, `1×1`,
+//! empty) ones. Morton and Hilbert are defined on the enclosing
+//! power-of-two square; out-of-bounds cells are skipped by enumerating
+//! only in-bounds cells sorted by their curve key (bounds-skipping:
+//! `O(N log N)` in the number of real threadblocks, never in the area
+//! of the bounding square).
+
+use std::fmt;
+
+/// A rasterization order for a 2-D grid of threadblocks.
+///
+/// Cells are `(bx, by)` block coordinates of a `grid = (gdx, gdy)`
+/// launch; the row-major linear index `lin = by*gdx + bx` matches
+/// hardware dispatch order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Curve {
+    /// Hardware dispatch order (`lin = by*gdx + bx`). The identity
+    /// curve — useful as the fuzzing control and for expressing
+    /// "placement X with unswizzled scheduling".
+    RowMajor,
+    /// CUTLASS/Triton-style grouped rasterization: bands of `group`
+    /// grid rows, traversed column-by-column within each band. With
+    /// `group = G`, every `G` consecutively-dispatched blocks share one
+    /// grid column and the band revisits each of its rows once per
+    /// column — the classic GEMM L2-reuse swizzle.
+    BlockGroup {
+        /// Band height in grid rows (clamped to ≥ 1).
+        group: u32,
+    },
+    /// Morton / Z-order: sort by bit-interleaved `(bx, by)`.
+    Morton,
+    /// Hilbert curve on the enclosing power-of-two square: like Morton
+    /// but consecutive positions are always grid neighbors (no Z-jumps),
+    /// the strongest 2-D locality of the family.
+    Hilbert,
+}
+
+impl Curve {
+    /// Short stable label used in plan `Display` output and trace
+    /// preference strings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Curve::RowMajor => "row-major",
+            Curve::BlockGroup { .. } => "blk",
+            Curve::Morton => "morton",
+            Curve::Hilbert => "hilbert",
+        }
+    }
+
+    /// The curve key of cell `(x, y)` on `grid`. Keys are injective over
+    /// in-bounds cells; sorting cells by key yields the curve order.
+    ///
+    /// Row-major and block-group keys are the dense enumeration
+    /// positions themselves; Morton/Hilbert keys have gaps wherever the
+    /// bounding square extends past the grid (bounds-skipping closes
+    /// them by sorting).
+    pub fn key(self, x: u32, y: u32, grid: (u32, u32)) -> u64 {
+        let (gdx, gdy) = grid;
+        match self {
+            Curve::RowMajor => u64::from(y) * u64::from(gdx) + u64::from(x),
+            Curve::BlockGroup { group } => {
+                let g = u64::from(group.max(1));
+                let (x, y) = (u64::from(x), u64::from(y));
+                let band = y / g;
+                // Full bands before this one hold g*gdx cells each; the
+                // band itself is walked column-major and may be short.
+                let band_h = g.min(u64::from(gdy) - band * g);
+                band * g * u64::from(gdx) + x * band_h + (y - band * g)
+            }
+            Curve::Morton => morton_encode(x, y),
+            Curve::Hilbert => hilbert_encode(enclosing_pow2_side(grid), x, y),
+        }
+    }
+
+    /// All in-bounds cells of `grid` in curve order — the dispatch
+    /// order of a swizzled launch. A permutation of the grid for every
+    /// curve and every grid shape; empty grids yield an empty order.
+    pub fn enumerate(self, grid: (u32, u32)) -> Vec<(u32, u32)> {
+        let (gdx, gdy) = grid;
+        let total = gdx as usize * gdy as usize;
+        let mut cells: Vec<(u64, u32, u32)> = Vec::with_capacity(total);
+        for y in 0..gdy {
+            for x in 0..gdx {
+                cells.push((self.key(x, y, grid), x, y));
+            }
+        }
+        // Keys are injective, so this is a total order; the (y, x)
+        // tie-break is unreachable but keeps the sort provably stable.
+        cells.sort_unstable();
+        cells.into_iter().map(|(_, x, y)| (x, y)).collect()
+    }
+
+    /// The inverse view of [`Curve::enumerate`]: `ranks[by*gdx + bx]`
+    /// is the curve position of block `(bx, by)`. Precomputed once at
+    /// plan time so `node_of_tb` stays O(1) per block.
+    pub fn ranks(self, grid: (u32, u32)) -> Vec<u32> {
+        let gdx = grid.0 as usize;
+        let mut ranks = vec![0u32; gdx * grid.1 as usize];
+        for (pos, (x, y)) in self.enumerate(grid).into_iter().enumerate() {
+            ranks[y as usize * gdx + x as usize] = pos as u32;
+        }
+        ranks
+    }
+}
+
+impl fmt::Display for Curve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Curve::BlockGroup { group } => write!(f, "blk{group}"),
+            other => write!(f, "{}", other.label()),
+        }
+    }
+}
+
+/// Side of the smallest power-of-two square enclosing `grid` (0 for an
+/// empty grid).
+pub fn enclosing_pow2_side(grid: (u32, u32)) -> u32 {
+    let m = grid.0.max(grid.1);
+    if m == 0 {
+        0
+    } else {
+        m.next_power_of_two()
+    }
+}
+
+/// Morton / Z-order key: the bits of `x` and `y` interleaved (`x` in
+/// the even positions).
+pub fn morton_encode(x: u32, y: u32) -> u64 {
+    part_1by1(x) | (part_1by1(y) << 1)
+}
+
+/// Inverse of [`morton_encode`].
+pub fn morton_decode(d: u64) -> (u32, u32) {
+    (compact_1by1(d), compact_1by1(d >> 1))
+}
+
+/// Spreads the 32 bits of `v` into the even bit positions of a u64.
+fn part_1by1(v: u32) -> u64 {
+    let mut v = u64::from(v);
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// Gathers the even bit positions of `v` back into 32 contiguous bits.
+fn compact_1by1(mut v: u64) -> u32 {
+    v &= 0x5555_5555_5555_5555;
+    v = (v ^ (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v ^ (v >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v ^ (v >> 4)) & 0x00FF_00FF_00FF_00FF;
+    v = (v ^ (v >> 8)) & 0x0000_FFFF_0000_FFFF;
+    v = (v ^ (v >> 16)) & 0x0000_0000_FFFF_FFFF;
+    v as u32
+}
+
+/// Hilbert key of `(x, y)` on a `side × side` square; `side` must be a
+/// power of two (or 0/1 for the degenerate squares) and `x, y < side`.
+pub fn hilbert_encode(side: u32, x: u32, y: u32) -> u64 {
+    let (mut x, mut y) = (i64::from(x), i64::from(y));
+    let n = i64::from(side);
+    let mut d: u64 = 0;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = i64::from(x & s > 0);
+        let ry = i64::from(y & s > 0);
+        d += (s as u64) * (s as u64) * (((3 * rx) ^ ry) as u64);
+        rotate_quadrant(n, &mut x, &mut y, rx, ry);
+        s /= 2;
+    }
+    d
+}
+
+/// Inverse of [`hilbert_encode`]: the cell at curve position `d`.
+pub fn hilbert_decode(side: u32, d: u64) -> (u32, u32) {
+    let n = i64::from(side);
+    let (mut x, mut y) = (0i64, 0i64);
+    let mut t = d;
+    let mut s: i64 = 1;
+    while s < n {
+        let rx = ((t >> 1) & 1) as i64;
+        let ry = ((t ^ (t >> 1)) & 1) as i64;
+        rotate_quadrant(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t >>= 2;
+        s *= 2;
+    }
+    (x as u32, y as u32)
+}
+
+/// The Hilbert quadrant reflection/transposition step shared by encode
+/// (applied top-down with the full side) and decode (applied bottom-up
+/// with the growing sub-square side).
+fn rotate_quadrant(side: i64, x: &mut i64, y: &mut i64, rx: i64, ry: i64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = side - 1 - *x;
+            *y = side - 1 - *y;
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every curve variant at a few parameterizations, for sweep tests.
+    fn all_curves() -> Vec<Curve> {
+        vec![
+            Curve::RowMajor,
+            Curve::BlockGroup { group: 1 },
+            Curve::BlockGroup { group: 3 },
+            Curve::BlockGroup { group: 8 },
+            Curve::BlockGroup { group: 1000 }, // taller than any test grid
+            Curve::BlockGroup { group: 0 },    // clamps to 1
+            Curve::Morton,
+            Curve::Hilbert,
+        ]
+    }
+
+    /// Grid shapes covering the adversarial cases the bounds-skipping
+    /// enumeration must survive: non-power-of-two, prime, degenerate
+    /// strips, single cell, empty.
+    fn grids() -> Vec<(u32, u32)> {
+        vec![
+            (1, 1),
+            (0, 0),
+            (0, 7),
+            (7, 0),
+            (1, 17), // 1×N, prime
+            (17, 1), // N×1, prime
+            (2, 2),
+            (8, 8),
+            (16, 16),
+            (13, 7),  // both prime
+            (31, 29), // both prime, large-ish
+            (5, 64),
+            (64, 5),
+            (12, 10),
+        ]
+    }
+
+    #[test]
+    fn every_curve_is_a_bijection_on_every_grid() {
+        for curve in all_curves() {
+            for grid in grids() {
+                let order = curve.enumerate(grid);
+                let total = grid.0 as usize * grid.1 as usize;
+                assert_eq!(order.len(), total, "{curve} on {grid:?}: wrong cardinality");
+                let mut sorted = order.clone();
+                sorted.sort_unstable_by_key(|&(x, y)| (y, x));
+                let expect: Vec<(u32, u32)> = (0..grid.1)
+                    .flat_map(|y| (0..grid.0).map(move |x| (x, y)))
+                    .collect();
+                assert_eq!(sorted, expect, "{curve} on {grid:?}: not a permutation");
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_invert_enumerate() {
+        for curve in all_curves() {
+            for grid in grids() {
+                let order = curve.enumerate(grid);
+                let ranks = curve.ranks(grid);
+                assert_eq!(ranks.len(), order.len());
+                for (pos, (x, y)) in order.iter().enumerate() {
+                    let lin = *y as usize * grid.0 as usize + *x as usize;
+                    assert_eq!(
+                        ranks[lin] as usize, pos,
+                        "{curve} on {grid:?}: rank of ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_injective_in_bounds() {
+        for curve in all_curves() {
+            for grid in [(13u32, 7u32), (1, 17), (8, 8), (31, 29)] {
+                let mut keys: Vec<u64> = (0..grid.1)
+                    .flat_map(|y| (0..grid.0).map(move |x| curve.key(x, y, grid)))
+                    .collect();
+                let n = keys.len();
+                keys.sort_unstable();
+                keys.dedup();
+                assert_eq!(keys.len(), n, "{curve} on {grid:?}: key collision");
+            }
+        }
+    }
+
+    #[test]
+    fn morton_round_trips() {
+        let cases = [
+            (0u32, 0u32),
+            (1, 0),
+            (0, 1),
+            (12345, 54321),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (u32::MAX, u32::MAX),
+            (0x8000_0000, 0x7FFF_FFFF),
+        ];
+        for (x, y) in cases {
+            assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+        }
+        // And the first few keys walk the canonical Z.
+        let z: Vec<(u32, u32)> = (0..4).map(morton_decode).collect();
+        assert_eq!(z, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn morton_decode_round_trips_dense_keys() {
+        for d in 0..4096u64 {
+            let (x, y) = morton_decode(d);
+            assert_eq!(morton_encode(x, y), d);
+        }
+    }
+
+    #[test]
+    fn hilbert_round_trips_on_pow2_squares() {
+        for side in [1u32, 2, 4, 8, 32, 64] {
+            for y in 0..side.min(64) {
+                for x in 0..side.min(64) {
+                    let d = hilbert_encode(side, x, y);
+                    assert!(d < u64::from(side) * u64::from(side));
+                    assert_eq!(hilbert_decode(side, d), (x, y), "side {side}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_keys_are_dense_on_the_square() {
+        // On a full power-of-two square the curve visits every cell
+        // exactly once: keys are exactly 0..side².
+        for side in [1u32, 2, 4, 16] {
+            let mut keys: Vec<u64> = (0..side)
+                .flat_map(|y| (0..side).map(move |x| hilbert_encode(side, x, y)))
+                .collect();
+            keys.sort_unstable();
+            let expect: Vec<u64> = (0..u64::from(side) * u64::from(side)).collect();
+            assert_eq!(keys, expect, "side {side}");
+        }
+    }
+
+    #[test]
+    fn hilbert_consecutive_cells_are_grid_neighbors_on_pow2_grids() {
+        // The defining property vs Morton: no Z-jumps. Only holds when
+        // the grid *is* the bounding square (bounds-skipping on other
+        // shapes necessarily breaks some adjacencies).
+        for side in [2u32, 4, 8, 16, 32] {
+            let order = Curve::Hilbert.enumerate((side, side));
+            for pair in order.windows(2) {
+                let (x0, y0) = pair[0];
+                let (x1, y1) = pair[1];
+                let dist = x0.abs_diff(x1) + y0.abs_diff(y1);
+                assert_eq!(
+                    dist, 1,
+                    "side {side}: ({x0},{y0}) -> ({x1},{y1}) is not adjacent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_group_walks_bands_column_major() {
+        // 4×5 grid, group 2: band rows {0,1} walked (x,0),(x,1) per x,
+        // then band {2,3}, then the short band {4} in row order.
+        let order = Curve::BlockGroup { group: 2 }.enumerate((4, 5));
+        let expect = vec![
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+            (2, 0),
+            (2, 1),
+            (3, 0),
+            (3, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 2),
+            (2, 3),
+            (3, 2),
+            (3, 3),
+            (0, 4),
+            (1, 4),
+            (2, 4),
+            (3, 4),
+        ];
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn block_group_of_one_is_row_major() {
+        for grid in [(7u32, 5u32), (1, 9), (16, 16)] {
+            assert_eq!(
+                Curve::BlockGroup { group: 1 }.enumerate(grid),
+                Curve::RowMajor.enumerate(grid)
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        for curve in all_curves() {
+            assert_eq!(curve.enumerate((1, 1)), vec![(0, 0)], "{curve}");
+            assert!(curve.enumerate((0, 0)).is_empty(), "{curve}");
+            assert!(curve.enumerate((0, 5)).is_empty(), "{curve}");
+            assert!(curve.enumerate((5, 0)).is_empty(), "{curve}");
+            assert!(curve.ranks((0, 3)).is_empty(), "{curve}");
+            assert_eq!(curve.ranks((1, 1)), vec![0], "{curve}");
+        }
+    }
+
+    #[test]
+    fn row_major_is_the_identity_permutation() {
+        let ranks = Curve::RowMajor.ranks((9, 4));
+        let expect: Vec<u32> = (0..36).collect();
+        assert_eq!(ranks, expect);
+    }
+
+    #[test]
+    fn enclosing_side_examples() {
+        assert_eq!(enclosing_pow2_side((0, 0)), 0);
+        assert_eq!(enclosing_pow2_side((1, 1)), 1);
+        assert_eq!(enclosing_pow2_side((3, 2)), 4);
+        assert_eq!(enclosing_pow2_side((16, 16)), 16);
+        assert_eq!(enclosing_pow2_side((17, 1)), 32);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Curve::BlockGroup { group: 4 }.to_string(), "blk4");
+        assert_eq!(Curve::Morton.to_string(), "morton");
+        assert_eq!(Curve::Hilbert.to_string(), "hilbert");
+        assert_eq!(Curve::RowMajor.to_string(), "row-major");
+    }
+}

@@ -47,11 +47,11 @@ pub struct Lasp {
 
 /// Per-argument classification snapshot used during planning.
 #[derive(Debug)]
-struct ArgView<'a> {
-    class: AccessClass,
+pub(super) struct ArgView<'a> {
+    pub(super) class: AccessClass,
     /// The access whose classification is the representative one.
     index: Option<&'a Poly>,
-    bytes: u64,
+    pub(super) bytes: u64,
     elem_bytes: u64,
     pages: u64,
 }
@@ -264,7 +264,7 @@ where
     best.map(|(i, _)| i)
 }
 
-fn classify_args(launch: &LaunchInfo) -> Vec<ArgView<'_>> {
+pub(super) fn classify_args(launch: &LaunchInfo) -> Vec<ArgView<'_>> {
     let grid_shape = launch.kernel.grid_shape;
     launch
         .kernel
@@ -572,7 +572,11 @@ fn place_no_locality(
                 PageMap::Chunk { pages_per_node }
             }
         }
-        TbMap::Chunk { .. } | TbMap::Spread { .. } => kernel_wide,
+        // LASP never selects a swizzled schedule itself (the stacked
+        // swizzle policy overrides the schedule *after* planning), so a
+        // curve here only means an adopted external plan: contiguous
+        // curve segments are node-compact, kernel-wide chunks match.
+        TbMap::Chunk { .. } | TbMap::Spread { .. } | TbMap::Swizzled { .. } => kernel_wide,
         TbMap::ColBinding { .. } => PageMap::Interleave {
             gran_pages: eq1_interleave_gran_pages(pitch_bytes(view, env), n, page),
             order: RrOrder::Hierarchical,

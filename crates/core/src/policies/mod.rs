@@ -8,16 +8,22 @@
 //! | [`KernelWide`] | N contiguous chunks | N contiguous chunks | Milic et al. |
 //! | [`Coda`] | page round-robin | alignment-aware batches | Kim et al. (CODA / H-CODA) |
 //! | [`Lasp`] | locality-driven (Table II) | locality-driven (Table II) | this paper |
+//! | [`Swizzle`] | first-touch / RR / LASP's | space-filling [`curve`] rasterization | CUTLASS-style CTA swizzling |
 //!
 //! All policies implement [`Policy`]: a pure function from a
-//! [`LaunchInfo`] and [`Topology`] to a [`KernelPlan`].
+//! [`LaunchInfo`] and [`Topology`] to a [`KernelPlan`]. The shipped
+//! lineup is enumerated by [`registry`]; experiment code and the
+//! fuzzer's generator resolve policies through it so they cannot drift.
 
 mod baseline;
 mod batchft;
 mod coda;
+pub mod curve;
 mod kernelwide;
 mod lasp;
 mod manual;
+pub mod registry;
+mod swizzle;
 
 pub use baseline::BaselineRr;
 pub use batchft::BatchFt;
@@ -25,6 +31,8 @@ pub use coda::Coda;
 pub use kernelwide::KernelWide;
 pub use lasp::{CacheMode, Lasp};
 pub use manual::Manual;
+pub use registry::{fig4_lineup, fig9_lineup, swizzle_lineup, PolicyEntry};
+pub use swizzle::{Swizzle, SwizzlePlacement, DEFAULT_GROUP, DEFAULT_TWO_LEVEL_BATCH};
 
 use crate::launch::LaunchInfo;
 use crate::plan::KernelPlan;
@@ -105,27 +113,6 @@ pub fn kernel_wide_tbs_per_node(total_tbs: u64, num_nodes: u32) -> u64 {
     total_tbs.div_ceil(u64::from(num_nodes.max(1))).max(1)
 }
 
-/// The lineup of policies evaluated in Figure 4, in the paper's order.
-pub fn fig4_lineup() -> Vec<Box<dyn Policy>> {
-    vec![
-        Box::new(BaselineRr::new()),
-        Box::new(BatchFt::new()),
-        Box::new(KernelWide::new()),
-        Box::new(Coda::flat()),
-    ]
-}
-
-/// The lineup of policies evaluated in Figures 9 and 10, in the paper's
-/// order (the monolithic reference is a topology, not a policy).
-pub fn fig9_lineup() -> Vec<Box<dyn Policy>> {
-    vec![
-        Box::new(Coda::hierarchical()),
-        Box::new(Lasp::new(CacheMode::Rtwice)),
-        Box::new(Lasp::new(CacheMode::Ronce)),
-        Box::new(Lasp::new(CacheMode::Crb)),
-    ]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,16 +142,5 @@ mod tests {
         assert_eq!(kernel_wide_pages_per_node(100, 16), 7);
         assert_eq!(kernel_wide_tbs_per_node(1024, 16), 64);
         assert_eq!(kernel_wide_tbs_per_node(1, 16), 1);
-    }
-
-    #[test]
-    fn lineups_have_expected_names() {
-        let names: Vec<&str> = fig4_lineup().iter().map(|p| p.name()).collect();
-        assert_eq!(
-            names,
-            vec!["Baseline-RR", "Batch+FT", "Kernel-Wide", "CODA"]
-        );
-        let names: Vec<&str> = fig9_lineup().iter().map(|p| p.name()).collect();
-        assert_eq!(names, vec!["H-CODA", "LASP+RTWICE", "LASP+RONCE", "LADM"]);
     }
 }

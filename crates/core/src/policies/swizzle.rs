@@ -1,0 +1,433 @@
+//! Swizzle scheduler family: curve-rasterized TB scheduling composed
+//! with a choice of placement half.
+//!
+//! CUTLASS/Triton-style CTA swizzling is the production *scheduling-only*
+//! counterpoint to LASP: it reorders the CTA walk for L2 reuse without
+//! any compiler placement analysis. This family lets the repo answer the
+//! ROADMAP question directly — does a locality curve recover LASP's win,
+//! and do the two stack? Each policy pairs one [`Curve`] with one
+//! [`SwizzlePlacement`]:
+//!
+//! * **first-touch** — pages land wherever the curve sends their first
+//!   toucher, so placement follows the swizzle for free (the honest
+//!   "scheduling-only" configuration, pairing with Batch+FT).
+//! * **round-robin** — CODA-style page interleaving under a swizzled
+//!   walk (placement-oblivious control).
+//! * **LASP** — LASP's per-argument page maps with the curve overriding
+//!   only the schedule: the "do they stack" variant.
+//!
+//! Flat assignment carves the curve into one contiguous segment per
+//! chiplet; the two-level variant carves per GPU first and round-robins
+//! small batches across that GPU's chiplets (hierarchy-aware, like
+//! H-CODA's nesting).
+
+use super::curve::Curve;
+use super::lasp::{classify_args, Lasp};
+use super::{ArgDecision, Policy};
+use crate::launch::LaunchInfo;
+use crate::plan::{ArgPlan, KernelPlan, PageMap, RrOrder, SwizzleAssign, TbMap};
+use crate::topology::Topology;
+
+/// Default block-swizzle band height (grid rows per band). Eight rows
+/// keeps a band's working set within one chiplet's L2 at the suite's
+/// tile sizes while still giving each column walk substantial reuse.
+pub const DEFAULT_GROUP: u32 = 8;
+
+/// Default two-level chiplet batch (curve positions per chiplet per
+/// round within a GPU's super-segment).
+pub const DEFAULT_TWO_LEVEL_BATCH: u64 = 8;
+
+/// Placement half composed with the curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwizzlePlacement {
+    /// UVM first-touch: pages follow the swizzled walk.
+    FirstTouch,
+    /// Page-granularity hierarchical round-robin (CODA-style).
+    RoundRobin,
+    /// LASP's locality-driven per-argument placement (LADM cache mode),
+    /// with the schedule overridden by the curve.
+    Lasp,
+}
+
+/// A swizzle-scheduler policy: one curve, one placement half, flat or
+/// two-level node assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Swizzle {
+    curve: Curve,
+    placement: SwizzlePlacement,
+    two_level: bool,
+    /// Chiplet batch for the two-level assignment (≥ 1).
+    batch: u64,
+}
+
+impl Swizzle {
+    /// Block-group swizzle (first-touch placement, flat assignment).
+    pub fn block(group: u32) -> Self {
+        Swizzle::with_curve(Curve::BlockGroup {
+            group: group.max(1),
+        })
+    }
+
+    /// Morton-order swizzle (first-touch placement, flat assignment).
+    pub fn morton() -> Self {
+        Swizzle::with_curve(Curve::Morton)
+    }
+
+    /// Hilbert-curve swizzle (first-touch placement, flat assignment).
+    pub fn hilbert() -> Self {
+        Swizzle::with_curve(Curve::Hilbert)
+    }
+
+    /// The "do they stack" headline variant: LASP placement under a
+    /// Hilbert-swizzled schedule.
+    pub fn stacked() -> Self {
+        Swizzle::hilbert().with_placement(SwizzlePlacement::Lasp)
+    }
+
+    /// A swizzle policy over an explicit curve (first-touch, flat).
+    pub fn with_curve(curve: Curve) -> Self {
+        Swizzle {
+            curve,
+            placement: SwizzlePlacement::FirstTouch,
+            two_level: false,
+            batch: DEFAULT_TWO_LEVEL_BATCH,
+        }
+    }
+
+    /// Replaces the placement half.
+    pub fn with_placement(mut self, placement: SwizzlePlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Switches to the hierarchical GPU-then-chiplet assignment with
+    /// the given chiplet batch.
+    pub fn with_two_level(mut self, batch: u64) -> Self {
+        self.two_level = true;
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The rasterization curve.
+    pub fn curve(&self) -> Curve {
+        self.curve
+    }
+
+    /// The placement half.
+    pub fn placement(&self) -> SwizzlePlacement {
+        self.placement
+    }
+
+    /// Trace preference string: which curve the schedule follows. The
+    /// classic policies vote per argument (`row-binding` etc.); under a
+    /// swizzle the curve dictates for every argument.
+    pub fn preference(&self) -> &'static str {
+        match (self.curve, self.two_level) {
+            (Curve::RowMajor, false) => "swizzle-row",
+            (Curve::RowMajor, true) => "swizzle-row-2l",
+            (Curve::BlockGroup { .. }, false) => "swizzle-blk",
+            (Curve::BlockGroup { .. }, true) => "swizzle-blk-2l",
+            (Curve::Morton, false) => "swizzle-morton",
+            (Curve::Morton, true) => "swizzle-morton-2l",
+            (Curve::Hilbert, false) => "swizzle-hilbert",
+            (Curve::Hilbert, true) => "swizzle-hilbert-2l",
+        }
+    }
+
+    fn assign(&self, launch: &LaunchInfo, topo: &Topology) -> SwizzleAssign {
+        let total = launch.total_tbs().max(1);
+        if self.two_level {
+            SwizzleAssign::TwoLevel {
+                per_gpu: total.div_ceil(u64::from(topo.num_gpus.max(1))).max(1),
+                batch: self.batch.max(1),
+            }
+        } else {
+            SwizzleAssign::Chunk {
+                per_node: total.div_ceil(u64::from(topo.num_nodes().max(1))).max(1),
+            }
+        }
+    }
+}
+
+impl Policy for Swizzle {
+    fn name(&self) -> &'static str {
+        match (self.curve, self.placement, self.two_level) {
+            (Curve::RowMajor, SwizzlePlacement::FirstTouch, false) => "Swizzle-Row",
+            (Curve::RowMajor, SwizzlePlacement::FirstTouch, true) => "Swizzle-Row-2L",
+            (Curve::RowMajor, SwizzlePlacement::RoundRobin, false) => "Swizzle-Row+RR",
+            (Curve::RowMajor, SwizzlePlacement::RoundRobin, true) => "Swizzle-Row+RR-2L",
+            (Curve::RowMajor, SwizzlePlacement::Lasp, false) => "LASP+Swizzle-Row",
+            (Curve::RowMajor, SwizzlePlacement::Lasp, true) => "LASP+Swizzle-Row-2L",
+            (Curve::BlockGroup { .. }, SwizzlePlacement::FirstTouch, false) => "Swizzle-Blk",
+            (Curve::BlockGroup { .. }, SwizzlePlacement::FirstTouch, true) => "Swizzle-Blk-2L",
+            (Curve::BlockGroup { .. }, SwizzlePlacement::RoundRobin, false) => "Swizzle-Blk+RR",
+            (Curve::BlockGroup { .. }, SwizzlePlacement::RoundRobin, true) => "Swizzle-Blk+RR-2L",
+            (Curve::BlockGroup { .. }, SwizzlePlacement::Lasp, false) => "LASP+Swizzle-Blk",
+            (Curve::BlockGroup { .. }, SwizzlePlacement::Lasp, true) => "LASP+Swizzle-Blk-2L",
+            (Curve::Morton, SwizzlePlacement::FirstTouch, false) => "Swizzle-Morton",
+            (Curve::Morton, SwizzlePlacement::FirstTouch, true) => "Swizzle-Morton-2L",
+            (Curve::Morton, SwizzlePlacement::RoundRobin, false) => "Swizzle-Morton+RR",
+            (Curve::Morton, SwizzlePlacement::RoundRobin, true) => "Swizzle-Morton+RR-2L",
+            (Curve::Morton, SwizzlePlacement::Lasp, false) => "LASP+Swizzle-Morton",
+            (Curve::Morton, SwizzlePlacement::Lasp, true) => "LASP+Swizzle-Morton-2L",
+            (Curve::Hilbert, SwizzlePlacement::FirstTouch, false) => "Swizzle-Hilbert",
+            (Curve::Hilbert, SwizzlePlacement::FirstTouch, true) => "Swizzle-Hilbert-2L",
+            (Curve::Hilbert, SwizzlePlacement::RoundRobin, false) => "Swizzle-Hilbert+RR",
+            (Curve::Hilbert, SwizzlePlacement::RoundRobin, true) => "Swizzle-Hilbert+RR-2L",
+            (Curve::Hilbert, SwizzlePlacement::Lasp, false) => "LASP+Swizzle-Hilbert",
+            (Curve::Hilbert, SwizzlePlacement::Lasp, true) => "LASP+Swizzle-Hilbert-2L",
+        }
+    }
+
+    fn plan(&self, launch: &LaunchInfo, topo: &Topology) -> KernelPlan {
+        let schedule = TbMap::swizzled(self.curve, launch.grid, self.assign(launch, topo));
+        let args = match self.placement {
+            SwizzlePlacement::FirstTouch => launch
+                .kernel
+                .args
+                .iter()
+                .map(|_| ArgPlan::new(PageMap::FirstTouch))
+                .collect(),
+            SwizzlePlacement::RoundRobin => launch
+                .kernel
+                .args
+                .iter()
+                .map(|_| {
+                    ArgPlan::new(PageMap::Interleave {
+                        gran_pages: 1,
+                        order: RrOrder::Hierarchical,
+                    })
+                })
+                .collect(),
+            SwizzlePlacement::Lasp => Lasp::ladm().plan(launch, topo).args,
+        };
+        KernelPlan { args, schedule }
+    }
+
+    fn plan_explained(
+        &self,
+        launch: &LaunchInfo,
+        topo: &Topology,
+    ) -> (KernelPlan, Vec<ArgDecision>) {
+        let views = classify_args(launch);
+        let decisions = views
+            .iter()
+            .enumerate()
+            .map(|(i, view)| ArgDecision {
+                arg: i,
+                name: launch.kernel.args[i].name,
+                class: view.class.to_string(),
+                preference: self.preference(),
+                bytes: view.bytes,
+                // The curve dictates the schedule; no argument wins a
+                // tie-break under a swizzle.
+                winner: false,
+            })
+            .collect();
+        (self.plan(launch, topo), decisions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GridShape;
+    use crate::expr::{Expr, Var};
+    use crate::launch::{ArgStatic, KernelStatic};
+    use crate::policies::BatchFt;
+    use crate::topology::NodeId;
+
+    fn v(x: Var) -> Expr {
+        Expr::var(x)
+    }
+
+    fn topo() -> Topology {
+        Topology::paper_multi_gpu()
+    }
+
+    /// Tiled-GEMM-shaped launch on a 64x64 grid.
+    fn gemm_launch() -> LaunchInfo {
+        const TILE: i64 = 16;
+        let width = v(Var::Bdx) * v(Var::Gdx);
+        let a =
+            ((v(Var::By) * TILE + v(Var::Ty)) * width.clone() + v(Var::Ind(0)) * TILE + v(Var::Tx))
+                .to_poly();
+        let b = (v(Var::Ind(0)) * TILE * width.clone()
+            + v(Var::Ty) * width.clone()
+            + v(Var::Bx) * TILE
+            + v(Var::Tx))
+        .to_poly();
+        let c =
+            ((v(Var::By) * TILE + v(Var::Ty)) * width + v(Var::Bx) * TILE + v(Var::Tx)).to_poly();
+        let kernel = KernelStatic {
+            name: "sgemm",
+            grid_shape: GridShape::TwoD,
+            args: vec![
+                ArgStatic::read("a", 4, a),
+                ArgStatic::read("b", 4, b),
+                ArgStatic::write("c", 4, c),
+            ],
+        };
+        LaunchInfo::new(kernel, (64, 64), (16, 16), vec![1 << 24, 1 << 20, 1 << 20])
+    }
+
+    /// A single-block 1-D launch.
+    fn tiny_launch() -> LaunchInfo {
+        let idx = (v(Var::Bx) * v(Var::Bdx) + v(Var::Tx)).to_poly();
+        let kernel = KernelStatic {
+            name: "k",
+            grid_shape: GridShape::OneD,
+            args: vec![ArgStatic::read("a", 4, idx)],
+        };
+        LaunchInfo::new(kernel, (1, 1), (32, 1), vec![4096])
+    }
+
+    #[test]
+    fn names_cover_the_lineup() {
+        assert_eq!(Swizzle::block(8).name(), "Swizzle-Blk");
+        assert_eq!(Swizzle::morton().name(), "Swizzle-Morton");
+        assert_eq!(Swizzle::hilbert().name(), "Swizzle-Hilbert");
+        assert_eq!(
+            Swizzle::hilbert().with_two_level(8).name(),
+            "Swizzle-Hilbert-2L"
+        );
+        assert_eq!(Swizzle::stacked().name(), "LASP+Swizzle-Hilbert");
+        assert_eq!(
+            Swizzle::morton()
+                .with_placement(SwizzlePlacement::RoundRobin)
+                .name(),
+            "Swizzle-Morton+RR"
+        );
+    }
+
+    #[test]
+    fn first_touch_placement_emits_first_touch_for_every_arg() {
+        let launch = gemm_launch();
+        let plan = Swizzle::hilbert().plan(&launch, &topo());
+        assert_eq!(plan.args.len(), launch.kernel.args.len());
+        for arg in &plan.args {
+            assert_eq!(arg.pages, PageMap::FirstTouch);
+        }
+        assert!(matches!(plan.schedule, TbMap::Swizzled { .. }));
+    }
+
+    #[test]
+    fn round_robin_placement_interleaves_hierarchically() {
+        let launch = gemm_launch();
+        let plan = Swizzle::block(4)
+            .with_placement(SwizzlePlacement::RoundRobin)
+            .plan(&launch, &topo());
+        for arg in &plan.args {
+            assert_eq!(
+                arg.pages,
+                PageMap::Interleave {
+                    gran_pages: 1,
+                    order: RrOrder::Hierarchical
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn stacked_variant_keeps_lasp_page_maps() {
+        let launch = gemm_launch();
+        let t = topo();
+        let lasp_plan = Lasp::ladm().plan(&launch, &t);
+        let stacked = Swizzle::stacked().plan(&launch, &t);
+        assert_eq!(
+            stacked.args, lasp_plan.args,
+            "placement half must be LASP's"
+        );
+        assert_ne!(
+            stacked.schedule, lasp_plan.schedule,
+            "schedule must be the curve's"
+        );
+    }
+
+    #[test]
+    fn flat_assignment_covers_all_nodes_on_suite_sized_grids() {
+        let launch = gemm_launch();
+        let t = topo();
+        let plan = Swizzle::morton().plan(&launch, &t);
+        let (gdx, gdy) = launch.grid;
+        let mut seen = vec![false; t.num_nodes() as usize];
+        for by in 0..gdy {
+            for bx in 0..gdx {
+                seen[plan.schedule.node_of_tb(bx, by, launch.grid, &t).0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some node got no threadblocks");
+    }
+
+    #[test]
+    fn two_level_assignment_respects_the_hierarchy() {
+        let launch = gemm_launch();
+        let t = topo();
+        let plan = Swizzle::hilbert().with_two_level(4).plan(&launch, &t);
+        let order = plan.schedule.dispatch_order(launch.grid);
+        let per_gpu = launch.total_tbs().div_ceil(u64::from(t.num_gpus));
+        for (pos, (bx, by)) in order.iter().enumerate() {
+            let node = plan.schedule.node_of_tb(*bx, *by, launch.grid, &t);
+            let want_gpu = (pos as u64 / per_gpu).min(u64::from(t.num_gpus) - 1);
+            assert_eq!(u64::from(t.gpu_of(node).0), want_gpu, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn plan_explained_matches_plan_and_tags_the_curve() {
+        let launch = gemm_launch();
+        let t = topo();
+        let policies: [Swizzle; 3] = [
+            Swizzle::block(4),
+            Swizzle::morton().with_two_level(2),
+            Swizzle::stacked(),
+        ];
+        for policy in policies {
+            let (plan, decisions) = policy.plan_explained(&launch, &t);
+            assert_eq!(plan, policy.plan(&launch, &t), "{}", policy.name());
+            assert_eq!(decisions.len(), launch.kernel.args.len());
+            for d in &decisions {
+                assert!(d.preference.starts_with("swizzle-"), "{}", d.preference);
+                assert!(!d.winner);
+            }
+        }
+    }
+
+    #[test]
+    fn swizzle_row_keeps_hardware_dispatch_order() {
+        // The RowMajor curve is the identity walk; only the node
+        // assignment shape differs from Batch+FT's batched round-robin.
+        let launch = gemm_launch();
+        let t = topo();
+        let row = Swizzle::with_curve(Curve::RowMajor).plan(&launch, &t);
+        let bft = BatchFt::new().plan(&launch, &t);
+        assert_eq!(
+            row.schedule.dispatch_order(launch.grid),
+            bft.schedule.dispatch_order(launch.grid),
+            "identity curve must keep hardware dispatch order"
+        );
+        assert_eq!(row.args, bft.args, "both are first-touch");
+    }
+
+    #[test]
+    fn degenerate_one_block_launch_plans() {
+        let t = topo();
+        let launch = tiny_launch();
+        let policies: [Swizzle; 4] = [
+            Swizzle::block(8),
+            Swizzle::morton(),
+            Swizzle::hilbert().with_two_level(8),
+            Swizzle::stacked(),
+        ];
+        for policy in policies {
+            let plan = policy.plan(&launch, &t);
+            assert_eq!(plan.schedule.dispatch_order(launch.grid), vec![(0, 0)]);
+            assert_eq!(
+                plan.schedule.node_of_tb(0, 0, launch.grid, &t),
+                NodeId(0),
+                "{}",
+                policy.name()
+            );
+        }
+    }
+}

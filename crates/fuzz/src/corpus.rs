@@ -143,6 +143,16 @@ pub fn render(spec: &TrialSpec) -> String {
         PolicySpec::LaspRtwice => "{\"kind\": \"lasp-rtwice\"}".to_string(),
         PolicySpec::LaspRonce => "{\"kind\": \"lasp-ronce\"}".to_string(),
         PolicySpec::LaspLadm => "{\"kind\": \"lasp-ladm\"}".to_string(),
+        PolicySpec::Swizzle {
+            curve,
+            group,
+            placement,
+            two_level,
+            batch,
+        } => format!(
+            "{{\"kind\": \"swizzle\", \"curve\": {curve}, \"group\": {group}, \
+             \"placement\": {placement}, \"two_level\": {two_level}, \"batch\": {batch}}}"
+        ),
         PolicySpec::Manual { seed } => format!("{{\"kind\": \"manual\", \"seed\": {seed}}}"),
     };
     let _ = writeln!(out, "  \"policy\": {policy}");
@@ -223,6 +233,13 @@ pub fn parse(text: &str) -> Result<TrialSpec, String> {
         "lasp-rtwice" => PolicySpec::LaspRtwice,
         "lasp-ronce" => PolicySpec::LaspRonce,
         "lasp-ladm" => PolicySpec::LaspLadm,
+        "swizzle" => PolicySpec::Swizzle {
+            curve: get_u32(p, "curve")?,
+            group: get_u32(p, "group")?,
+            placement: get_u32(p, "placement")?,
+            two_level: get_bool(p, "two_level")?,
+            batch: get_u32(p, "batch")?,
+        },
         "manual" => PolicySpec::Manual {
             seed: get_u64(p, "seed")?,
         },
@@ -482,6 +499,28 @@ mod tests {
             let text = render(&spec);
             let back = parse(&text).unwrap_or_else(|e| panic!("trial {trial}: {e}\n{text}"));
             assert_eq!(back, spec, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn swizzle_policies_round_trip_exactly() {
+        use crate::gen::{registry_policy_specs, PolicySpec};
+        // Every canonical registry spec (which includes each swizzle
+        // combination) plus an adversarial parameterization.
+        let mut specs = registry_policy_specs();
+        specs.push(PolicySpec::Swizzle {
+            curve: 3,
+            group: u32::MAX,
+            placement: 2,
+            two_level: true,
+            batch: u32::MAX,
+        });
+        for policy in specs {
+            let mut spec = trial_spec(9, 3);
+            spec.policy = policy;
+            let text = render(&spec);
+            let back = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(back, spec, "{text}");
         }
     }
 

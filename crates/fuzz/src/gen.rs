@@ -13,7 +13,11 @@ use ladm_core::analysis::GridShape;
 use ladm_core::expr::{Poly, Var};
 use ladm_core::launch::{ArgStatic, KernelStatic, LaunchInfo};
 use ladm_core::plan::{RemoteInsert, RrOrder, TbMap};
-use ladm_core::policies::{BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Manual, Policy};
+use ladm_core::policies::curve::Curve;
+use ladm_core::policies::{
+    BaselineRr, BatchFt, CacheMode, Coda, KernelWide, Lasp, Manual, Policy, Swizzle,
+    SwizzlePlacement,
+};
 use ladm_core::rng::SplitMix64;
 use ladm_core::topology::Topology;
 use ladm_sim::oracle::random_map;
@@ -278,6 +282,24 @@ pub enum PolicySpec {
     LaspRonce,
     /// The full LADM configuration (LASP + CRB).
     LaspLadm,
+    /// A swizzle-scheduler family member: curve × placement half ×
+    /// flat/two-level assignment. Fields are small integers (not enums)
+    /// so corpus JSON stays trivially exact and future curves extend
+    /// the selector without a schema bump.
+    Swizzle {
+        /// Curve selector: 0 = block-group, 1 = Morton, 2 = Hilbert,
+        /// 3 = row-major (identity control). Taken modulo 4.
+        curve: u32,
+        /// Block-group band height (curve 0 only; clamped ≥ 1).
+        group: u32,
+        /// Placement half: 0 = first-touch, 1 = round-robin, 2 = LASP
+        /// (the stacked variant). Taken modulo 3.
+        placement: u32,
+        /// Hierarchical GPU-then-chiplet assignment instead of flat.
+        two_level: bool,
+        /// Two-level chiplet batch (clamped ≥ 1).
+        batch: u32,
+    },
     /// A `Manual` policy with per-arg page maps and a threadblock map
     /// drawn from `seed` (covering every [`ladm_core::plan::PageMap`]
     /// and [`TbMap`] variant, including combinations no shipped policy
@@ -301,6 +323,32 @@ impl PolicySpec {
             PolicySpec::LaspRtwice => Box::new(Lasp::new(CacheMode::Rtwice)),
             PolicySpec::LaspRonce => Box::new(Lasp::new(CacheMode::Ronce)),
             PolicySpec::LaspLadm => Box::new(Lasp::ladm()),
+            PolicySpec::Swizzle {
+                curve,
+                group,
+                placement,
+                two_level,
+                batch,
+            } => {
+                let curve = match curve % 4 {
+                    0 => Curve::BlockGroup {
+                        group: (*group).max(1),
+                    },
+                    1 => Curve::Morton,
+                    2 => Curve::Hilbert,
+                    _ => Curve::RowMajor,
+                };
+                let mut policy = Swizzle::with_curve(curve);
+                policy = match placement % 3 {
+                    0 => policy,
+                    1 => policy.with_placement(SwizzlePlacement::RoundRobin),
+                    _ => policy.with_placement(SwizzlePlacement::Lasp),
+                };
+                if *two_level {
+                    policy = policy.with_two_level(u64::from((*batch).max(1)));
+                }
+                Box::new(policy)
+            }
             PolicySpec::Manual { seed } => {
                 let mut rng = SplitMix64::new(*seed);
                 let mut manual = Manual::new(random_tb_map(&mut rng, launch));
@@ -832,7 +880,7 @@ fn sample_config(rng: &mut SplitMix64) -> ConfigSpec {
 }
 
 fn sample_policy(rng: &mut SplitMix64) -> PolicySpec {
-    match rng.below(10) {
+    match rng.below(13) {
         0 => PolicySpec::BaselineRr,
         1 => PolicySpec::BatchFt,
         2 => PolicySpec::KernelWide,
@@ -841,11 +889,66 @@ fn sample_policy(rng: &mut SplitMix64) -> PolicySpec {
         5 => PolicySpec::LaspRtwice,
         6 => PolicySpec::LaspRonce,
         7 | 8 => PolicySpec::LaspLadm,
+        // Three slots of swizzle: random curve (incl. the row-major
+        // identity control), random band widths, every placement half,
+        // flat and two-level combos.
+        9..=11 => PolicySpec::Swizzle {
+            curve: rng.below(4) as u32,
+            group: rng.range_u32(1, 16),
+            placement: rng.below(3) as u32,
+            two_level: rng.chance(1, 2),
+            batch: rng.range_u32(1, 16),
+        },
         // Mask to 52 bits: JSON numbers are f64 and must stay exact.
         _ => PolicySpec::Manual {
             seed: rng.next_u64() >> 12,
         },
     }
+}
+
+/// One canonical [`PolicySpec`] per entry of the core policy registry,
+/// in registry order. Pins the generator to the shipped lineup: if a
+/// policy is added to [`ladm_core::policies::registry`] without a spec
+/// the generator can draw, `policy_generator_covers_the_registry`
+/// fails.
+pub fn registry_policy_specs() -> Vec<PolicySpec> {
+    let blk = |placement: u32| PolicySpec::Swizzle {
+        curve: 0,
+        group: ladm_core::policies::DEFAULT_GROUP,
+        placement,
+        two_level: false,
+        batch: 8,
+    };
+    let hilbert = |placement: u32, two_level: bool| PolicySpec::Swizzle {
+        curve: 2,
+        group: 1,
+        placement,
+        two_level,
+        batch: ladm_core::policies::DEFAULT_TWO_LEVEL_BATCH as u32,
+    };
+    vec![
+        PolicySpec::BaselineRr,
+        PolicySpec::BatchFt,
+        PolicySpec::KernelWide,
+        PolicySpec::CodaFlat,
+        PolicySpec::CodaHier,
+        PolicySpec::LaspRtwice,
+        PolicySpec::LaspRonce,
+        PolicySpec::LaspLadm,
+        blk(0), // Swizzle-Blk
+        PolicySpec::Swizzle {
+            curve: 1,
+            group: 1,
+            placement: 0,
+            two_level: false,
+            batch: 8,
+        }, // Swizzle-Morton
+        hilbert(0, false), // Swizzle-Hilbert
+        hilbert(0, true), // Swizzle-Hilbert-2L
+        hilbert(1, false), // Swizzle-Hilbert+RR
+        hilbert(2, false), // LASP+Swizzle-Hilbert
+        blk(2), // LASP+Swizzle-Blk
+    ]
 }
 
 #[cfg(test)]
@@ -870,6 +973,60 @@ mod tests {
             let plan = policy.plan(kernel.launch(), &cfg.topology);
             assert_eq!(plan.args.len(), spec.args.len(), "trial {trial}");
         }
+    }
+
+    #[test]
+    fn policy_generator_covers_the_registry() {
+        // Strong anti-drift pin: one canonical spec per registry entry,
+        // in registry order, building to exactly the registered names.
+        let spec = trial_spec(0, 0);
+        let kernel = spec.build_kernel();
+        let cfg = spec.config.build();
+        let names: Vec<&'static str> = registry_policy_specs()
+            .iter()
+            .map(|p| p.build(kernel.launch(), &cfg.topology).name())
+            .collect();
+        let registry: Vec<&'static str> = ladm_core::policies::registry::entries()
+            .iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            names, registry,
+            "fuzz policy generator and the core policy registry drifted"
+        );
+    }
+
+    #[test]
+    fn sampled_swizzle_specs_build_total_plans() {
+        // Drive the sampler until it has produced every curve selector
+        // and both assignment shapes, building each policy as it goes.
+        let mut rng = SplitMix64::new(0xC0FFEE);
+        let spec = trial_spec(0, 0);
+        let kernel = spec.build_kernel();
+        let cfg = spec.config.build();
+        let mut curves_seen = [false; 4];
+        let mut levels_seen = [false; 2];
+        for _ in 0..500 {
+            if let PolicySpec::Swizzle {
+                curve, two_level, ..
+            } = sample_policy(&mut rng)
+            {
+                curves_seen[(curve % 4) as usize] = true;
+                levels_seen[usize::from(two_level)] = true;
+                let policy = PolicySpec::Swizzle {
+                    curve,
+                    group: 3,
+                    placement: curve % 3,
+                    two_level,
+                    batch: 2,
+                }
+                .build(kernel.launch(), &cfg.topology);
+                let plan = policy.plan(kernel.launch(), &cfg.topology);
+                assert_eq!(plan.args.len(), spec.args.len());
+            }
+        }
+        assert!(curves_seen.iter().all(|&c| c), "sampler missed a curve");
+        assert!(levels_seen.iter().all(|&l| l), "sampler missed a level");
     }
 
     #[test]

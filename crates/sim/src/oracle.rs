@@ -614,12 +614,12 @@ impl OracleSystem {
                 next_issue: 0.0,
             };
         }
-        let (gdx, gdy) = launch.grid;
-        for by in 0..gdy {
-            for bx in 0..gdx {
-                let node = plan.schedule.node_of_tb(bx, by, launch.grid, &topo);
-                eng.queues[node.0 as usize].push_back((bx, by));
-            }
+        // Same shared dispatch-order helper as the engine: swizzled
+        // schedules reorder the walk, and the oracle must stay in
+        // lockstep with it.
+        for (bx, by) in plan.schedule.dispatch_order(launch.grid) {
+            let node = plan.schedule.node_of_tb(bx, by, launch.grid, &topo);
+            eng.queues[node.0 as usize].push_back((bx, by));
         }
         for node in 0..topo.num_nodes() {
             eng.dispatch_node(node, 0.0);

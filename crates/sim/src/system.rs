@@ -464,7 +464,6 @@ impl GpuSystem {
         let sink = sink_arc.as_deref();
         let topo = self.cfg.topology;
         let warp_size = self.cfg.warp_size;
-        let (gdx, gdy) = launch.grid;
         let threads_per_tb = launch.threads_per_tb() as u32;
         let warps_per_tb = threads_per_tb.div_ceil(warp_size).max(1);
         let trips = kernel.trips().max(1);
@@ -493,12 +492,13 @@ impl GpuSystem {
         for shard in &mut self.shards {
             shard.begin_kernel(attr_args, tb_slots_per_sm, warp_budget);
         }
-        // Threadblock queues per shard, in dispatch (linear) order.
-        for by in 0..gdy {
-            for bx in 0..gdx {
-                let node = plan.schedule.node_of_tb(bx, by, launch.grid, &topo);
-                self.shards[node.0 as usize].queue.push_back((bx, by));
-            }
+        // Threadblock queues per shard, in dispatch order — row-major
+        // for classic schedules, curve order for swizzled ones. Shared
+        // with the oracle via `TbMap::dispatch_order` so the two
+        // machines cannot disagree on dispatch.
+        for (bx, by) in plan.schedule.dispatch_order(launch.grid) {
+            let node = plan.schedule.node_of_tb(bx, by, launch.grid, &topo);
+            self.shards[node.0 as usize].queue.push_back((bx, by));
         }
 
         let mut eng = EngineState::default();

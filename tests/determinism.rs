@@ -15,7 +15,7 @@
 //! its windows are bounded so the parallel prefix is exactly the
 //! serial prefix, with seqs preassigned to the serial values.
 
-use ladm::core::policies::{BaselineRr, Lasp, Policy};
+use ladm::core::policies::{registry, BaselineRr, Lasp, Policy};
 use ladm::sim::{GpuSystem, KernelStats, SessionSim, SimConfig};
 use ladm::workloads::{attn_decode, suite, Scale};
 
@@ -77,6 +77,78 @@ fn full_suite_is_bit_identical_across_thread_counts() {
         got == want,
         "serial digest no longer matches tests/fixtures/stats_digest.txt; \
          the threaded-engine refactor must not change the model"
+    );
+}
+
+/// The swizzle-scheduler policies registered in
+/// `ladm::core::policies::registry` — every policy whose `TbMap` is the
+/// rank-table-backed `Swizzled` variant, so the dispatch order the
+/// engine drains is a genuine permutation of row-major.
+const SWIZZLE_POLICIES: &[&str] = &[
+    "Swizzle-Blk",
+    "Swizzle-Morton",
+    "Swizzle-Hilbert",
+    "Swizzle-Hilbert-2L",
+    "Swizzle-Hilbert+RR",
+    "LASP+Swizzle-Hilbert",
+    "LASP+Swizzle-Blk",
+];
+
+const SWIZZLE_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/swizzle_digest.txt"
+);
+
+/// As [`digest_lines`], for the swizzle-policy family: one line per
+/// (workload, policy) cell over the full Table IV suite.
+fn swizzle_digest_lines(threads: usize) -> Vec<String> {
+    let cfg = SimConfig::paper_multi_gpu();
+    let mut lines = Vec::new();
+    for name in SWIZZLE_POLICIES {
+        let policy = registry::build(name).expect("registered swizzle policy");
+        for w in suite(Scale::Test) {
+            let mut sys = GpuSystem::new(cfg.clone());
+            sys.set_threads(threads);
+            let mut total = KernelStats::default();
+            for kernel in &w.kernels {
+                total.accumulate(&sys.run(&**kernel, &*policy));
+            }
+            lines.push(format!("{} {} {:?}", w.name, policy.name(), total));
+        }
+    }
+    lines
+}
+
+#[test]
+fn swizzle_lineup_is_bit_identical_across_thread_counts() {
+    let serial = swizzle_digest_lines(1);
+    for threads in [2, 4, 8] {
+        let threaded = swizzle_digest_lines(threads);
+        assert_eq!(
+            serial.len(),
+            threaded.len(),
+            "cell count changed at {threads} threads"
+        );
+        for (s, t) in serial.iter().zip(&threaded) {
+            assert!(
+                s == t,
+                "swizzle digest diverged at {threads} threads.\nserial:   {s}\nthreaded: {t}"
+            );
+        }
+    }
+
+    let got = serial.join("\n") + "\n";
+    if std::env::var_os("LADM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(SWIZZLE_FIXTURE, &got).expect("fixture written");
+        return;
+    }
+    let want = std::fs::read_to_string(SWIZZLE_FIXTURE)
+        .expect("fixture missing — run with LADM_UPDATE_GOLDEN=1 to create it");
+    assert!(
+        got == want,
+        "swizzle digest no longer matches tests/fixtures/swizzle_digest.txt; \
+         if the model change is intentional, regenerate with \
+         LADM_UPDATE_GOLDEN=1 cargo test --test determinism"
     );
 }
 

@@ -1,0 +1,94 @@
+//! Parallel-drain behaviour under swizzled CTA dispatch orders.
+//!
+//! The conservative-lookahead drain (DESIGN.md §13) decides eligibility
+//! and mid-kernel demotion from the event stream, not from the dispatch
+//! order — so swapping row-major for a space-filling-curve permutation
+//! (DESIGN.md §15) must leave both mechanisms working:
+//!
+//! 1. **Eligibility** — ScalarProd's streaming reduction keeps enough
+//!    shard-local work under first-touch placement that rounds execute
+//!    their event prefix on the pool (`drain_par` spans appear) and the
+//!    drain stays promoted for the whole kernel.
+//! 2. **Demotion** — PageRank's data-dependent gather and TRA's
+//!    transpose starve every round, so after `DEMOTE_AFTER` barren
+//!    rounds the drain demotes to the epoch-prefetch driver
+//!    (`drain.demotions` counter fires).
+//!
+//! This lives in its own integration-test binary because the
+//! self-profiler is process-global: any concurrently running simulation
+//! in the same process would bleed spans into the captured profile.
+
+use ladm::core::policies::registry;
+use ladm::obs::prof;
+use ladm::sim::{GpuSystem, SimConfig};
+use ladm::workloads::{by_name, Scale};
+use std::sync::Mutex;
+
+static PROF_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `workload` under `policy_name` at 4 engine threads with the
+/// profiler live, returning the captured profile.
+fn profiled_run(workload: &str, policy_name: &str) -> prof::Profile {
+    let policy = registry::build(policy_name).expect("registered policy");
+    prof::reset();
+    prof::enable();
+    let w = by_name(workload, Scale::Test).expect("Table IV name");
+    let mut sys = GpuSystem::new(SimConfig::paper_multi_gpu());
+    sys.set_threads(4);
+    for kernel in &w.kernels {
+        sys.run(&**kernel, &*policy);
+    }
+    prof::disable();
+    prof::take()
+}
+
+#[test]
+fn drain_executes_parallel_prefixes_under_swizzled_order() {
+    let _t = locked();
+    for policy in ["Swizzle-Hilbert", "Swizzle-Blk"] {
+        let p = profiled_run("ScalarProd", policy);
+        assert!(
+            p.flatten()
+                .iter()
+                .any(|(path, _)| path.contains("drain_par")),
+            "no drain_par span under {policy}: the drain never executed \
+             a parallel prefix with a swizzled dispatch order\n{}",
+            p.render_table()
+        );
+        assert_eq!(
+            p.counters.get("drain.demotions"),
+            None,
+            "ScalarProd under {policy} should keep the drain promoted"
+        );
+    }
+}
+
+#[test]
+fn drain_demotes_mid_kernel_under_swizzled_order() {
+    let _t = locked();
+    for (workload, policy) in [
+        ("PageRank", "Swizzle-Hilbert"),
+        ("TRA", "LASP+Swizzle-Hilbert"),
+    ] {
+        let p = profiled_run(workload, policy);
+        assert!(
+            p.counters.get("drain.demotions").copied().unwrap_or(0) >= 1,
+            "{workload} under {policy} should demote to the epoch driver \
+             mid-kernel; counters: {:?}",
+            p.counters
+        );
+        // Demotion hands the rest of the kernel to the epoch driver,
+        // whose signature fan-out phase must then appear.
+        assert!(
+            p.flatten()
+                .iter()
+                .any(|(path, _)| path.contains("gen_fanout")),
+            "no epoch-driver phase after demotion in {workload}\n{}",
+            p.render_table()
+        );
+    }
+}
